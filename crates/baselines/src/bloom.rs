@@ -1,0 +1,224 @@
+//! An in-packet Bloom filter encoding the set of visited switches (§3,
+//! §5 "an especially crafted approach that adds a Bloom Filter into
+//! packets to store switch IDs").
+//!
+//! Each switch queries the filter for its own ID — a positive answer
+//! reports a loop — and then inserts itself. Detection is immediate (the
+//! first revisited switch always queries positive, so there are no false
+//! negatives), the overhead is a constant `m` bits, but *any* hop may
+//! suffer a false positive with probability governed by `m`, the number
+//! of hash functions `k`, and how many switches were inserted so far.
+//! Table 5 searches for the minimum `m` with zero observed false
+//! positives — Unroller needs 6–100× fewer bits.
+
+use unroller_core::hashing::{HashFamily, HashKind};
+use unroller_core::profile::{Category, DetectorProfile, OverheadLevel};
+use unroller_core::{InPacketDetector, SwitchId, Verdict};
+
+/// The Bloom-filter in-packet loop detector.
+#[derive(Debug, Clone)]
+pub struct BloomFilterDetector {
+    /// Filter size in bits.
+    m: u32,
+    /// Number of hash functions.
+    k: u32,
+    hashes: HashFamily,
+}
+
+/// The packet-carried filter: `m` bits packed into words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomState {
+    words: Vec<u64>,
+}
+
+impl BloomFilterDetector {
+    /// Creates a filter of `m` bits with `k` hash functions, seeded so
+    /// every switch evaluates the same functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k == 0`.
+    pub fn new(m: u32, k: u32, seed: u64) -> Self {
+        assert!(m >= 1, "filter needs at least one bit");
+        assert!(k >= 1, "filter needs at least one hash function");
+        BloomFilterDetector {
+            m,
+            k,
+            hashes: HashFamily::new(HashKind::SplitMix, k, seed),
+        }
+    }
+
+    /// Creates a filter sized for `expected` insertions using the
+    /// text-book optimal hash count `k = max(1, round((m/n)·ln 2))`.
+    pub fn with_optimal_k(m: u32, expected: u32, seed: u64) -> Self {
+        let n = expected.max(1) as f64;
+        let k = ((m as f64 / n) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        Self::new(m, k, seed)
+    }
+
+    /// Filter size in bits (`m`).
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of hash functions (`k`).
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    #[inline]
+    fn bit_index(&self, func: usize, switch: SwitchId) -> usize {
+        (self.hashes.hash(func, switch) as u64 % self.m as u64) as usize
+    }
+}
+
+impl InPacketDetector for BloomFilterDetector {
+    type State = BloomState;
+
+    fn name(&self) -> &'static str {
+        "bloom"
+    }
+
+    fn init_state(&self) -> BloomState {
+        BloomState {
+            words: vec![0; (self.m as usize).div_ceil(64)],
+        }
+    }
+
+    fn reset_state(&self, state: &mut BloomState) {
+        state.words.fill(0);
+    }
+
+    fn on_switch(&self, st: &mut BloomState, switch: SwitchId) -> Verdict {
+        // Query: all k bits set ⇒ (probably) visited before.
+        let mut present = true;
+        for f in 0..self.k as usize {
+            let idx = self.bit_index(f, switch);
+            if st.words[idx / 64] & (1u64 << (idx % 64)) == 0 {
+                present = false;
+                break;
+            }
+        }
+        if present {
+            return Verdict::LoopReported;
+        }
+        // Insert.
+        for f in 0..self.k as usize {
+            let idx = self.bit_index(f, switch);
+            st.words[idx / 64] |= 1u64 << (idx % 64);
+        }
+        Verdict::Continue
+    }
+
+    fn overhead_bits(&self, _hops: u64) -> u64 {
+        self.m as u64
+    }
+
+    fn profile(&self) -> DetectorProfile {
+        DetectorProfile {
+            name: "Bloom",
+            category: Category::FullPathEncodingOnPackets,
+            real_time: true,
+            switch_overhead: OverheadLevel::Low,
+            network_overhead: OverheadLevel::High,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unroller_core::walk::{run_detector, Walk};
+
+    #[test]
+    fn detects_at_first_revisit_when_large_enough() {
+        // A generously sized filter detects exactly at hop X + 1.
+        let bloom = BloomFilterDetector::new(4096, 3, 7);
+        let mut rng = unroller_core::test_rng(31);
+        for _ in 0..100 {
+            let w = Walk::random(5, 10, &mut rng);
+            let out = run_detector(&bloom, &w, 10_000);
+            assert_eq!(out.reported_at, Some(w.x() as u64 + 1));
+            assert!(out.true_positive);
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_even_when_tiny() {
+        // A too-small filter false-positives early, but never *misses*
+        // a loop: reported_at is always Some on looping walks.
+        let bloom = BloomFilterDetector::new(8, 1, 7);
+        let mut rng = unroller_core::test_rng(32);
+        for _ in 0..100 {
+            let w = Walk::random(5, 10, &mut rng);
+            let out = run_detector(&bloom, &w, 10_000);
+            assert!(out.reported_at.is_some());
+            assert!(out.reported_at.unwrap() <= w.x() as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn small_filters_false_positive_on_loop_free_paths() {
+        // With m = 16 bits and 20 distinct switches inserted, false
+        // positives are essentially certain over many runs.
+        let bloom = BloomFilterDetector::new(16, 1, 7);
+        let mut rng = unroller_core::test_rng(33);
+        let mut fps = 0;
+        for _ in 0..200 {
+            let w = Walk::random_loop_free(20, &mut rng);
+            if run_detector(&bloom, &w, 10_000).false_positive() {
+                fps += 1;
+            }
+        }
+        assert!(fps > 150, "only {fps}/200 false positives");
+    }
+
+    #[test]
+    fn large_filters_rarely_false_positive() {
+        let bloom = BloomFilterDetector::new(2048, 3, 7);
+        let mut rng = unroller_core::test_rng(34);
+        let mut fps = 0;
+        for _ in 0..500 {
+            let w = Walk::random_loop_free(20, &mut rng);
+            if run_detector(&bloom, &w, 10_000).false_positive() {
+                fps += 1;
+            }
+        }
+        assert!(fps <= 2, "{fps}/500 false positives with a 2 Kbit filter");
+    }
+
+    #[test]
+    fn optimal_k_formula() {
+        // m = 100, n = 10 → k = round(10 · 0.693) = 7.
+        assert_eq!(BloomFilterDetector::with_optimal_k(100, 10, 0).k(), 7);
+        // Tiny filters fall back to k = 1.
+        assert_eq!(BloomFilterDetector::with_optimal_k(4, 100, 0).k(), 1);
+    }
+
+    #[test]
+    fn overhead_is_constant_m() {
+        let bloom = BloomFilterDetector::new(171, 2, 7);
+        assert_eq!(bloom.overhead_bits(1), 171);
+        assert_eq!(bloom.overhead_bits(1_000_000), 171);
+    }
+
+    #[test]
+    fn degenerate_one_bit_filter() {
+        // m = 1: the first insertion saturates the filter, so the second
+        // distinct switch already queries positive — instant false
+        // positive, documented behaviour of the degenerate extreme.
+        let bloom = BloomFilterDetector::new(1, 1, 7);
+        let mut st = bloom.init_state();
+        assert_eq!(bloom.on_switch(&mut st, 1), Verdict::Continue);
+        assert_eq!(bloom.on_switch(&mut st, 2), Verdict::LoopReported);
+    }
+
+    #[test]
+    fn reset_clears_filter() {
+        let bloom = BloomFilterDetector::new(64, 2, 7);
+        let mut st = bloom.init_state();
+        let _ = bloom.on_switch(&mut st, 9);
+        bloom.reset_state(&mut st);
+        assert_eq!(bloom.on_switch(&mut st, 9), Verdict::Continue);
+    }
+}

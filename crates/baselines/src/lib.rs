@@ -1,0 +1,59 @@
+//! # unroller-baselines
+//!
+//! The state-of-the-art in-packet loop detectors the paper compares
+//! Unroller against (§2, §5), plus the ablation variant of §3.5, all
+//! implementing the same
+//! [`InPacketDetector`](unroller_core::InPacketDetector) trait as
+//! Unroller itself:
+//!
+//! * [`int::IntPathRecorder`] — INT-style full path encoding: every
+//!   switch appends its 4-byte ID; a switch seeing its own ID reports.
+//!   Zero false positives, instant detection, per-packet overhead linear
+//!   in the path length.
+//! * [`bloom::BloomFilterDetector`] — a Bloom filter carried on the
+//!   packet encodes the set of visited switches. Constant overhead,
+//!   instant detection, false positives governed by the filter size.
+//! * [`pathdump::PathDump`] — the OSDI'16 two-VLAN-tag trick: valid
+//!   paths in FatTree/VL2-like topologies have at most one up→down turn,
+//!   so needing a "third tag" (second turn) implies a loop. Fixed 64-bit
+//!   overhead, but only applicable to layered data-center topologies.
+//! * [`onswitch::FlowRegistry`] — the on-switch-state category
+//!   (FlowRadar-style registries + periodic export): high switch SRAM,
+//!   low network overhead, detection only at the epoch export.
+//! * [`mirroring::Collector`] — the header-mirroring category
+//!   (NetSight/Everflow postcards, trajectory sampling): detection at a
+//!   collector, not in flight, with measurable postcard traffic.
+//! * [`noreset::NoResetMin`] and [`noreset::ProbabilisticInsert`] — the
+//!   §3.5 ablations showing why Unroller's phase resets matter: without
+//!   them, identifiers recorded on the pre-loop path cause false
+//!   negatives.
+//!
+//! ```
+//! use unroller_baselines::int::IntPathRecorder;
+//! use unroller_core::prelude::*;
+//!
+//! let int = IntPathRecorder::new();
+//! let mut st = int.init_state();
+//! assert_eq!(int.on_switch(&mut st, 1), Verdict::Continue);
+//! assert_eq!(int.on_switch(&mut st, 2), Verdict::Continue);
+//! assert_eq!(int.on_switch(&mut st, 1), Verdict::LoopReported);
+//! // ...but the packet now carries 8B header + 2 recorded 4B IDs:
+//! assert_eq!(int.overhead_bits(2), 64 + 2 * 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod int;
+pub mod mirroring;
+pub mod noreset;
+pub mod onswitch;
+pub mod pathdump;
+
+pub use bloom::BloomFilterDetector;
+pub use int::IntPathRecorder;
+pub use mirroring::{Collector, LoopFinding, MirrorConfig};
+pub use noreset::{NoResetMin, ProbabilisticInsert};
+pub use onswitch::{FlowRegistry, OnSwitchConfig};
+pub use pathdump::{Layer, PathDump};

@@ -1,0 +1,232 @@
+//! Ablation variants demonstrating why Unroller's phase resets matter
+//! (§3.5 "Importance of switch ID resetting").
+//!
+//! Both variants keep identifiers on the packet *without ever resetting
+//! them*:
+//!
+//! * [`NoResetMin`] tracks the single minimum ID forever. It works when
+//!   the packet's first hop is already on the loop, but when the global
+//!   minimum lies on the pre-loop path the stored ID can never match a
+//!   loop switch — a **false negative**.
+//! * [`ProbabilisticInsert`] is the exact §3.5 strawman: "each switch
+//!   inserts its ID, with a set probability, only if the incoming packet
+//!   does not already carry the maximum number of IDs". Pre-loop
+//!   switches can fill every slot, again causing false negatives.
+//!
+//! The `ablation` experiment quantifies the false-negative rate of both
+//! against Unroller's zero.
+
+use unroller_core::hashing::{HashFamily, HashKind};
+use unroller_core::profile::{Category, DetectorProfile, OverheadLevel};
+use unroller_core::{InPacketDetector, SwitchId, Verdict};
+
+/// Minimum-ID tracking without phase resets.
+#[derive(Debug, Clone, Default)]
+pub struct NoResetMin {
+    _priv: (),
+}
+
+impl NoResetMin {
+    /// Creates the detector.
+    pub fn new() -> Self {
+        NoResetMin { _priv: () }
+    }
+}
+
+impl InPacketDetector for NoResetMin {
+    type State = Option<SwitchId>;
+
+    fn name(&self) -> &'static str {
+        "noreset-min"
+    }
+
+    fn init_state(&self) -> Option<SwitchId> {
+        None
+    }
+
+    fn on_switch(&self, stored: &mut Option<SwitchId>, switch: SwitchId) -> Verdict {
+        match *stored {
+            Some(min) if min == switch => Verdict::LoopReported,
+            Some(min) => {
+                if switch < min {
+                    *stored = Some(switch);
+                }
+                Verdict::Continue
+            }
+            None => {
+                *stored = Some(switch);
+                Verdict::Continue
+            }
+        }
+    }
+
+    fn overhead_bits(&self, _hops: u64) -> u64 {
+        32
+    }
+
+    fn profile(&self) -> DetectorProfile {
+        DetectorProfile {
+            name: "NoResetMin",
+            category: Category::PartialEncodingOnPackets,
+            real_time: true,
+            switch_overhead: OverheadLevel::Low,
+            network_overhead: OverheadLevel::Low,
+        }
+    }
+}
+
+/// The §3.5 strawman: insert with probability `p` while slots remain,
+/// never reset.
+///
+/// Determinism requirement: detectors must behave identically on every
+/// switch given the same configuration, so "probability" is derived from
+/// a seeded hash of `(switch, hop)` rather than an RNG carried by the
+/// switch.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticInsert {
+    slots: usize,
+    /// Insertion probability as a numerator over 2³².
+    p_num: u32,
+    coin: HashFamily,
+}
+
+/// Packet state: hop counter plus the recorded identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbInsertState {
+    xcnt: u64,
+    ids: Vec<SwitchId>,
+}
+
+impl ProbabilisticInsert {
+    /// Creates the detector with `slots` identifier slots and insertion
+    /// probability `p` (clamped to `[0, 1]`).
+    pub fn new(slots: usize, p: f64, seed: u64) -> Self {
+        assert!(slots >= 1, "need at least one slot");
+        let p_num = (p.clamp(0.0, 1.0) * u32::MAX as f64) as u32;
+        ProbabilisticInsert {
+            slots,
+            p_num,
+            coin: HashFamily::new(HashKind::SplitMix, 1, seed),
+        }
+    }
+}
+
+impl InPacketDetector for ProbabilisticInsert {
+    type State = ProbInsertState;
+
+    fn name(&self) -> &'static str {
+        "prob-insert"
+    }
+
+    fn init_state(&self) -> ProbInsertState {
+        ProbInsertState {
+            xcnt: 0,
+            ids: Vec::with_capacity(self.slots),
+        }
+    }
+
+    fn reset_state(&self, state: &mut ProbInsertState) {
+        state.xcnt = 0;
+        state.ids.clear();
+    }
+
+    fn on_switch(&self, st: &mut ProbInsertState, switch: SwitchId) -> Verdict {
+        st.xcnt += 1;
+        if st.ids.contains(&switch) {
+            return Verdict::LoopReported;
+        }
+        if st.ids.len() < self.slots {
+            // A deterministic "coin flip" shared by all switches.
+            let coin = self.coin.hash(0, switch ^ (st.xcnt as u32).rotate_left(16));
+            if coin <= self.p_num {
+                st.ids.push(switch);
+            }
+        }
+        Verdict::Continue
+    }
+
+    fn overhead_bits(&self, _hops: u64) -> u64 {
+        32 * self.slots as u64
+    }
+
+    fn profile(&self) -> DetectorProfile {
+        DetectorProfile {
+            name: "ProbInsert",
+            category: Category::PartialEncodingOnPackets,
+            real_time: true,
+            switch_overhead: OverheadLevel::Low,
+            network_overhead: OverheadLevel::Low,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unroller_core::walk::{run_detector, Walk};
+
+    #[test]
+    fn noreset_detects_when_loop_holds_minimum() {
+        // Loop IDs all smaller than pre-loop IDs: works fine.
+        let d = NoResetMin::new();
+        let w = Walk::new(vec![100, 101], vec![5, 9, 7]);
+        let out = run_detector(&d, &w, 1000);
+        assert!(out.reported_at.is_some());
+        assert!(out.true_positive);
+    }
+
+    #[test]
+    fn noreset_false_negative_when_minimum_preloop() {
+        // The §3.5 failure: global minimum on the pre-loop path sticks
+        // forever, so the loop is NEVER detected.
+        let d = NoResetMin::new();
+        let w = Walk::new(vec![1, 100], vec![50, 60, 70]);
+        let out = run_detector(&d, &w, 100_000);
+        assert_eq!(out.reported_at, None, "no-reset variant must miss this loop");
+    }
+
+    #[test]
+    fn unroller_catches_what_noreset_misses() {
+        // Same adversarial walk: Unroller's resets save it.
+        use unroller_core::{Unroller, UnrollerParams};
+        let w = Walk::new(vec![1, 100], vec![50, 60, 70]);
+        let u = Unroller::from_params(UnrollerParams::default()).unwrap();
+        assert!(run_detector(&u, &w, 100_000).reported_at.is_some());
+    }
+
+    #[test]
+    fn prob_insert_false_negative_rate_grows_with_b() {
+        // With many pre-loop hops the slots fill before the loop.
+        let d = ProbabilisticInsert::new(2, 0.5, 99);
+        let mut rng = unroller_core::test_rng(41);
+        let mut misses_small_b = 0;
+        let mut misses_large_b = 0;
+        let runs = 300;
+        for _ in 0..runs {
+            let w = Walk::random(0, 5, &mut rng);
+            if run_detector(&d, &w, 5_000).reported_at.is_none() {
+                misses_small_b += 1;
+            }
+            let w = Walk::random(20, 5, &mut rng);
+            if run_detector(&d, &w, 5_000).reported_at.is_none() {
+                misses_large_b += 1;
+            }
+        }
+        assert!(
+            misses_large_b > misses_small_b,
+            "expected more false negatives with B=20 ({misses_large_b}) than B=0 ({misses_small_b})"
+        );
+        assert!(misses_large_b > runs / 2, "B=20 should usually be missed");
+    }
+
+    #[test]
+    fn prob_insert_deterministic() {
+        let d1 = ProbabilisticInsert::new(2, 0.5, 7);
+        let d2 = ProbabilisticInsert::new(2, 0.5, 7);
+        let w = Walk::new(vec![3, 9, 4], vec![8, 1, 6]);
+        assert_eq!(
+            run_detector(&d1, &w, 1000),
+            run_detector(&d2, &w, 1000)
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! PathDump-style loop detection (OSDI'16, modeled as in §2/§5).
+//!
+//! PathDump exploits the fact that commodity switches can push at most
+//! two VLAN tags in hardware. In layered data-center topologies
+//! (FatTree, VL2) every valid path is an *up-segment* followed by a
+//! *down-segment* — at most one direction change — so each packet needs
+//! at most two tags. A loop forces a second direction change; the
+//! attempt to push a third tag is the loop signal.
+//!
+//! Our model gives the detector a *layer oracle* mapping each switch ID
+//! to its layer rank (edge = 0, aggregation = 1, core = 2). Consecutive
+//! hops define a direction (up or down); when the number of monotone
+//! segments would exceed two, the loop is reported. The overhead is a
+//! fixed 64 bits (two 32-bit tags), there are no false positives — but
+//! the scheme is *only applicable* to topologies with the layered
+//! structure, which is exactly the limitation Table 5 shows ("×" for
+//! every WAN topology).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use unroller_core::profile::{Category, DetectorProfile, OverheadLevel};
+use unroller_core::{InPacketDetector, SwitchId, Verdict};
+
+/// A switch's layer in a layered data-center topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Top-of-rack / edge layer (rank 0).
+    Edge,
+    /// Aggregation layer (rank 1).
+    Aggregation,
+    /// Core layer (rank 2).
+    Core,
+}
+
+impl Layer {
+    /// Numeric rank used for direction comparisons.
+    pub fn rank(self) -> u8 {
+        match self {
+            Layer::Edge => 0,
+            Layer::Aggregation => 1,
+            Layer::Core => 2,
+        }
+    }
+}
+
+/// Maximum monotone segments a valid up→down path may have.
+const MAX_SEGMENTS: u8 = 2;
+
+/// The PathDump detector. Construction requires the layer oracle for the
+/// deployment topology; switches absent from the oracle are treated as
+/// transparent (PathDump simply cannot be deployed there).
+#[derive(Debug, Clone)]
+pub struct PathDump {
+    layers: Arc<HashMap<SwitchId, Layer>>,
+}
+
+/// Packet-carried PathDump state (models the VLAN tag stack: we only
+/// need the segment count and enough context to detect a turn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PathDumpState {
+    prev_rank: Option<u8>,
+    /// +1 going up, −1 going down, 0 before the first inter-layer move.
+    dir: i8,
+    /// Monotone segments consumed so far (= VLAN tags pushed).
+    segments: u8,
+}
+
+impl PathDump {
+    /// Creates a detector for the given layer oracle.
+    pub fn new(layers: HashMap<SwitchId, Layer>) -> Self {
+        PathDump {
+            layers: Arc::new(layers),
+        }
+    }
+
+    /// Convenience: oracle assigning `Edge` to IDs in `edge`,
+    /// `Aggregation` to IDs in `agg`, `Core` to IDs in `core`.
+    pub fn from_layers(edge: &[SwitchId], agg: &[SwitchId], core: &[SwitchId]) -> Self {
+        let mut map = HashMap::new();
+        map.extend(edge.iter().map(|&s| (s, Layer::Edge)));
+        map.extend(agg.iter().map(|&s| (s, Layer::Aggregation)));
+        map.extend(core.iter().map(|&s| (s, Layer::Core)));
+        Self::new(map)
+    }
+
+    /// True if every switch in `ids` is covered by the layer oracle —
+    /// i.e. PathDump is deployable on that set of switches.
+    pub fn applicable_to(&self, ids: impl IntoIterator<Item = SwitchId>) -> bool {
+        ids.into_iter().all(|s| self.layers.contains_key(&s))
+    }
+}
+
+impl InPacketDetector for PathDump {
+    type State = PathDumpState;
+
+    fn name(&self) -> &'static str {
+        "pathdump"
+    }
+
+    fn init_state(&self) -> PathDumpState {
+        PathDumpState::default()
+    }
+
+    fn on_switch(&self, st: &mut PathDumpState, switch: SwitchId) -> Verdict {
+        let Some(layer) = self.layers.get(&switch) else {
+            // Outside the deployable topology: PathDump cannot observe
+            // this hop.
+            return Verdict::Continue;
+        };
+        let rank = layer.rank();
+        let Some(prev) = st.prev_rank else {
+            st.prev_rank = Some(rank);
+            st.segments = 1; // the first tag covers the first segment
+            return Verdict::Continue;
+        };
+        let dir: i8 = match rank.cmp(&prev) {
+            std::cmp::Ordering::Greater => 1,
+            std::cmp::Ordering::Less => -1,
+            // Same-layer move: impossible in a strict FatTree/VL2 fabric;
+            // treat as continuing the current segment.
+            std::cmp::Ordering::Equal => st.dir,
+        };
+        st.prev_rank = Some(rank);
+        if dir != st.dir && st.dir != 0 {
+            // Direction change = a new segment = a new VLAN tag.
+            st.segments += 1;
+            if st.segments > MAX_SEGMENTS {
+                return Verdict::LoopReported;
+            }
+        }
+        st.dir = dir;
+        Verdict::Continue
+    }
+
+    fn overhead_bits(&self, _hops: u64) -> u64 {
+        64 // two 32-bit VLAN-tag slots, per the paper's Table 5
+    }
+
+    fn profile(&self) -> DetectorProfile {
+        DetectorProfile {
+            name: "PathDump",
+            category: Category::FullPathEncodingOnPackets,
+            real_time: true,
+            switch_overhead: OverheadLevel::Low,
+            network_overhead: OverheadLevel::Low,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature fat-tree oracle: edges 0-3, aggs 10-13, cores 20-21.
+    fn pd() -> PathDump {
+        PathDump::from_layers(&[0, 1, 2, 3], &[10, 11, 12, 13], &[20, 21])
+    }
+
+    fn drive(d: &PathDump, hops: &[SwitchId]) -> Option<usize> {
+        let mut st = d.init_state();
+        for (i, &s) in hops.iter().enumerate() {
+            if d.on_switch(&mut st, s).reported() {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn valid_up_down_path_passes() {
+        // edge → agg → core → agg → edge: one turn, two segments, fine.
+        assert_eq!(drive(&pd(), &[0, 10, 20, 11, 1]), None);
+    }
+
+    #[test]
+    fn valid_short_paths_pass() {
+        assert_eq!(drive(&pd(), &[0]), None);
+        assert_eq!(drive(&pd(), &[0, 10]), None);
+        assert_eq!(drive(&pd(), &[0, 10, 1]), None);
+    }
+
+    #[test]
+    fn loop_forces_third_segment() {
+        // After descending (core → agg → edge), bouncing back up to the
+        // agg layer is the second turn → loop reported on that hop.
+        let hops = [0, 10, 20, 11, 1, 11];
+        assert_eq!(drive(&pd(), &hops), Some(6));
+    }
+
+    #[test]
+    fn ping_pong_loop_detected() {
+        // agg → edge → agg → edge …: the first bounce back up is the
+        // second segment (still legal); the next bounce down is the
+        // third → reported on hop 4.
+        let hops = [10, 0, 10, 0, 10];
+        assert_eq!(drive(&pd(), &hops), Some(4));
+    }
+
+    #[test]
+    fn unknown_switches_are_transparent() {
+        // Deploying PathDump on a WAN (no layer structure) observes
+        // nothing: the "×" entries of Table 5.
+        let d = pd();
+        assert!(!d.applicable_to([100u32, 200]));
+        assert_eq!(drive(&d, &[100, 200, 100, 200, 100]), None);
+    }
+
+    #[test]
+    fn fixed_overhead() {
+        let d = pd();
+        assert_eq!(d.overhead_bits(1), 64);
+        assert_eq!(d.overhead_bits(100), 64);
+    }
+}

@@ -1,0 +1,83 @@
+//! Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+//! phase-schedule cost, hash-family cost, and the LUT vs bitwise phase
+//! check.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unroller_core::hashing::{HashFamily, HashKind};
+use unroller_core::phase::PhaseSchedule;
+use unroller_core::walk::{run_detector_with, Walk};
+use unroller_core::{InPacketDetector, Unroller, UnrollerParams};
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    let mut rng = unroller_core::test_rng(3);
+    let walk = Walk::random(5, 20, &mut rng);
+    for (name, schedule) in [
+        ("power_boundary", PhaseSchedule::PowerBoundary),
+        ("cumulative_geometric", PhaseSchedule::CumulativeGeometric),
+    ] {
+        let det =
+            Unroller::from_params(UnrollerParams::default().with_schedule(schedule)).unwrap();
+        let mut st = det.init_state();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_detector_with(&det, &walk, 1 << 20, &mut st)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hash_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_family");
+    group.throughput(Throughput::Elements(1));
+    for kind in [
+        HashKind::Identity,
+        HashKind::MultiplyShift,
+        HashKind::SplitMix,
+        HashKind::Tabulation,
+    ] {
+        let fam = HashFamily::new(kind, 4, 7);
+        let mut x = 0u32;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &fam,
+            |b, fam| {
+                b.iter(|| {
+                    x = x.wrapping_add(0x9e37_79b9);
+                    black_box(fam.hash((x as usize) & 3, black_box(x)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_phase_position(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_position");
+    group.throughput(Throughput::Elements(1));
+    // Direct computation vs the 256-entry LUT the dataplane uses.
+    let schedule = PhaseSchedule::PowerBoundary;
+    let mut x = 1u64;
+    group.bench_function("direct_b4", |b| {
+        b.iter(|| {
+            x = x % 250 + 1;
+            black_box(schedule.position(black_box(x), 4, 1))
+        })
+    });
+    let table = schedule.phase_start_table(4, 256);
+    let mut y = 1usize;
+    group.bench_function("lut_b4", |b| {
+        b.iter(|| {
+            y = y % 250 + 1;
+            black_box(table[black_box(y)])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedules,
+    bench_hash_families,
+    bench_phase_position
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Per-hop processing cost of every detector, plus full-walk detection
+//! cost. This is the software analogue of the paper's "can the switch
+//! keep up at line rate" question: the per-hop work is what a pipeline
+//! stage must finish per packet.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unroller_baselines::{BloomFilterDetector, IntPathRecorder};
+use unroller_core::walk::{run_detector_with, Walk};
+use unroller_core::{InPacketDetector, Unroller, UnrollerParams};
+
+fn bench_per_hop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_hop");
+    group.throughput(Throughput::Elements(1));
+
+    let mut rng = unroller_core::test_rng(1);
+    let walk = Walk::random(5, 20, &mut rng);
+    let hops: Vec<u32> = (1..=64u64).map(|h| walk.switch_at(h).unwrap()).collect();
+
+    let configs = [
+        ("unroller_default", UnrollerParams::default()),
+        ("unroller_z8", UnrollerParams::default().with_z(8)),
+        (
+            "unroller_c4h4",
+            UnrollerParams::default().with_c(4).with_h(4).with_z(8),
+        ),
+        ("unroller_th4", UnrollerParams::default().with_z(7).with_th(4)),
+    ];
+    for (name, params) in configs {
+        let det = Unroller::from_params(params).unwrap();
+        let mut st = det.init_state();
+        let mut i = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                if i.is_multiple_of(hops.len()) {
+                    det.reset_state(&mut st);
+                }
+                let v = det.on_switch(&mut st, black_box(hops[i % hops.len()]));
+                i += 1;
+                black_box(v)
+            })
+        });
+    }
+
+    let bloom = BloomFilterDetector::new(608, 3, 7);
+    let mut st = bloom.init_state();
+    let mut i = 0usize;
+    group.bench_function("bloom_608b", |b| {
+        b.iter(|| {
+            if i.is_multiple_of(hops.len()) {
+                bloom.reset_state(&mut st);
+            }
+            let v = bloom.on_switch(&mut st, black_box(hops[i % hops.len()]));
+            i += 1;
+            black_box(v)
+        })
+    });
+
+    let int = IntPathRecorder::new();
+    let mut st = int.init_state();
+    let mut i = 0usize;
+    group.bench_function("int_full_path", |b| {
+        b.iter(|| {
+            if i.is_multiple_of(hops.len()) {
+                int.reset_state(&mut st);
+            }
+            let v = int.on_switch(&mut st, black_box(hops[i % hops.len()]));
+            i += 1;
+            black_box(v)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_full_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_detection");
+    let mut rng = unroller_core::test_rng(2);
+    for l in [5usize, 20, 50] {
+        let walk = Walk::random(5, l, &mut rng);
+        let det = Unroller::from_params(UnrollerParams::default()).unwrap();
+        let mut st = det.init_state();
+        group.bench_with_input(BenchmarkId::new("unroller_b4", l), &walk, |b, w| {
+            b.iter(|| black_box(run_detector_with(&det, w, 1 << 20, &mut st)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_hop, bench_full_detection);
+criterion_main!(benches);

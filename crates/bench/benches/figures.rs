@@ -1,0 +1,72 @@
+//! Benchmarks of the figure-regeneration kernels: the cost of producing
+//! one data point of each sensitivity figure (Figures 2–7) at a reduced
+//! run count. The actual figure *values* come from the experiment
+//! binaries (`cargo run --release -p unroller-experiments --bin fig2`
+//! etc.); these benches track how expensive regeneration is and catch
+//! performance regressions in the hot detection loop.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use unroller_experiments::false_positives::false_positive_rate;
+use unroller_experiments::sweeps::{avg_detection_ratio, SweepConfig};
+use unroller_core::UnrollerParams;
+
+fn cfg() -> SweepConfig {
+    SweepConfig {
+        runs: 2_000,
+        seed: 1,
+        threads: 1, // benches measure single-thread kernel cost
+        max_hops: 1 << 20,
+    }
+}
+
+fn bench_detection_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_point");
+    group.sample_size(10);
+    let cfg = cfg();
+
+    // Figure 2 kernel: one (b, L) point.
+    for b in [2u32, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("fig2_L20", b), &b, |bench, &b| {
+            let params = UnrollerParams::default().with_b(b);
+            bench.iter(|| black_box(avg_detection_ratio(params, 5, 20, &cfg)))
+        });
+    }
+
+    // Figure 4 kernel: chunked/multi-hash configurations.
+    for (cc, h) in [(1u32, 1u32), (2, 2), (4, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("fig4_L20", format!("c{cc}h{h}")),
+            &(cc, h),
+            |bench, &(cc, h)| {
+                let params = UnrollerParams::default().with_c(cc).with_h(h);
+                bench.iter(|| black_box(avg_detection_ratio(params, 5, 20, &cfg)))
+            },
+        );
+    }
+
+    // Figure 7 kernel: threshold configurations.
+    for th in [1u32, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("fig7_L20", th), &th, |bench, &th| {
+            let params = UnrollerParams::default().with_th(th);
+            bench.iter(|| black_box(avg_detection_ratio(params, 5, 20, &cfg)))
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_fp_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_point");
+    group.sample_size(10);
+    let cfg = cfg();
+    for z in [4u32, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("fp_rate", z), &z, |bench, &z| {
+            let params = UnrollerParams::default().with_z(z);
+            bench.iter(|| black_box(false_positive_rate(params, 20, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection_points, bench_fp_points);
+criterion_main!(benches);

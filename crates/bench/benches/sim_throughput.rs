@@ -1,0 +1,71 @@
+//! End-to-end simulator throughput: events per second through the
+//! discrete-event engine with Unroller running at every switch, on both
+//! healthy and looping forwarding state. Tracks the cost of the whole
+//! substrate (event queue + forwarding + detection + stats).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unroller_core::{Unroller, UnrollerParams};
+use unroller_sim::{SimConfig, Simulator};
+use unroller_topology::generators::fat_tree;
+use unroller_topology::ids::assign_sequential_ids;
+use unroller_topology::zoo;
+
+fn bench_healthy_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_healthy");
+    group.sample_size(20);
+    for topo in [zoo::geant(), zoo::fattree4()] {
+        let n = topo.graph.node_count();
+        let ids = assign_sequential_ids(n, 1);
+        let det = Unroller::from_params(UnrollerParams::default()).unwrap();
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(
+            BenchmarkId::new("64_packets", topo.name),
+            &topo,
+            |b, topo| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(
+                        topo.graph.clone(),
+                        ids.clone(),
+                        det.clone(),
+                        SimConfig::default(),
+                    );
+                    for i in 0..64u64 {
+                        sim.send_packet(i * 100, (i as usize) % n, (i as usize + n / 2) % n);
+                    }
+                    black_box(sim.run().delivered)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_looping_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_looping");
+    group.sample_size(20);
+    let fabric = fat_tree(4);
+    let n = fabric.graph.node_count();
+    let ids = assign_sequential_ids(n, 1);
+    let det = Unroller::from_params(UnrollerParams::default()).unwrap();
+    let agg = fabric.graph.neighbors(0)[0];
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("fattree_64_trapped_packets", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                fabric.graph.clone(),
+                ids.clone(),
+                det.clone(),
+                SimConfig::default(),
+            );
+            sim.inject_cycle(&[0, agg], 19);
+            for i in 0..64u64 {
+                sim.send_packet(i * 100, 0, 19);
+            }
+            black_box(sim.run().reports.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_healthy_delivery, bench_looping_detection);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmarks of the Table 5 kernels: scenario sampling on each
+//! evaluation topology and the zero-false-positive bit search for one
+//! topology at reduced run counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use unroller_experiments::table5::{
+    bloom_min_bits, sample_bl_pool, unroller_min_bits, Table5Config,
+};
+use unroller_topology::zoo;
+
+fn bench_scenario_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_scenario_pool");
+    group.sample_size(10);
+    for topo in zoo::table5_topologies() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(topo.name),
+            &topo,
+            |bench, topo| bench.iter(|| black_box(sample_bl_pool(topo, 256, 1))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_bit_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_bit_search");
+    group.sample_size(10);
+    let cfg = Table5Config {
+        runs: 2_000,
+        scenario_pool: 256,
+        seed: 1,
+        threads: 1,
+    };
+    let topo = zoo::stanford();
+    let pool = sample_bl_pool(&topo, cfg.scenario_pool, cfg.seed);
+    group.bench_function("unroller_min_bits_stanford", |b| {
+        b.iter(|| black_box(unroller_min_bits(&pool, &cfg)))
+    });
+    group.bench_function("bloom_min_bits_stanford", |b| {
+        b.iter(|| black_box(bloom_min_bits(&pool, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_sampling, bench_bit_search);
+criterion_main!(benches);

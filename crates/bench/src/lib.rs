@@ -1,0 +1,5 @@
+//! Criterion benchmarks for the Unroller workspace.
+//!
+//! See `benches/`: `detectors` (per-hop cost), `dataplane_throughput`
+//! (Table 4 Mpps analogue), `figures` (figure-point kernels), `table5`
+//! (bit-search kernels), and `ablation` (design-choice comparisons).

@@ -1,0 +1,160 @@
+//! The network controller: ingests loop reports from the data plane,
+//! localizes the faulty switches, and heals the forwarding state.
+//!
+//! Unroller switches "drop the packet and inform the controller when a
+//! loop is identified" (§4). This module is that controller: it maps
+//! reported switch IDs back to topology nodes, de-duplicates reports of
+//! the same loop, and repairs routing (recomputes shortest-path
+//! forwarding, clearing whatever misconfiguration caused the loop).
+
+use std::collections::HashMap;
+use unroller_core::{InPacketDetector, SwitchId};
+use unroller_sim::Simulator;
+use unroller_topology::NodeId;
+
+/// A localized routing loop, as topology nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalizedLoop {
+    /// The loop's switches in traversal order (a rotation of the cycle).
+    pub nodes: Vec<NodeId>,
+    /// How many independent reports named this loop.
+    pub report_count: u32,
+}
+
+/// The controller.
+#[derive(Debug, Clone, Default)]
+pub struct Controller {
+    /// Reverse map from provisioned switch ID to node index.
+    id_to_node: HashMap<SwitchId, NodeId>,
+    /// Localized loops keyed by their sorted node set.
+    loops: HashMap<Vec<NodeId>, LocalizedLoop>,
+    /// Reports whose IDs could not all be resolved (e.g. corrupted or
+    /// collected under hash collisions).
+    pub unresolved_reports: u32,
+}
+
+impl Controller {
+    /// Creates a controller knowing the ID assignment it provisioned
+    /// (`ids[node]` is node's switch ID).
+    pub fn new(ids: &[SwitchId]) -> Self {
+        Controller {
+            id_to_node: ids
+                .iter()
+                .enumerate()
+                .map(|(node, &id)| (id, node))
+                .collect(),
+            loops: HashMap::new(),
+            unresolved_reports: 0,
+        }
+    }
+
+    /// Ingests one membership report (switch IDs collected by a
+    /// [`LocalizingDetector`](crate::localize::LocalizingDetector)).
+    /// Returns the localized loop if every ID resolved to a node.
+    pub fn ingest(&mut self, members: &[SwitchId]) -> Option<&LocalizedLoop> {
+        let nodes: Option<Vec<NodeId>> = members
+            .iter()
+            .map(|id| self.id_to_node.get(id).copied())
+            .collect();
+        let Some(nodes) = nodes else {
+            self.unresolved_reports += 1;
+            return None;
+        };
+        if nodes.len() < 2 {
+            self.unresolved_reports += 1;
+            return None;
+        }
+        let mut key = nodes.clone();
+        key.sort_unstable();
+        let entry = self
+            .loops
+            .entry(key)
+            .or_insert_with(|| LocalizedLoop {
+                nodes,
+                report_count: 0,
+            });
+        entry.report_count += 1;
+        Some(entry)
+    }
+
+    /// Drains every completed membership report the simulator gathered
+    /// (from localizing-detector states) into the controller.
+    pub fn ingest_from_sim<D>(
+        &mut self,
+        sim: &Simulator<crate::localize::LocalizingDetector<D>>,
+    ) -> usize
+    where
+        D: InPacketDetector,
+    {
+        let mut ingested = 0;
+        for (_packet, state) in &sim.reported_states {
+            if let Some(members) =
+                crate::localize::LocalizingDetector::<D>::membership(state)
+            {
+                if self.ingest(members).is_some() {
+                    ingested += 1;
+                }
+            }
+        }
+        ingested
+    }
+
+    /// Every distinct localized loop.
+    pub fn localized_loops(&self) -> Vec<&LocalizedLoop> {
+        let mut loops: Vec<&LocalizedLoop> = self.loops.values().collect();
+        loops.sort_by(|a, b| a.nodes.cmp(&b.nodes));
+        loops
+    }
+
+    /// Heals the network: recomputes every forwarding table from the
+    /// healthy topology, clearing the misconfiguration. (A finer-grained
+    /// controller would patch only the affected destination columns;
+    /// recomputation is the simple, always-correct policy.)
+    pub fn heal<D: InPacketDetector>(&self, sim: &mut Simulator<D>) {
+        sim.recompute_all_routes();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_resolves_and_dedups() {
+        let ids = vec![100u32, 200, 300, 400];
+        let mut ctl = Controller::new(&ids);
+        // Two reports of the same loop, rotated differently.
+        ctl.ingest(&[200, 300, 400]);
+        ctl.ingest(&[300, 400, 200]);
+        let loops = ctl.localized_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].report_count, 2);
+        let mut nodes = loops[0].nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_ids_are_counted_not_crashed() {
+        let mut ctl = Controller::new(&[1, 2, 3]);
+        assert!(ctl.ingest(&[1, 99]).is_none());
+        assert_eq!(ctl.unresolved_reports, 1);
+        assert!(ctl.localized_loops().is_empty());
+    }
+
+    #[test]
+    fn singleton_reports_rejected() {
+        let mut ctl = Controller::new(&[1, 2, 3]);
+        assert!(ctl.ingest(&[2]).is_none());
+        assert_eq!(ctl.unresolved_reports, 1);
+    }
+
+    #[test]
+    fn distinct_loops_stay_distinct() {
+        let ids: Vec<u32> = (0..10).map(|i| 50 + i).collect();
+        let mut ctl = Controller::new(&ids);
+        ctl.ingest(&[50, 51]);
+        ctl.ingest(&[52, 53, 54]);
+        assert_eq!(ctl.localized_loops().len(), 2);
+    }
+}

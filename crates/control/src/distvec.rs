@@ -1,0 +1,303 @@
+//! A distance-vector routing protocol (RIP-style) whose convergence
+//! transients produce *natural* routing loops.
+//!
+//! The paper motivates Unroller with loops caused by route dynamics and
+//! instability (§1, citing Hengartner et al. and Sridharan et al.). The
+//! simulator can inject loops by poisoning forwarding entries; this
+//! module generates them the way real networks do: after a link fails,
+//! distance-vector routing counts to infinity, and until it converges
+//! the per-destination next-hop graphs can contain micro-loops.
+//!
+//! The model is synchronous Bellman-Ford with a RIP-style infinity cap
+//! and optional split horizon: each round, every node recomputes its
+//! distance vector from its neighbors' *previous-round* vectors. This
+//! is the classic setting in which two-node count-to-infinity loops
+//! form (and in which split horizon suppresses them).
+
+use std::collections::HashSet;
+use unroller_topology::{Graph, NodeId};
+
+/// RIP's "infinity": distances at or above this are unreachable.
+pub const INFINITY: u32 = 16;
+
+/// A synchronous distance-vector routing process over a topology.
+#[derive(Debug, Clone)]
+pub struct DistanceVector {
+    graph: Graph,
+    /// `dist[node][dst]`, capped at [`INFINITY`].
+    dist: Vec<Vec<u32>>,
+    /// `next[node][dst]`.
+    next: Vec<Vec<Option<NodeId>>>,
+    /// Failed links, stored normalized (`min`, `max`).
+    down: HashSet<(NodeId, NodeId)>,
+    /// Whether split horizon is enabled (a neighbor that routes to
+    /// destination *via us* is not considered a candidate next hop).
+    pub split_horizon: bool,
+}
+
+impl DistanceVector {
+    /// Creates the process and runs it to initial convergence.
+    pub fn new(graph: Graph, split_horizon: bool) -> Self {
+        let n = graph.node_count();
+        let mut dv = DistanceVector {
+            dist: vec![vec![INFINITY; n]; n],
+            next: vec![vec![None; n]; n],
+            down: HashSet::new(),
+            split_horizon,
+            graph,
+        };
+        for v in 0..n {
+            dv.dist[v][v] = 0;
+        }
+        dv.converge(4 * n as u32 + INFINITY);
+        dv
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn link_up(&self, u: NodeId, v: NodeId) -> bool {
+        !self.down.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Fails a link. Adjacent nodes immediately invalidate routes that
+    /// used it (the local part of RIP's triggered update); the rest of
+    /// the network only learns through subsequent [`step`](Self::step)s
+    /// — which is exactly when transient loops form.
+    pub fn fail_link(&mut self, u: NodeId, v: NodeId) {
+        assert!(self.graph.has_edge(u, v), "no such link");
+        self.down.insert((u.min(v), u.max(v)));
+        let n = self.graph.node_count();
+        for dst in 0..n {
+            if self.next[u][dst] == Some(v) {
+                self.dist[u][dst] = INFINITY;
+                self.next[u][dst] = None;
+            }
+            if self.next[v][dst] == Some(u) {
+                self.dist[v][dst] = INFINITY;
+                self.next[v][dst] = None;
+            }
+        }
+    }
+
+    /// Restores a failed link.
+    pub fn restore_link(&mut self, u: NodeId, v: NodeId) {
+        self.down.remove(&(u.min(v), u.max(v)));
+    }
+
+    /// One synchronous routing round: every node recomputes from its
+    /// neighbors' previous-round vectors. Returns true if any entry
+    /// changed.
+    pub fn step(&mut self) -> bool {
+        let n = self.graph.node_count();
+        let prev_dist = self.dist.clone();
+        let prev_next = self.next.clone();
+        let mut changed = false;
+        for node in 0..n {
+            for dst in 0..n {
+                if node == dst {
+                    continue;
+                }
+                let mut best = INFINITY;
+                let mut best_next = None;
+                for &nb in self.graph.neighbors(node) {
+                    if !self.link_up(node, nb) {
+                        continue;
+                    }
+                    // Split horizon: ignore routes the neighbor sends
+                    // back through us.
+                    if self.split_horizon && prev_next[nb][dst] == Some(node) {
+                        continue;
+                    }
+                    let via = prev_dist[nb][dst].saturating_add(1).min(INFINITY);
+                    if via < best {
+                        best = via;
+                        best_next = Some(nb);
+                    }
+                }
+                if best >= INFINITY {
+                    best = INFINITY;
+                    best_next = None;
+                }
+                if best != self.dist[node][dst] || best_next != self.next[node][dst] {
+                    self.dist[node][dst] = best;
+                    self.next[node][dst] = best_next;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Steps until quiescent or `max_rounds`; returns rounds taken.
+    pub fn converge(&mut self, max_rounds: u32) -> u32 {
+        for round in 0..max_rounds {
+            if !self.step() {
+                return round;
+            }
+        }
+        max_rounds
+    }
+
+    /// The forwarding column toward `dst` in the current state,
+    /// installable via `Simulator::set_routes`.
+    pub fn forwarding(&self, dst: NodeId) -> Vec<Option<NodeId>> {
+        (0..self.graph.node_count())
+            .map(|node| self.next[node][dst])
+            .collect()
+    }
+
+    /// Current distance from `node` to `dst` ([`INFINITY`] =
+    /// unreachable).
+    pub fn distance(&self, node: NodeId, dst: NodeId) -> u32 {
+        self.dist[node][dst]
+    }
+
+    /// Finds a forwarding loop toward `dst` in the current next-hop
+    /// graph, if one exists: the returned nodes form the cycle in
+    /// traversal order.
+    pub fn loop_toward(&self, dst: NodeId) -> Option<Vec<NodeId>> {
+        let n = self.graph.node_count();
+        // 0 = unvisited, 1 = on current walk, 2 = finished.
+        let mut mark = vec![0u8; n];
+        for start in 0..n {
+            if mark[start] != 0 {
+                continue;
+            }
+            let mut walk = Vec::new();
+            let mut cur = start;
+            loop {
+                if cur == dst || mark[cur] == 2 {
+                    break;
+                }
+                if mark[cur] == 1 {
+                    // Found a cycle: extract it from the walk.
+                    let at = walk.iter().position(|&w| w == cur).expect("on walk");
+                    for &w in &walk {
+                        mark[w] = 2;
+                    }
+                    return Some(walk[at..].to_vec());
+                }
+                mark[cur] = 1;
+                walk.push(cur);
+                match self.next[cur][dst] {
+                    Some(nx) => cur = nx,
+                    None => break,
+                }
+            }
+            for w in walk {
+                mark[w] = 2;
+            }
+        }
+        None
+    }
+
+    /// True if any destination currently has a forwarding loop.
+    pub fn any_loop(&self) -> Option<(NodeId, Vec<NodeId>)> {
+        (0..self.graph.node_count())
+            .find_map(|dst| self.loop_toward(dst).map(|c| (dst, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unroller_topology::generators::{grid, ring};
+
+    fn line(n: usize) -> Graph {
+        grid(n, 1)
+    }
+
+    #[test]
+    fn converges_to_shortest_paths() {
+        for g in [line(6), ring(8), grid(3, 3)] {
+            let dv = DistanceVector::new(g.clone(), false);
+            for u in g.nodes() {
+                let bfs = g.bfs_distances(u);
+                for v in g.nodes() {
+                    assert_eq!(dv.distance(v, u), bfs[v] as u32, "{u}->{v}");
+                }
+            }
+            assert!(dv.any_loop().is_none());
+        }
+    }
+
+    #[test]
+    fn count_to_infinity_creates_transient_loop() {
+        // Classic: line 0-1-2-3, destination 3, fail link 2-3. Node 2
+        // invalidates immediately, but one synchronous round later node
+        // 1 adopts node 0's *stale* route (which points back through
+        // node 1) — a 0↔1 micro-loop that node 2 also chains into —
+        // until the distances count up to infinity.
+        let mut dv = DistanceVector::new(line(4), false);
+        dv.fail_link(2, 3);
+        assert!(dv.loop_toward(3).is_none(), "no loop before any update");
+        dv.step();
+        let cycle = dv.loop_toward(3).expect("transient micro-loop");
+        let mut c = cycle.clone();
+        c.sort_unstable();
+        assert_eq!(c, vec![0, 1]);
+        // Node 2 forwards into the cycle.
+        assert_eq!(dv.forwarding(3)[2], Some(1));
+        // The loop persists for ~INFINITY rounds, then resolves.
+        let rounds = dv.converge(200);
+        assert!(rounds <= 2 * INFINITY + 2, "converged in {rounds}");
+        assert!(dv.loop_toward(3).is_none(), "loop must clear at convergence");
+        assert_eq!(dv.distance(0, 3), INFINITY, "3 is partitioned");
+    }
+
+    #[test]
+    fn split_horizon_prevents_two_node_loop() {
+        let mut dv = DistanceVector::new(line(4), true);
+        dv.fail_link(2, 3);
+        for _ in 0..40 {
+            dv.step();
+            assert!(
+                dv.loop_toward(3).is_none(),
+                "split horizon must suppress the 1-2 micro-loop"
+            );
+        }
+        assert_eq!(dv.distance(2, 3), INFINITY);
+    }
+
+    #[test]
+    fn reroutes_around_failure_on_a_ring() {
+        // On a ring an alternate path exists: after failure the protocol
+        // converges to it.
+        let mut dv = DistanceVector::new(ring(8), false);
+        assert_eq!(dv.distance(0, 4), 4);
+        dv.fail_link(0, 1);
+        dv.converge(200);
+        assert!(dv.any_loop().is_none());
+        // 0's route to 1 now goes the long way: 7 hops.
+        assert_eq!(dv.distance(0, 1), 7);
+        assert_eq!(dv.forwarding(1)[0], Some(7));
+    }
+
+    #[test]
+    fn restore_heals_distances() {
+        let mut dv = DistanceVector::new(ring(6), false);
+        dv.fail_link(0, 1);
+        dv.converge(200);
+        assert_eq!(dv.distance(0, 1), 5);
+        dv.restore_link(0, 1);
+        dv.converge(200);
+        assert_eq!(dv.distance(0, 1), 1);
+    }
+
+    #[test]
+    fn forwarding_column_is_installable() {
+        // Every next hop the protocol produces is an adjacent node.
+        let g = grid(4, 3);
+        let dv = DistanceVector::new(g.clone(), false);
+        for dst in g.nodes() {
+            for (node, &nx) in dv.forwarding(dst).iter().enumerate() {
+                if let Some(nx) = nx {
+                    assert!(g.has_edge(node, nx));
+                }
+            }
+        }
+    }
+}

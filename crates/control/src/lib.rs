@@ -1,0 +1,44 @@
+//! # unroller-control
+//!
+//! The control plane around Unroller's data-plane detection:
+//!
+//! * [`localize`] — the §3.5 two-phase scheme: after detection, tag the
+//!   packet and let it traverse the loop once more to collect the
+//!   participating switch IDs ([`localize::LocalizingDetector`]).
+//! * [`controller`] — the report sink: maps collected IDs back to
+//!   topology nodes, de-duplicates loops, and heals forwarding state
+//!   ([`controller::Controller`]).
+//! * [`distvec`] — a RIP-style distance-vector routing substrate whose
+//!   count-to-infinity transients produce the *natural* micro-loops the
+//!   paper's introduction motivates with
+//!   ([`distvec::DistanceVector`]).
+//!
+//! ```
+//! use unroller_control::localize::LocalizingDetector;
+//! use unroller_core::prelude::*;
+//!
+//! // Wrap Unroller: detect, then collect the loop membership.
+//! let det = LocalizingDetector::new(
+//!     Unroller::from_params(UnrollerParams::default()).unwrap(),
+//!     64,
+//! );
+//! let walk = Walk::new(vec![999], vec![10, 20, 30]);
+//! let mut state = det.init_state();
+//! let out = unroller_core::walk::run_detector_with(&det, &walk, 10_000, &mut state);
+//! assert!(out.reported_at.is_some());
+//! let members = LocalizingDetector::<Unroller>::membership(&state).unwrap();
+//! let mut sorted = members.to_vec();
+//! sorted.sort();
+//! assert_eq!(sorted, vec![10, 20, 30]); // the exact loop membership
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod distvec;
+pub mod localize;
+
+pub use controller::{Controller, LocalizedLoop};
+pub use distvec::{DistanceVector, INFINITY};
+pub use localize::{LocalizeState, LocalizingDetector};

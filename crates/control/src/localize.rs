@@ -1,0 +1,228 @@
+//! Loop membership collection (paper §3.5, "Identification of switches
+//! involved in a loop").
+//!
+//! Unroller deliberately detects with a *lightweight* record; once a
+//! loop is identified, "it is possible, for example, to tag the packet
+//! to collect the involved switch IDs and send a report for analysis".
+//! [`LocalizingDetector`] implements exactly that two-phase scheme as a
+//! wrapper around any inner detector:
+//!
+//! 1. **Detecting** — delegate to the inner detector (e.g. Unroller).
+//! 2. **Collecting** — on the inner detector's report, *do not drop*:
+//!    tag the packet and let it traverse the loop once more, recording
+//!    every switch ID until the triggering switch reappears. Since the
+//!    triggering switch is on the loop (hash collisions aside), the
+//!    recorded set is exactly the loop membership.
+//!
+//! The final [`Verdict::LoopReported`] fires when collection completes;
+//! the membership is then available via
+//! [`LocalizingDetector::membership`] and — in the simulator — in
+//! `Simulator::reported_states`, from where the
+//! [`Controller`](crate::controller::Controller) ingests it.
+
+use unroller_core::profile::DetectorProfile;
+use unroller_core::{InPacketDetector, SwitchId, Verdict};
+
+/// Wraps a detector with a post-detection membership-collection phase.
+#[derive(Debug, Clone)]
+pub struct LocalizingDetector<D> {
+    inner: D,
+    /// Safety cap on recorded IDs (a hash-collision "loop" on a
+    /// loop-free path would otherwise collect forever).
+    max_members: usize,
+}
+
+/// Packet-carried state: either still detecting, or collecting members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalizeState<S> {
+    /// Pre-detection: the inner detector's own state.
+    Detecting(S),
+    /// Post-detection: recording the loop's switches.
+    Collecting {
+        /// The switch whose report triggered collection (on the loop).
+        trigger: SwitchId,
+        /// Switch IDs recorded since (starts with `trigger`).
+        members: Vec<SwitchId>,
+        /// True once the loop has been fully traversed (or the cap hit).
+        complete: bool,
+    },
+}
+
+impl<D: InPacketDetector> LocalizingDetector<D> {
+    /// Wraps `inner`, recording at most `max_members` switch IDs.
+    pub fn new(inner: D, max_members: usize) -> Self {
+        assert!(max_members >= 2, "a loop has at least two members");
+        LocalizingDetector { inner, max_members }
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The collected loop membership, if the packet finished (or
+    /// capped) a collection phase.
+    pub fn membership(state: &LocalizeState<D::State>) -> Option<&[SwitchId]> {
+        match state {
+            LocalizeState::Collecting {
+                members, complete, ..
+            } if *complete => Some(members),
+            _ => None,
+        }
+    }
+}
+
+impl<D: InPacketDetector> InPacketDetector for LocalizingDetector<D> {
+    type State = LocalizeState<D::State>;
+
+    fn name(&self) -> &'static str {
+        "localizing"
+    }
+
+    fn init_state(&self) -> Self::State {
+        LocalizeState::Detecting(self.inner.init_state())
+    }
+
+    fn on_switch(&self, state: &mut Self::State, switch: SwitchId) -> Verdict {
+        match state {
+            LocalizeState::Detecting(inner_state) => {
+                if self.inner.on_switch(inner_state, switch).reported() {
+                    // Enter collection: the packet survives one more
+                    // loop traversal to gather the membership.
+                    *state = LocalizeState::Collecting {
+                        trigger: switch,
+                        members: vec![switch],
+                        complete: false,
+                    };
+                }
+                Verdict::Continue
+            }
+            LocalizeState::Collecting {
+                trigger,
+                members,
+                complete,
+            } => {
+                if *complete {
+                    // Terminal: a well-behaved caller dropped the packet
+                    // already; stay terminal if it keeps flowing.
+                    return Verdict::LoopReported;
+                }
+                if switch == *trigger || members.len() >= self.max_members {
+                    *complete = true;
+                    return Verdict::LoopReported;
+                }
+                members.push(switch);
+                Verdict::Continue
+            }
+        }
+    }
+
+    fn overhead_bits(&self, hops: u64) -> u64 {
+        // Detection overhead plus the collection tag; while collecting,
+        // the packet temporarily carries up to max_members IDs (the
+        // trade-off §3.5 discusses: this cost is paid only by the one
+        // packet that does the collecting, not by all traffic).
+        self.inner.overhead_bits(hops) + 1
+    }
+
+    fn profile(&self) -> DetectorProfile {
+        self.inner.profile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unroller_core::walk::{run_detector_with, Walk};
+    use unroller_core::{Unroller, UnrollerParams};
+
+    fn localizer() -> LocalizingDetector<Unroller> {
+        LocalizingDetector::new(
+            Unroller::from_params(UnrollerParams::default()).unwrap(),
+            64,
+        )
+    }
+
+    #[test]
+    fn collects_exact_loop_membership() {
+        let det = localizer();
+        let mut rng = unroller_core::test_rng(81);
+        for _ in 0..50 {
+            let walk = Walk::random(5, 8, &mut rng);
+            let mut state = det.init_state();
+            let out = run_detector_with(&det, &walk, 100_000, &mut state);
+            assert!(out.reported_at.is_some());
+            let members = LocalizingDetector::<Unroller>::membership(&state)
+                .expect("collection completed");
+            // Exactly the loop switches, as a rotation of the cycle.
+            let mut got = members.to_vec();
+            got.sort_unstable();
+            let mut want = walk.cycle.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "membership mismatch");
+        }
+    }
+
+    #[test]
+    fn membership_preserves_cycle_order() {
+        let det = localizer();
+        let walk = Walk::new(vec![900], vec![10, 30, 20, 40]);
+        let mut state = det.init_state();
+        run_detector_with(&det, &walk, 10_000, &mut state);
+        let members = LocalizingDetector::<Unroller>::membership(&state).unwrap();
+        // A rotation of the cycle: consecutive members are consecutive
+        // on the loop.
+        let cycle = &walk.cycle;
+        let start = cycle.iter().position(|&c| c == members[0]).unwrap();
+        for (i, &m) in members.iter().enumerate() {
+            assert_eq!(m, cycle[(start + i) % cycle.len()]);
+        }
+        assert_eq!(members.len(), cycle.len());
+    }
+
+    #[test]
+    fn detection_then_one_extra_loop_pass() {
+        // The localizer reports exactly L hops after the inner detector
+        // would have.
+        let plain = Unroller::from_params(UnrollerParams::default()).unwrap();
+        let det = localizer();
+        let mut rng = unroller_core::test_rng(82);
+        for _ in 0..20 {
+            let walk = Walk::random(3, 10, &mut rng);
+            let t_plain = unroller_core::run_detector(&plain, &walk, 100_000)
+                .reported_at
+                .unwrap();
+            let t_local = unroller_core::run_detector(&det, &walk, 100_000)
+                .reported_at
+                .unwrap();
+            assert_eq!(t_local, t_plain + walk.l() as u64);
+        }
+    }
+
+    #[test]
+    fn cap_bounds_runaway_collection() {
+        // A "loop" reported by hash collision on a loop-free path must
+        // not collect unboundedly.
+        let det = LocalizingDetector::new(
+            Unroller::from_params(UnrollerParams::default().with_z(1)).unwrap(),
+            4,
+        );
+        let mut rng = unroller_core::test_rng(83);
+        let walk = Walk::random_loop_free(64, &mut rng);
+        let mut state = det.init_state();
+        let out = run_detector_with(&det, &walk, 64, &mut state);
+        if out.reported_at.is_some() {
+            let members = LocalizingDetector::<Unroller>::membership(&state).unwrap();
+            assert!(members.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn no_report_without_loop() {
+        let det = localizer();
+        let mut rng = unroller_core::test_rng(84);
+        let walk = Walk::random_loop_free(30, &mut rng);
+        let out = unroller_core::run_detector(&det, &walk, 1_000);
+        assert_eq!(out.reported_at, None);
+    }
+}

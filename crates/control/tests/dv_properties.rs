@@ -1,0 +1,125 @@
+//! Property-based tests for the distance-vector substrate: convergence,
+//! loop-freedom at quiescence, and distance correctness on arbitrary
+//! connected graphs with arbitrary single link failures.
+
+// Index-style loops over node ids are clearer than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use unroller_control::distvec::{DistanceVector, INFINITY};
+use unroller_topology::generators::random_connected;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// At initial convergence, distances equal BFS distances (when below
+    /// the RIP infinity) and the next-hop graphs are loop-free.
+    #[test]
+    fn converged_state_matches_bfs(
+        n in 2usize..20,
+        extra in 0usize..20,
+        seed in any::<u64>(),
+        split in any::<bool>(),
+    ) {
+        let g = random_connected(n, extra, seed);
+        let dv = DistanceVector::new(g.clone(), split);
+        prop_assert!(dv.any_loop().is_none());
+        for dst in 0..n {
+            let bfs = g.bfs_distances(dst);
+            for node in 0..n {
+                if (bfs[node] as u32) < INFINITY {
+                    prop_assert_eq!(dv.distance(node, dst), bfs[node] as u32,
+                        "node {} -> dst {}", node, dst);
+                } else {
+                    prop_assert_eq!(dv.distance(node, dst), INFINITY);
+                }
+            }
+        }
+    }
+
+    /// After any single link failure the protocol re-converges to a
+    /// loop-free state whose distances match BFS on the reduced graph.
+    #[test]
+    fn reconvergence_after_any_single_failure(
+        n in 3usize..16,
+        extra in 0usize..16,
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+        split in any::<bool>(),
+    ) {
+        let g = random_connected(n, extra, seed);
+        // Enumerate edges; pick one to fail.
+        let mut edges = Vec::new();
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let (u, v) = edges[(pick as usize) % edges.len()];
+        let mut dv = DistanceVector::new(g.clone(), split);
+        dv.fail_link(u, v);
+        dv.converge(10 * (n as u32 + INFINITY));
+        prop_assert!(dv.any_loop().is_none(), "loops must clear at convergence");
+
+        // Distances match BFS on the graph without the failed edge
+        // (when the true distance is below INFINITY).
+        let mut g2 = unroller_topology::Graph::new(n);
+        for a in g.nodes() {
+            for &b in g.neighbors(a) {
+                if a < b && (a, b) != (u, v) {
+                    g2.add_edge(a, b);
+                }
+            }
+        }
+        for dst in 0..n {
+            let bfs = g2.bfs_distances(dst);
+            for node in 0..n {
+                let truth = bfs[node];
+                if truth != usize::MAX && (truth as u32) < INFINITY {
+                    prop_assert_eq!(
+                        dv.distance(node, dst), truth as u32,
+                        "after failing {}-{}: node {} -> {}", u, v, node, dst
+                    );
+                } else {
+                    prop_assert_eq!(dv.distance(node, dst), INFINITY);
+                }
+            }
+        }
+    }
+
+    /// Every next hop ever produced is adjacent (forwarding columns stay
+    /// installable mid-convergence, which the simulator asserts).
+    #[test]
+    fn next_hops_always_adjacent(
+        n in 3usize..14,
+        extra in 0usize..10,
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+        rounds in 0u32..12,
+    ) {
+        let g = random_connected(n, extra, seed);
+        let mut edges = Vec::new();
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let (u, v) = edges[(pick as usize) % edges.len()];
+        let mut dv = DistanceVector::new(g.clone(), false);
+        dv.fail_link(u, v);
+        for _ in 0..rounds {
+            dv.step();
+        }
+        for dst in 0..n {
+            for (node, &nx) in dv.forwarding(dst).iter().enumerate() {
+                if let Some(nx) = nx {
+                    prop_assert!(g.has_edge(node, nx));
+                }
+            }
+        }
+    }
+}

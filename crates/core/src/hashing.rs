@@ -1,0 +1,268 @@
+//! Seeded hash families for randomizing switch identifiers.
+//!
+//! The average-case analysis (§3.2) assumes each switch is equally likely
+//! to hold the minimum identifier. When operator-assigned IDs are not
+//! random, Unroller hashes them; and to compress identifiers to `z` bits
+//! (§3.3) or run with `H` independent functions (Appendix B) it needs a
+//! *family* of independent hash functions that every switch evaluates
+//! identically (they share the seed, distributed by the controller).
+//!
+//! Three families are provided, all implementable in a programmable
+//! dataplane:
+//!
+//! * [`HashKind::MultiplyShift`] — the classic universal
+//!   `h(x) = (a·x + b) >> (64 − 32)` with odd `a`; one multiply per hash.
+//! * [`HashKind::SplitMix`] — a SplitMix64-style avalanche mix of
+//!   `x ⊕ seed`; strong bit diffusion, three multiplies.
+//! * [`HashKind::Tabulation`] — 4-way tabulation hashing (four 256-entry
+//!   tables XORed); 3-independent and matches what FPGA targets do with
+//!   block RAM.
+//! * [`HashKind::Identity`] — pass-through, for the `z = 32` "store the
+//!   raw ID" configuration where the paper's simulator already draws IDs
+//!   uniformly at random.
+
+use crate::SwitchId;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Selects a hash family implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum HashKind {
+    /// Pass the identifier through unchanged (only sensible with `H = 1`).
+    Identity,
+    /// Multiply-shift universal hashing (`(a·x + b) >> 32` over u64).
+    MultiplyShift,
+    /// SplitMix64 finalizer applied to `x ⊕ seed`.
+    #[default]
+    SplitMix,
+    /// 4-way tabulation hashing.
+    Tabulation,
+}
+
+
+/// A seeded family of `H` independent hash functions
+/// `h_i : SwitchId → u32`.
+///
+/// Cloning is cheap for all kinds except [`HashKind::Tabulation`], which
+/// owns `H · 4 · 256` table entries.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    kind: HashKind,
+    /// Per-function parameters.
+    funcs: Vec<FuncParams>,
+}
+
+#[derive(Debug, Clone)]
+enum FuncParams {
+    Identity,
+    MultiplyShift { a: u64, b: u64 },
+    SplitMix { seed: u64 },
+    Tabulation { tables: Box<[[u32; 256]; 4]> },
+}
+
+impl HashFamily {
+    /// Creates a family of `h` independent functions of the given kind,
+    /// seeded deterministically from `seed`.
+    pub fn new(kind: HashKind, h: u32, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x756e_726f_6c6c_6572); // "unroller"
+        let funcs = (0..h)
+            .map(|_| match kind {
+                HashKind::Identity => FuncParams::Identity,
+                HashKind::MultiplyShift => FuncParams::MultiplyShift {
+                    a: rng.gen::<u64>() | 1,
+                    b: rng.gen::<u64>(),
+                },
+                HashKind::SplitMix => FuncParams::SplitMix { seed: rng.gen() },
+                HashKind::Tabulation => {
+                    let mut tables = Box::new([[0u32; 256]; 4]);
+                    for t in tables.iter_mut() {
+                        for e in t.iter_mut() {
+                            *e = rng.next_u32();
+                        }
+                    }
+                    FuncParams::Tabulation { tables }
+                }
+            })
+            .collect();
+        HashFamily { kind, funcs }
+    }
+
+    /// The family used when no hashing is wanted (`H = 1`, identity).
+    pub fn identity() -> Self {
+        HashFamily::new(HashKind::Identity, 1, 0)
+    }
+
+    /// The default family for a `(z, H)` configuration: the identity for
+    /// the uncompressed single-hash case (`z = 32`, `H = 1`, where the
+    /// evaluation's switch IDs are already uniform), a fixed-seed
+    /// SplitMix family otherwise. Both the software detector
+    /// ([`crate::Unroller::from_params`]) and the dataplane pipeline
+    /// model derive their family from here, so they hash identically.
+    pub fn default_for(z: u32, h: u32) -> Self {
+        if z == 32 && h == 1 {
+            Self::identity()
+        } else {
+            Self::new(HashKind::SplitMix, h, 0x1badb002)
+        }
+    }
+
+    /// Which implementation this family uses.
+    pub fn kind(&self) -> HashKind {
+        self.kind
+    }
+
+    /// Number of functions in the family (`H`).
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// True if the family is empty (never the case for validated params).
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Evaluates function `func` on `id`, returning the full 32-bit
+    /// output. Callers mask to `z` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func >= self.len()`.
+    #[inline]
+    pub fn hash(&self, func: usize, id: SwitchId) -> u32 {
+        match &self.funcs[func] {
+            FuncParams::Identity => id,
+            FuncParams::MultiplyShift { a, b } => {
+                (a.wrapping_mul(id as u64).wrapping_add(*b) >> 32) as u32
+            }
+            FuncParams::SplitMix { seed } => {
+                let mut x = (id as u64) ^ seed;
+                x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                x ^= x >> 31;
+                x as u32
+            }
+            FuncParams::Tabulation { tables } => {
+                let b = id.to_le_bytes();
+                tables[0][b[0] as usize]
+                    ^ tables[1][b[1] as usize]
+                    ^ tables[2][b[2] as usize]
+                    ^ tables[3][b[3] as usize]
+            }
+        }
+    }
+
+    /// Evaluates every function in the family on `id`, masking each
+    /// output to `z` bits, into `out` (which must have length `H`).
+    #[inline]
+    pub fn hash_all_into(&self, id: SwitchId, z_mask: u32, out: &mut [u32]) {
+        debug_assert_eq!(out.len(), self.funcs.len());
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.hash(i, id) & z_mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds() -> [HashKind; 4] {
+        [
+            HashKind::Identity,
+            HashKind::MultiplyShift,
+            HashKind::SplitMix,
+            HashKind::Tabulation,
+        ]
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        for kind in kinds() {
+            let f1 = HashFamily::new(kind, 4, 42);
+            let f2 = HashFamily::new(kind, 4, 42);
+            for func in 0..4 {
+                for id in [0u32, 1, 7, 0xdead_beef, u32::MAX] {
+                    assert_eq!(f1.hash(func, id), f2.hash(func, id), "{kind:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        for kind in [HashKind::MultiplyShift, HashKind::SplitMix, HashKind::Tabulation] {
+            let f1 = HashFamily::new(kind, 1, 1);
+            let f2 = HashFamily::new(kind, 1, 2);
+            let diffs = (0..1000u32).filter(|&x| f1.hash(0, x) != f2.hash(0, x)).count();
+            assert!(diffs > 900, "{kind:?}: only {diffs} of 1000 outputs differ");
+        }
+    }
+
+    #[test]
+    fn functions_within_family_are_independent_looking() {
+        for kind in [HashKind::MultiplyShift, HashKind::SplitMix, HashKind::Tabulation] {
+            let f = HashFamily::new(kind, 2, 7);
+            let diffs = (0..1000u32).filter(|&x| f.hash(0, x) != f.hash(1, x)).count();
+            assert!(diffs > 900, "{kind:?}: functions 0 and 1 nearly identical");
+        }
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let f = HashFamily::identity();
+        for id in [0u32, 5, 1 << 31, u32::MAX] {
+            assert_eq!(f.hash(0, id), id);
+        }
+    }
+
+    #[test]
+    fn output_distribution_is_roughly_uniform() {
+        // Chi-squared-ish sanity check on the low byte: with 65536 samples
+        // over 256 buckets the expected count is 256 per bucket; allow a
+        // wide band since this is a smoke test, not a statistics suite.
+        for kind in [HashKind::MultiplyShift, HashKind::SplitMix, HashKind::Tabulation] {
+            let f = HashFamily::new(kind, 1, 99);
+            let mut buckets = [0u32; 256];
+            for x in 0..65536u32 {
+                buckets[(f.hash(0, x) & 0xff) as usize] += 1;
+            }
+            for (i, &count) in buckets.iter().enumerate() {
+                assert!(
+                    (100..=500).contains(&count),
+                    "{kind:?}: bucket {i} has {count} hits (expected ~256)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_limits_output_width() {
+        let f = HashFamily::new(HashKind::SplitMix, 3, 5);
+        let mut out = [0u32; 3];
+        for id in 0..100u32 {
+            f.hash_all_into(id, 0x7f, &mut out);
+            assert!(out.iter().all(|&v| v <= 0x7f));
+        }
+    }
+
+    #[test]
+    fn collision_rate_matches_z_bits() {
+        // With z = 8 two random distinct IDs collide with probability
+        // ~2^-8. Check the empirical rate over 100k pairs is in a
+        // generous band around 1/256.
+        let f = HashFamily::new(HashKind::SplitMix, 1, 11);
+        let mut rng = crate::test_rng(3);
+        let mut collisions = 0u32;
+        let trials = 100_000;
+        for _ in 0..trials {
+            let a: u32 = rng.gen();
+            let b: u32 = rng.gen();
+            if a != b && (f.hash(0, a) & 0xff) == (f.hash(0, b) & 0xff) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!((0.002..0.006).contains(&rate), "collision rate {rate}");
+    }
+}

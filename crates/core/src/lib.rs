@@ -1,0 +1,122 @@
+//! # unroller-core
+//!
+//! A from-scratch Rust implementation of **Unroller**, the real-time
+//! in-dataplane routing-loop detection algorithm from *"Detecting Routing
+//! Loops in the Data Plane"* (Kučera, Ben Basat, Kuka, Antichi, Yu,
+//! Mitzenmacher — CoNEXT 2020).
+//!
+//! ## The idea
+//!
+//! A routing loop can be detected by a switch that sees its own identifier
+//! already recorded on an incoming packet. Recording *every* traversed
+//! switch (as INT would) costs header space linear in the path length.
+//! Unroller instead records a *varying fixed-size subset* of the path —
+//! in the simplest configuration a single switch ID — and still guarantees
+//! detection within a constant factor of the trivial lower bound:
+//!
+//! * The packet's journey is divided into *phases* whose lengths grow
+//!   geometrically with base `b` (1, b, b², …).
+//! * Within a phase the packet keeps the **minimum** switch ID it has seen.
+//! * At the start of each new phase the stored ID is **reset** (overwritten
+//!   with the current switch's ID), which unsticks minima that were
+//!   recorded on the pre-loop path.
+//! * A switch whose ID equals the stored value reports the loop.
+//!
+//! With `B` hops before the loop, a loop of `L` switches, and `X = B + L`,
+//! the deterministic single-ID algorithm detects the loop within `4.67·X`
+//! hops for `b = 4` ([`bounds::worst_case_bound`]), while *any*
+//! deterministic single-ID algorithm needs at least `≈ 3.73·X` hops in the
+//! worst case ([`bounds::LOWER_BOUND_CONSTANT`]).
+//!
+//! ## Extensions implemented
+//!
+//! * **Hashed z-bit identifiers** (§3.3): store `z`-bit hashes of switch
+//!   IDs instead of the full 32-bit values, trading header bits for a
+//!   small false-positive probability.
+//! * **Threshold counting `Th`** (§3.3): only report after `Th` matches,
+//!   which reduces the false-positive probability exponentially at the
+//!   cost of `(Th − 1)·L` extra hops.
+//! * **Chunks `c` and multiple hash functions `H`** (§3.4, Appendix B):
+//!   store `c·H` identifiers — `c` per-chunk minima for each of `H`
+//!   independent hash functions — to cut the expected detection time.
+//!
+//! ## Crate layout
+//!
+//! * [`params`] — the [`params::UnrollerParams`] configuration
+//!   (`b`, `z`, `c`, `H`, `Th`, phase schedule) with validation.
+//! * [`phase`] — phase schedules: the power-boundary schedule used by the
+//!   paper's P4 implementation and the cumulative-geometric schedule used
+//!   by its analysis.
+//! * [`hashing`] — seeded hash families (multiply-shift, SplitMix,
+//!   tabulation) for randomizing switch identifiers.
+//! * [`detector`] — the [`detector::Unroller`] detector and the
+//!   [`detector::InPacketDetector`] trait shared with
+//!   the baseline detectors.
+//! * [`walk`] — synthetic `B`/`L` walks (the paper's §5 workload
+//!   generator) and a detector runner.
+//! * [`bounds`] — closed-form bounds from Theorems 1 and 5 and Appendix B,
+//!   plus adversarial instance builders used by the property tests.
+//! * [`profile`] — the qualitative design-space classification of Table 1.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use unroller_core::prelude::*;
+//!
+//! // Default paper configuration: b = 4, full 32-bit IDs, c = H = Th = 1.
+//! let detector = Unroller::from_params(UnrollerParams::default()).unwrap();
+//!
+//! // A walk with 5 hops before a 20-switch loop (IDs drawn at random).
+//! let mut rng = unroller_core::test_rng(7);
+//! let walk = Walk::random(5, 20, &mut rng);
+//!
+//! let outcome = run_detector(&detector, &walk, 10_000);
+//! let hops = outcome.reported_at.expect("loops are always detected");
+//! assert!(outcome.true_positive);
+//! // Detection within the worst-case bound of Theorem 1.
+//! assert!(hops as f64 <= 4.67 * walk.x() as f64 + 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod detector;
+pub mod hashing;
+pub mod params;
+pub mod phase;
+pub mod profile;
+pub mod walk;
+
+/// A switch identifier.
+///
+/// The paper models switch identifiers as uniformly random 32-bit values;
+/// when identifiers are not random (e.g. sequentially assigned by an
+/// operator), Unroller hashes them first (see [`hashing`]).
+pub type SwitchId = u32;
+
+pub use detector::{InPacketDetector, Unroller, UnrollerState, Verdict};
+pub use params::{ParamError, UnrollerParams};
+pub use phase::PhaseSchedule;
+pub use walk::{run_detector, DetectionOutcome, Walk};
+
+/// Convenience prelude re-exporting the types most users need.
+pub mod prelude {
+    pub use crate::bounds;
+    pub use crate::detector::{InPacketDetector, Unroller, UnrollerState, Verdict};
+    pub use crate::hashing::{HashFamily, HashKind};
+    pub use crate::params::UnrollerParams;
+    pub use crate::phase::PhaseSchedule;
+    pub use crate::profile::{DetectorProfile, OverheadLevel};
+    pub use crate::walk::{run_detector, DetectionOutcome, Walk};
+    pub use crate::SwitchId;
+}
+
+/// A small deterministic RNG for examples and tests.
+///
+/// This is a seeded [`rand::rngs::StdRng`]; identical seeds produce
+/// identical walks, which keeps doctests and experiments reproducible.
+pub fn test_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,180 @@
+//! Qualitative design-space classification (the paper's Table 1).
+//!
+//! Loop-detection proposals fall into four categories depending on where
+//! the detection information lives; each category trades switch state,
+//! network bandwidth, and real-time capability differently. The
+//! [`DetectorProfile`] of every detector in this workspace reproduces the
+//! row it occupies in Table 1, and the `table1` experiment binary prints
+//! the assembled table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse overhead classification used by Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverheadLevel {
+    /// Negligible or constant overhead.
+    Low,
+    /// Overhead that grows with traffic volume, path length, or flow
+    /// count.
+    High,
+}
+
+impl fmt::Display for OverheadLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` (not `write!`) so callers' width/alignment specifiers
+        // apply when laying out Table 1.
+        f.pad(match self {
+            OverheadLevel::Low => "low",
+            OverheadLevel::High => "high",
+        })
+    }
+}
+
+/// Where a solution keeps the information needed to detect loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Category {
+    /// Per-flow state on switches, periodically exported (FlowRadar,
+    /// hash-based IP traceback).
+    OnSwitchState,
+    /// Mirroring packet headers to collectors (NetSight, Everflow,
+    /// trajectory sampling).
+    HeaderMirroring,
+    /// The full path encoded on each packet (INT, TPP, PathDump).
+    FullPathEncodingOnPackets,
+    /// A bounded-size subset of the path encoded on each packet
+    /// (Unroller).
+    PartialEncodingOnPackets,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Category::OnSwitchState => "on-switch state",
+            Category::HeaderMirroring => "header mirroring",
+            Category::FullPathEncodingOnPackets => "full path encoding on packets",
+            Category::PartialEncodingOnPackets => "partial encoding on packets",
+        })
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorProfile {
+    /// Solution name.
+    pub name: &'static str,
+    /// Design-space category.
+    pub category: Category,
+    /// Can the loop be detected while the packet is still in flight
+    /// (enabling selective reporting and active rerouting)?
+    pub real_time: bool,
+    /// Overhead imposed on switch resources (SRAM, pipeline stages).
+    pub switch_overhead: OverheadLevel,
+    /// Overhead imposed on the network (header bits, mirrored traffic).
+    pub network_overhead: OverheadLevel,
+}
+
+impl fmt::Display for DetectorProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} | {:<30} | {:^9} | {:^6} | {:^7}",
+            self.name,
+            self.category,
+            if self.real_time { "yes" } else { "no" },
+            self.switch_overhead,
+            self.network_overhead,
+        )
+    }
+}
+
+/// Profiles of the solutions Table 1 lists that are *not* implemented as
+/// runnable detectors in this workspace (they are not in-packet
+/// real-time mechanisms, so there is nothing to execute per hop). Kept so
+/// the `table1` binary can print the complete published table.
+pub fn literature_profiles() -> Vec<DetectorProfile> {
+    use Category::*;
+    use OverheadLevel::*;
+    vec![
+        DetectorProfile {
+            name: "FlowRadar",
+            category: OnSwitchState,
+            real_time: false,
+            switch_overhead: High,
+            network_overhead: Low,
+        },
+        DetectorProfile {
+            name: "HashIPTrace",
+            category: OnSwitchState,
+            real_time: false,
+            switch_overhead: High,
+            network_overhead: Low,
+        },
+        DetectorProfile {
+            name: "NetSight",
+            category: HeaderMirroring,
+            real_time: false,
+            switch_overhead: Low,
+            network_overhead: High,
+        },
+        DetectorProfile {
+            name: "Everflow",
+            category: HeaderMirroring,
+            real_time: false,
+            switch_overhead: Low,
+            network_overhead: High,
+        },
+        DetectorProfile {
+            name: "TrajSampling",
+            category: HeaderMirroring,
+            real_time: false,
+            switch_overhead: Low,
+            network_overhead: High,
+        },
+        DetectorProfile {
+            name: "TPP",
+            category: FullPathEncodingOnPackets,
+            real_time: true,
+            switch_overhead: Low,
+            network_overhead: High,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_invariants() {
+        // Every on-switch-state solution in the literature set is not
+        // real-time and has high switch overhead; every mirroring /
+        // full-path solution has high network overhead.
+        for p in literature_profiles() {
+            match p.category {
+                Category::OnSwitchState => {
+                    assert!(!p.real_time);
+                    assert_eq!(p.switch_overhead, OverheadLevel::High);
+                    assert_eq!(p.network_overhead, OverheadLevel::Low);
+                }
+                Category::HeaderMirroring => {
+                    assert!(!p.real_time);
+                    assert_eq!(p.network_overhead, OverheadLevel::High);
+                }
+                Category::FullPathEncodingOnPackets => {
+                    assert!(p.real_time);
+                    assert_eq!(p.network_overhead, OverheadLevel::High);
+                }
+                Category::PartialEncodingOnPackets => {}
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_row() {
+        let p = literature_profiles()[0];
+        let row = p.to_string();
+        assert!(row.contains("FlowRadar"));
+        assert!(row.contains("on-switch state"));
+    }
+}

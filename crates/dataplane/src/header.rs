@@ -1,0 +1,183 @@
+//! The Unroller shim header, bit-exact per the paper's Table 3.
+//!
+//! | field | width | meaning |
+//! |---|---|---|
+//! | `Xcnt`    | 8 bits (0 if TTL-inferred) | hops traversed |
+//! | `Thcnt`   | `⌈log₂ Th⌉` bits | matches seen |
+//! | `SWids[]` | `c · H · z` bits | stored identifiers |
+//!
+//! Slot *occupancy* is **not** on the wire: which slots hold meaningful
+//! values is fully determined by `Xcnt` (a chunk's slot is valid once
+//! the chunk has begun), so switches derive it from a lookup table —
+//! see [`crate::pipeline`].
+
+use crate::bitio::{BitReadError, BitReader, BitWriter};
+use unroller_core::params::UnrollerParams;
+
+/// The wire layout derived from detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeaderLayout {
+    /// Width of the `Xcnt` field (8, or 0 when inferred from the TTL).
+    pub xcnt_bits: u32,
+    /// Width of the `Thcnt` field (`⌈log₂ Th⌉`).
+    pub thcnt_bits: u32,
+    /// Width of each stored identifier (`z`).
+    pub z: u32,
+    /// Number of identifier slots (`c · H`).
+    pub slots: u32,
+}
+
+impl HeaderLayout {
+    /// Derives the layout from parameters.
+    pub fn from_params(p: &UnrollerParams) -> Self {
+        HeaderLayout {
+            xcnt_bits: if p.xcnt_in_header { 8 } else { 0 },
+            thcnt_bits: p.thcnt_bits(),
+            z: p.z,
+            slots: p.c * p.h,
+        }
+    }
+
+    /// Total header bits — identical to
+    /// [`UnrollerParams::overhead_bits`].
+    pub fn total_bits(&self) -> u32 {
+        self.xcnt_bits + self.thcnt_bits + self.z * self.slots
+    }
+
+    /// Header bytes on the wire (bit-packed, zero-padded).
+    pub fn total_bytes(&self) -> usize {
+        (self.total_bits() as usize).div_ceil(8)
+    }
+}
+
+/// A decoded Unroller shim header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireHeader {
+    /// Hop counter (8-bit on the wire; saturates at 255, past which the
+    /// TTL would have expired anyway).
+    pub xcnt: u8,
+    /// Threshold counter.
+    pub thcnt: u32,
+    /// Stored identifiers, indexed `hash_index · c + chunk_index`.
+    pub swids: Vec<u32>,
+}
+
+impl WireHeader {
+    /// The all-zero header a source host emits.
+    pub fn initial(layout: &HeaderLayout) -> Self {
+        WireHeader {
+            xcnt: 0,
+            thcnt: 0,
+            swids: vec![0; layout.slots as usize],
+        }
+    }
+
+    /// Serializes per the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its layout width (e.g. `thcnt` too
+    /// large for `thcnt_bits`) or the slot count mismatches.
+    pub fn encode(&self, layout: &HeaderLayout) -> Vec<u8> {
+        assert_eq!(self.swids.len(), layout.slots as usize, "slot count mismatch");
+        let mut w = BitWriter::new();
+        if layout.xcnt_bits > 0 {
+            w.write(self.xcnt as u64, layout.xcnt_bits);
+        }
+        w.write(self.thcnt as u64, layout.thcnt_bits);
+        for &id in &self.swids {
+            w.write(id as u64, layout.z);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a header from the front of `bytes`.
+    pub fn decode(layout: &HeaderLayout, bytes: &[u8]) -> Result<Self, BitReadError> {
+        let mut r = BitReader::new(bytes);
+        let xcnt = if layout.xcnt_bits > 0 {
+            r.read(layout.xcnt_bits)? as u8
+        } else {
+            0
+        };
+        let thcnt = r.read(layout.thcnt_bits)? as u32;
+        let mut swids = Vec::with_capacity(layout.slots as usize);
+        for _ in 0..layout.slots {
+            swids.push(r.read(layout.z)? as u32);
+        }
+        Ok(WireHeader { xcnt, thcnt, swids })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn layout_matches_params_overhead() {
+        for (c, h, z, th) in [(1u32, 1u32, 32u32, 1u32), (2, 2, 8, 4), (4, 1, 7, 2), (1, 4, 12, 1)] {
+            let p = UnrollerParams::default().with_c(c).with_h(h).with_z(z).with_th(th);
+            let layout = HeaderLayout::from_params(&p);
+            assert_eq!(layout.total_bits(), p.overhead_bits(), "c={c} h={h} z={z} th={th}");
+        }
+    }
+
+    #[test]
+    fn paper_example_header_is_9_bits() {
+        // §3.3: z = 7, Th = 4, Xcnt from TTL → 9 bits → 2 bytes padded.
+        let p = UnrollerParams {
+            z: 7,
+            th: 4,
+            xcnt_in_header: false,
+            ..UnrollerParams::default()
+        };
+        let layout = HeaderLayout::from_params(&p);
+        assert_eq!(layout.total_bits(), 9);
+        assert_eq!(layout.total_bytes(), 2);
+    }
+
+    #[test]
+    fn default_header_is_5_bytes() {
+        // 8 (Xcnt) + 32 (one ID) = 40 bits.
+        let layout = HeaderLayout::from_params(&UnrollerParams::default());
+        assert_eq!(layout.total_bits(), 40);
+        assert_eq!(layout.total_bytes(), 5);
+    }
+
+    #[test]
+    fn roundtrip_random_headers() {
+        let mut rng = unroller_core::test_rng(62);
+        for _ in 0..300 {
+            let c = rng.gen_range(1..=4u32);
+            let h = rng.gen_range(1..=4u32);
+            let z = rng.gen_range(1..=32u32);
+            let th = rng.gen_range(1..=8u32);
+            let p = UnrollerParams::default().with_c(c).with_h(h).with_z(z).with_th(th);
+            let layout = HeaderLayout::from_params(&p);
+            let hdr = WireHeader {
+                xcnt: rng.gen(),
+                thcnt: rng.gen_range(0..th),
+                swids: (0..(c * h)).map(|_| rng.gen::<u32>() & p.z_mask()).collect(),
+            };
+            let bytes = hdr.encode(&layout);
+            assert_eq!(bytes.len(), layout.total_bytes());
+            let back = WireHeader::decode(&layout, &bytes).unwrap();
+            assert_eq!(back, hdr);
+        }
+    }
+
+    #[test]
+    fn decode_short_buffer_errors() {
+        let layout = HeaderLayout::from_params(&UnrollerParams::default());
+        assert!(WireHeader::decode(&layout, &[0u8; 2]).is_err());
+    }
+
+    #[test]
+    fn initial_header_is_zero() {
+        let layout = HeaderLayout::from_params(&UnrollerParams::default().with_c(2));
+        let hdr = WireHeader::initial(&layout);
+        assert_eq!(hdr.xcnt, 0);
+        assert_eq!(hdr.swids, vec![0, 0]);
+        assert!(hdr.encode(&layout).iter().all(|&b| b == 0));
+    }
+}

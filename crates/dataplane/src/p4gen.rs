@@ -1,0 +1,392 @@
+//! P4₁₆ source generation — the deployable artifact.
+//!
+//! The paper's implementation is "60 lines of code … a single control
+//! block applied at the ingress pipeline" (§4), published as P4₁₆ and
+//! compiled to BMv2 and three FPGA targets. This module emits that
+//! program for any [`UnrollerParams`]: the Table 3 shim header, the
+//! parser/deparser, per-switch registers (including pre-hashed
+//! identifiers), the phase check — a pure bitwise test when `b` is a
+//! power of two, a 256-entry lookup table otherwise — and the dummy
+//! match-action table the P4-To-VHDL port requires.
+//!
+//! The output is self-contained v1model P4₁₆. We cannot run `p4c` in
+//! this environment, so the tests verify structure (declared widths,
+//! register layout, branch logic) rather than compilation; the program
+//! text mirrors the semantics of [`crate::pipeline::UnrollerPipeline`],
+//! which *is* executable and bit-exact against the reference detector.
+
+use unroller_core::params::UnrollerParams;
+use unroller_core::phase::PhaseSchedule;
+
+/// Generates a complete P4₁₆ (v1model) program implementing Unroller
+/// with the given parameters.
+pub fn generate_p4(p: &UnrollerParams) -> String {
+    let mut out = String::new();
+    let slots = p.slots();
+    let thcnt_bits = p.thcnt_bits();
+    let power_of_two_base = p.b.is_power_of_two();
+
+    out.push_str(&format!(
+        "// Unroller ingress control block — generated for {p}\n\
+         // (\"Detecting Routing Loops in the Data Plane\", CoNEXT '20)\n\
+         #include <core.p4>\n\
+         #include <v1model.p4>\n\n\
+         const bit<16> ETHERTYPE_UNROLLER = 0x88B5;\n\n"
+    ));
+
+    // --- Headers (Table 3 layout) -----------------------------------
+    out.push_str(
+        "header ethernet_t {\n    bit<48> dst;\n    bit<48> src;\n    bit<16> ethertype;\n}\n\n",
+    );
+    out.push_str("header unroller_t {\n");
+    if p.xcnt_in_header {
+        out.push_str("    bit<8> xcnt;\n");
+    }
+    if thcnt_bits > 0 {
+        out.push_str(&format!("    bit<{thcnt_bits}> thcnt;\n"));
+    }
+    for s in 0..slots {
+        out.push_str(&format!("    bit<{}> swid{};\n", p.z, s));
+    }
+    out.push_str("}\n\n");
+    out.push_str(
+        "struct headers_t {\n    ethernet_t ethernet;\n    unroller_t unroller;\n}\n\
+         struct metadata_t {\n    bit<8> hops;\n    bit<1> matched;\n    bit<1> fresh;\n    bit<8> chunk;\n}\n\n",
+    );
+
+    // --- Parser ------------------------------------------------------
+    out.push_str(
+        "parser UnrollerParser(packet_in pkt, out headers_t hdr,\n\
+         \x20                     inout metadata_t meta,\n\
+         \x20                     inout standard_metadata_t std) {\n\
+         \x20   state start {\n\
+         \x20       pkt.extract(hdr.ethernet);\n\
+         \x20       transition select(hdr.ethernet.ethertype) {\n\
+         \x20           ETHERTYPE_UNROLLER: parse_unroller;\n\
+         \x20           default: accept;\n\
+         \x20       }\n\
+         \x20   }\n\
+         \x20   state parse_unroller {\n\
+         \x20       pkt.extract(hdr.unroller);\n\
+         \x20       transition accept;\n\
+         \x20   }\n\
+         }\n\n",
+    );
+
+    // --- Ingress control block ---------------------------------------
+    out.push_str("control UnrollerIngress(inout headers_t hdr, inout metadata_t meta,\n");
+    out.push_str("                        inout standard_metadata_t std) {\n");
+    out.push_str("    // Provisioned by the controller: this switch's identifier,\n");
+    out.push_str("    // pre-hashed to z bits per hash function (zero hash ops per packet).\n");
+    for i in 0..p.h {
+        out.push_str(&format!(
+            "    register<bit<{}>>(1) reg_prehashed_h{};\n",
+            p.z, i
+        ));
+    }
+    if !power_of_two_base {
+        out.push_str(&format!(
+            "    // b = {} is not a power of two: phase boundaries come from a\n\
+             \x20   // 256-entry lookup table indexed by the 8-bit hop counter (§4).\n\
+             \x20   register<bit<1>>(256) reg_phase_start;\n\
+             \x20   register<bit<8>>(256) reg_chunk;\n",
+            p.b
+        ));
+    } else if p.c > 1 {
+        out.push_str("    register<bit<8>>(256) reg_chunk;\n");
+    }
+    out.push_str("\n    action a_report_loop() {\n");
+    out.push_str("        // Drop and punt a digest to the controller.\n");
+    out.push_str("        digest<metadata_t>(1, meta);\n");
+    out.push_str("        mark_to_drop(std);\n");
+    out.push_str("    }\n\n");
+
+    out.push_str("    action a_unroller_apply() {\n");
+    if p.xcnt_in_header {
+        out.push_str("        hdr.unroller.xcnt = hdr.unroller.xcnt + 1;\n");
+    } else {
+        out.push_str("        // Xcnt inferred from the TTL (footnote 3): meta.hops is\n");
+        out.push_str("        // initial_ttl - ttl, computed by the pre-pipeline stage.\n");
+        out.push_str("        meta.hops = meta.hops + 1;\n");
+    }
+    let xcnt = if p.xcnt_in_header {
+        "hdr.unroller.xcnt"
+    } else {
+        "meta.hops"
+    };
+    if power_of_two_base {
+        let log2b = p.b.trailing_zeros();
+        out.push_str(&format!(
+            "        // b = {} is a power of two: hop counts that are powers of b\n\
+             \x20       // have exactly one set bit, on a multiple-of-{log2b} position.\n\
+             \x20       meta.fresh = (bit<1>)(({xcnt} & ({xcnt} - 1)) == 0{});\n",
+            p.b,
+            if log2b > 1 {
+                format!(" && ({xcnt} & 8w0b{}) == {xcnt}", power_mask(log2b))
+            } else {
+                String::new()
+            }
+        ));
+    } else {
+        out.push_str(&format!(
+            "        bit<1> fresh_lut;\n\
+             \x20       reg_phase_start.read(fresh_lut, (bit<32>){xcnt});\n\
+             \x20       meta.fresh = fresh_lut;\n"
+        ));
+    }
+    if p.c > 1 {
+        out.push_str(&format!(
+            "        reg_chunk.read(meta.chunk, (bit<32>){xcnt});\n"
+        ));
+    }
+    for i in 0..p.h {
+        out.push_str(&format!(
+            "        bit<{z}> my_id_h{i};\n\
+             \x20       reg_prehashed_h{i}.read(my_id_h{i}, 0);\n",
+            z = p.z
+        ));
+    }
+    out.push_str("        // Compare against every stored identifier.\n");
+    out.push_str("        meta.matched = 0;\n");
+    for i in 0..p.h {
+        for j in 0..p.c {
+            let slot = i * p.c + j;
+            out.push_str(&format!(
+                "        if (hdr.unroller.swid{slot} == my_id_h{i}) {{ meta.matched = 1; }}\n"
+            ));
+        }
+    }
+    if p.th > 1 {
+        out.push_str(&format!(
+            "        if (meta.matched == 1) {{\n\
+             \x20           if (hdr.unroller.thcnt == {}) {{ a_report_loop(); }}\n\
+             \x20           else {{ hdr.unroller.thcnt = hdr.unroller.thcnt + 1; }}\n\
+             \x20       }}\n",
+            p.th - 1
+        ));
+    } else {
+        out.push_str("        if (meta.matched == 1) { a_report_loop(); }\n");
+    }
+    out.push_str("        // Update the current chunk's slot(s): overwrite at a chunk\n");
+    out.push_str("        // boundary, min-merge otherwise.\n");
+    for i in 0..p.h {
+        for j in 0..p.c {
+            let slot = i * p.c + j;
+            let guard = if p.c > 1 {
+                format!("meta.chunk == {j} && ")
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "        if ({guard}(meta.fresh == 1 || my_id_h{i} < hdr.unroller.swid{slot})) {{\n\
+                 \x20           hdr.unroller.swid{slot} = my_id_h{i};\n\
+                 \x20       }}\n"
+            ));
+        }
+    }
+    out.push_str("    }\n\n");
+
+    out.push_str(
+        "    // P4-To-VHDL requires actions to be invoked from a table, not a\n\
+         \x20   // control block: a dummy table with an unconditional default action.\n\
+         \x20   table tab_unroller_apply {\n\
+         \x20       actions = { a_unroller_apply; }\n\
+         \x20       default_action = a_unroller_apply();\n\
+         \x20   }\n\n\
+         \x20   apply {\n\
+         \x20       if (hdr.unroller.isValid()) {\n\
+         \x20           tab_unroller_apply.apply();\n\
+         \x20       }\n\
+         \x20   }\n\
+         }\n\n",
+    );
+
+    // --- Deparser and package ----------------------------------------
+    out.push_str(
+        "control UnrollerDeparser(packet_out pkt, in headers_t hdr) {\n\
+         \x20   apply {\n\
+         \x20       pkt.emit(hdr.ethernet);\n\
+         \x20       pkt.emit(hdr.unroller);\n\
+         \x20   }\n\
+         }\n\n\
+         // Checksum stages are no-ops: the shim carries no checksum.\n\
+         control NoChecksum(inout headers_t hdr, inout metadata_t meta) { apply {} }\n\
+         control NoEgress(inout headers_t hdr, inout metadata_t meta,\n\
+         \x20                inout standard_metadata_t std) { apply {} }\n\n\
+         V1Switch(UnrollerParser(), NoChecksum(), UnrollerIngress(), NoEgress(),\n\
+         \x20        NoChecksum(), UnrollerDeparser()) main;\n",
+    );
+    out
+}
+
+/// The bit mask selecting positions that are multiples of `log2b` — the
+/// hardware test "is a power of b" for `b = 2^log2b`: one set bit AND
+/// that bit on an allowed position.
+fn power_mask(log2b: u32) -> String {
+    let mut mask = String::new();
+    for bit in (0..8).rev() {
+        mask.push(if bit % log2b == 0 { '1' } else { '0' });
+    }
+    mask
+}
+
+/// Emits the controller-side provisioning values for one switch: the
+/// pre-hashed identifiers to install into the registers, and (when
+/// needed) the 256-entry phase/chunk lookup tables.
+pub fn provisioning_script(p: &UnrollerParams, switch_id: u32) -> String {
+    use unroller_core::hashing::HashFamily;
+    let mut out = String::new();
+    let hashes = HashFamily::default_for(p.z, p.h);
+    let mut prehashed = vec![0u32; p.h as usize];
+    hashes.hash_all_into(switch_id, p.z_mask(), &mut prehashed);
+    out.push_str(&format!(
+        "# provisioning for switch {switch_id} ({p})\n"
+    ));
+    for (i, v) in prehashed.iter().enumerate() {
+        out.push_str(&format!("register_write reg_prehashed_h{i} 0 {v}\n"));
+    }
+    if !p.b.is_power_of_two() || p.c > 1 {
+        for x in 1..256u64 {
+            let pos = p.schedule.position(x, p.b, p.c);
+            if !p.b.is_power_of_two() {
+                out.push_str(&format!(
+                    "register_write reg_phase_start {x} {}\n",
+                    u8::from(pos.is_phase_start(x))
+                ));
+            }
+            if p.c > 1 {
+                out.push_str(&format!("register_write reg_chunk {x} {}\n", pos.chunk));
+            }
+        }
+    }
+    out
+}
+
+/// The schedule the generated program implements (always the paper's
+/// implementation schedule; the analysis schedule is for proofs).
+pub const GENERATED_SCHEDULE: PhaseSchedule = PhaseSchedule::PowerBoundary;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_program_structure() {
+        let p4 = generate_p4(&UnrollerParams::default());
+        for needle in [
+            "#include <v1model.p4>",
+            "bit<8> xcnt;",
+            "bit<32> swid0;",
+            "register<bit<32>>(1) reg_prehashed_h0;",
+            "table tab_unroller_apply",
+            "default_action = a_unroller_apply();",
+            "mark_to_drop(std);",
+            "V1Switch(",
+        ] {
+            assert!(p4.contains(needle), "missing `{needle}`:\n{p4}");
+        }
+        // b = 4 is a power of two: bitwise check, no LUT register.
+        assert!(p4.contains("& ({} - 1)".replace("{}", "hdr.unroller.xcnt").as_str()));
+        assert!(!p4.contains("reg_phase_start"));
+    }
+
+    #[test]
+    fn non_power_base_uses_lut() {
+        let p4 = generate_p4(&UnrollerParams::default().with_b(3));
+        assert!(p4.contains("register<bit<1>>(256) reg_phase_start;"));
+        assert!(p4.contains("reg_phase_start.read"));
+    }
+
+    #[test]
+    fn threshold_emits_counter_field_and_logic() {
+        let p = UnrollerParams::default().with_z(7).with_th(4);
+        let p4 = generate_p4(&p);
+        assert!(p4.contains("bit<2> thcnt;"));
+        assert!(p4.contains("bit<7> swid0;"));
+        // Report fires when the counter already equals Th − 1 (§3.3
+        // footnote: the Th-th match reports).
+        assert!(p4.contains("if (hdr.unroller.thcnt == 3) { a_report_loop(); }"));
+    }
+
+    #[test]
+    fn chunks_and_hashes_emit_all_slots() {
+        let p = UnrollerParams::default().with_c(2).with_h(2).with_z(8);
+        let p4 = generate_p4(&p);
+        for s in 0..4 {
+            assert!(p4.contains(&format!("bit<8> swid{s};")), "slot {s}");
+        }
+        assert!(p4.contains("reg_prehashed_h1"));
+        assert!(p4.contains("reg_chunk"));
+        assert!(p4.contains("meta.chunk == 1"));
+    }
+
+    #[test]
+    fn ttl_variant_omits_xcnt_field() {
+        let p = UnrollerParams {
+            xcnt_in_header: false,
+            ..UnrollerParams::default()
+        };
+        let p4 = generate_p4(&p);
+        assert!(!p4.contains("bit<8> xcnt;"));
+        assert!(p4.contains("meta.hops = meta.hops + 1;"));
+    }
+
+    #[test]
+    fn power_mask_marks_even_positions_for_b4() {
+        // b = 4 = 2²: powers of 4 have their set bit on positions
+        // 0, 2, 4, 6.
+        assert_eq!(power_mask(2), "01010101");
+        assert_eq!(power_mask(3), "01001001");
+    }
+
+    #[test]
+    fn provisioning_matches_pipeline_registers() {
+        use crate::pipeline::UnrollerPipeline;
+        let p = UnrollerParams::default().with_z(12).with_h(2);
+        let script = provisioning_script(&p, 0xBEEF);
+        let pipe = UnrollerPipeline::new(0xBEEF, p).unwrap();
+        // The script writes exactly the pipeline's pre-hashed values.
+        let hashes = unroller_core::hashing::HashFamily::default_for(p.z, p.h);
+        let mut want = vec![0u32; 2];
+        hashes.hash_all_into(0xBEEF, p.z_mask(), &mut want);
+        for (i, v) in want.iter().enumerate() {
+            assert!(
+                script.contains(&format!("reg_prehashed_h{i} 0 {v}")),
+                "missing prehash {i}: {script}"
+            );
+        }
+        let _ = pipe; // provisioned pipeline exists for the same config
+    }
+
+    #[test]
+    fn provisioning_lut_matches_schedule() {
+        let p = UnrollerParams::default().with_b(3);
+        let script = provisioning_script(&p, 1);
+        // Powers of 3 within 8 bits: 1, 3, 9, 27, 81, 243 marked 1.
+        for x in [1u32, 3, 9, 27, 81, 243] {
+            assert!(
+                script.contains(&format!("reg_phase_start {x} 1")),
+                "hop {x} should start a phase"
+            );
+        }
+        assert!(script.contains("reg_phase_start 2 0"));
+        assert!(script.contains("reg_phase_start 4 0"));
+    }
+
+    #[test]
+    fn core_logic_is_compact() {
+        // §4: "The core of Unroller is implemented in 60 lines of code".
+        // Our default-config apply action stays in the same ballpark.
+        let p4 = generate_p4(&UnrollerParams::default());
+        let action: Vec<&str> = p4
+            .lines()
+            .skip_while(|l| !l.contains("action a_unroller_apply"))
+            .take_while(|l| !l.trim_start().starts_with("// P4-To-VHDL"))
+            .collect();
+        assert!(
+            action.len() <= 60,
+            "core action grew to {} lines",
+            action.len()
+        );
+    }
+}

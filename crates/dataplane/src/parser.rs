@@ -1,0 +1,212 @@
+//! Ethernet framing for the Unroller shim.
+//!
+//! The simulator and examples carry Unroller state in a shim header
+//! between the Ethernet header and the payload, tagged with an
+//! experimental EtherType — the same place an INT shim would sit. The
+//! parser here plays the role of the P4 parser block: extract the shim,
+//! hand it to the control block, and write it back (deparse).
+//!
+//! ```text
+//! +----------------+------------------+-------------+
+//! | Ethernet (14B) | Unroller shim    | payload ... |
+//! |  dst src type  | (bit-packed)     |             |
+//! +----------------+------------------+-------------+
+//! ```
+
+use crate::bitio::BitReadError;
+use crate::header::{HeaderLayout, WireHeader};
+
+/// Experimental/private EtherType carrying the Unroller shim.
+pub const ETHERTYPE_UNROLLER: u16 = 0x88B5;
+
+/// Length of the Ethernet header.
+pub const ETH_HEADER_LEN: usize = 14;
+
+/// A parsed Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC address.
+    pub dst: [u8; 6],
+    /// Source MAC address.
+    pub src: [u8; 6],
+    /// EtherType ([`ETHERTYPE_UNROLLER`] for frames carrying a shim).
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// A header with locally-administered unicast MACs derived from
+    /// small host numbers (handy in examples and tests).
+    pub fn for_hosts(src_host: u32, dst_host: u32) -> Self {
+        let mac = |h: u32| {
+            let b = h.to_be_bytes();
+            [0x02, 0x00, b[0], b[1], b[2], b[3]]
+        };
+        EthernetHeader {
+            dst: mac(dst_host),
+            src: mac(src_host),
+            ethertype: ETHERTYPE_UNROLLER,
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst);
+        out.extend_from_slice(&self.src);
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < ETH_HEADER_LEN {
+            return None;
+        }
+        Some(EthernetHeader {
+            dst: bytes[0..6].try_into().expect("6 bytes"),
+            src: bytes[6..12].try_into().expect("6 bytes"),
+            ethertype: u16::from_be_bytes([bytes[12], bytes[13]]),
+        })
+    }
+}
+
+/// Framing errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame is shorter than an Ethernet header + shim.
+    TooShort {
+        /// Bytes present.
+        len: usize,
+        /// Bytes needed for the headers.
+        need: usize,
+    },
+    /// The EtherType does not carry an Unroller shim.
+    WrongEthertype(u16),
+    /// The shim failed to decode.
+    Shim(BitReadError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooShort { len, need } => {
+                write!(f, "frame too short: {len} bytes, need {need}")
+            }
+            FrameError::WrongEthertype(t) => write!(f, "unexpected ethertype {t:#06x}"),
+            FrameError::Shim(e) => write!(f, "shim decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Builds a complete frame: Ethernet header, shim, payload.
+pub fn build_frame(
+    layout: &HeaderLayout,
+    eth: &EthernetHeader,
+    shim: &WireHeader,
+    payload: &[u8],
+) -> Vec<u8> {
+    let shim_bytes = shim.encode(layout);
+    let mut frame = Vec::with_capacity(ETH_HEADER_LEN + shim_bytes.len() + payload.len());
+    eth.encode_into(&mut frame);
+    frame.extend_from_slice(&shim_bytes);
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Parses a frame into Ethernet header, shim, and payload slice.
+pub fn parse_frame<'a>(
+    layout: &HeaderLayout,
+    frame: &'a [u8],
+) -> Result<(EthernetHeader, WireHeader, &'a [u8]), FrameError> {
+    let shim_len = layout.total_bytes();
+    let need = ETH_HEADER_LEN + shim_len;
+    if frame.len() < need {
+        return Err(FrameError::TooShort {
+            len: frame.len(),
+            need,
+        });
+    }
+    let eth = EthernetHeader::decode(frame).expect("length checked");
+    if eth.ethertype != ETHERTYPE_UNROLLER {
+        return Err(FrameError::WrongEthertype(eth.ethertype));
+    }
+    let shim = WireHeader::decode(layout, &frame[ETH_HEADER_LEN..need]).map_err(FrameError::Shim)?;
+    Ok((eth, shim, &frame[need..]))
+}
+
+/// Rewrites the shim in place (the deparser step after the control block
+/// mutated the header).
+pub fn rewrite_shim(layout: &HeaderLayout, frame: &mut [u8], shim: &WireHeader) {
+    let bytes = shim.encode(layout);
+    let start = ETH_HEADER_LEN;
+    frame[start..start + bytes.len()].copy_from_slice(&bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unroller_core::params::UnrollerParams;
+
+    fn layout() -> HeaderLayout {
+        HeaderLayout::from_params(&UnrollerParams::default().with_c(2).with_th(4))
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let layout = layout();
+        let eth = EthernetHeader::for_hosts(1, 2);
+        let shim = WireHeader {
+            xcnt: 17,
+            thcnt: 2,
+            swids: vec![0xdeadbeef, 0x12345678],
+        };
+        let payload = b"hello, loops";
+        let frame = build_frame(&layout, &eth, &shim, payload);
+        let (eth2, shim2, payload2) = parse_frame(&layout, &frame).unwrap();
+        assert_eq!(eth2, eth);
+        assert_eq!(shim2, shim);
+        assert_eq!(payload2, payload);
+    }
+
+    #[test]
+    fn rewrite_updates_in_place() {
+        let layout = layout();
+        let eth = EthernetHeader::for_hosts(1, 2);
+        let mut shim = WireHeader::initial(&layout);
+        let mut frame = build_frame(&layout, &eth, &shim, b"payload");
+        shim.xcnt = 9;
+        shim.swids[0] = 42;
+        rewrite_shim(&layout, &mut frame, &shim);
+        let (_, parsed, payload) = parse_frame(&layout, &frame).unwrap();
+        assert_eq!(parsed, shim);
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        let layout = layout();
+        assert!(matches!(
+            parse_frame(&layout, &[0u8; 10]),
+            Err(FrameError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_ethertype_rejected() {
+        let layout = layout();
+        let mut eth = EthernetHeader::for_hosts(1, 2);
+        eth.ethertype = 0x0800; // plain IPv4
+        let shim = WireHeader::initial(&layout);
+        let frame = build_frame(&layout, &eth, &shim, &[]);
+        assert_eq!(
+            parse_frame(&layout, &frame),
+            Err(FrameError::WrongEthertype(0x0800))
+        );
+    }
+
+    #[test]
+    fn host_macs_are_locally_administered() {
+        let eth = EthernetHeader::for_hosts(3, 4);
+        assert_eq!(eth.src[0] & 0x02, 0x02);
+        assert_eq!(eth.dst[0] & 0x01, 0); // unicast
+        assert_ne!(eth.src, eth.dst);
+    }
+}

@@ -1,0 +1,134 @@
+//! A from-scratch libpcap file writer, so simulated Unroller frames can
+//! be inspected in Wireshark (the same facility the smoltcp examples
+//! expose as `--pcap`).
+//!
+//! Implements the classic pcap container: a 24-byte global header
+//! (magic `0xa1b2c3d4`, version 2.4, LINKTYPE_ETHERNET) followed by one
+//! 16-byte record header per captured frame. Timestamps are split into
+//! seconds + microseconds from the simulator's nanosecond clock.
+
+/// LINKTYPE_ETHERNET.
+const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Builds a pcap capture in memory.
+#[derive(Debug, Clone)]
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    snaplen: u32,
+    packets: u32,
+}
+
+impl Default for PcapWriter {
+    fn default() -> Self {
+        Self::new(65_535)
+    }
+}
+
+impl PcapWriter {
+    /// Creates a writer; frames longer than `snaplen` are truncated in
+    /// the capture (their original length is preserved in the record
+    /// header).
+    pub fn new(snaplen: u32) -> Self {
+        let mut buf = Vec::with_capacity(1024);
+        buf.extend_from_slice(&0xa1b2_c3d4u32.to_le_bytes()); // magic
+        buf.extend_from_slice(&2u16.to_le_bytes()); // version major
+        buf.extend_from_slice(&4u16.to_le_bytes()); // version minor
+        buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        buf.extend_from_slice(&snaplen.to_le_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        PcapWriter {
+            buf,
+            snaplen,
+            packets: 0,
+        }
+    }
+
+    /// Appends one frame captured at `time_ns`.
+    pub fn push(&mut self, time_ns: u64, frame: &[u8]) {
+        let secs = (time_ns / 1_000_000_000) as u32;
+        let usecs = (time_ns % 1_000_000_000 / 1_000) as u32;
+        let incl = (frame.len() as u32).min(self.snaplen);
+        self.buf.extend_from_slice(&secs.to_le_bytes());
+        self.buf.extend_from_slice(&usecs.to_le_bytes());
+        self.buf.extend_from_slice(&incl.to_le_bytes());
+        self.buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&frame[..incl as usize]);
+        self.packets += 1;
+    }
+
+    /// Number of frames captured.
+    pub fn packet_count(&self) -> u32 {
+        self.packets
+    }
+
+    /// The complete pcap file contents.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes the capture to a file.
+    pub fn write_to(self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_header_layout() {
+        let w = PcapWriter::new(1500);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(&bytes[0..4], &0xa1b2_c3d4u32.to_le_bytes());
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2);
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 4);
+        assert_eq!(
+            u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]),
+            1500
+        );
+        assert_eq!(
+            u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]),
+            LINKTYPE_ETHERNET
+        );
+    }
+
+    #[test]
+    fn records_carry_timestamps_and_frames() {
+        let mut w = PcapWriter::default();
+        let frame = [0xaau8; 60];
+        w.push(3_000_123_000, &frame); // 3 s + 123 µs
+        assert_eq!(w.packet_count(), 1);
+        let bytes = w.finish();
+        let rec = &bytes[24..];
+        assert_eq!(u32::from_le_bytes(rec[0..4].try_into().unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(rec[4..8].try_into().unwrap()), 123);
+        assert_eq!(u32::from_le_bytes(rec[8..12].try_into().unwrap()), 60);
+        assert_eq!(u32::from_le_bytes(rec[12..16].try_into().unwrap()), 60);
+        assert_eq!(&rec[16..76], &frame);
+    }
+
+    #[test]
+    fn snaplen_truncates_but_preserves_original_length() {
+        let mut w = PcapWriter::new(16);
+        let frame = [0x55u8; 100];
+        w.push(0, &frame);
+        let bytes = w.finish();
+        let rec = &bytes[24..];
+        assert_eq!(u32::from_le_bytes(rec[8..12].try_into().unwrap()), 16);
+        assert_eq!(u32::from_le_bytes(rec[12..16].try_into().unwrap()), 100);
+        assert_eq!(bytes.len(), 24 + 16 + 16);
+    }
+
+    #[test]
+    fn multiple_records_concatenate() {
+        let mut w = PcapWriter::default();
+        w.push(0, &[1, 2, 3]);
+        w.push(1_000, &[4, 5]);
+        assert_eq!(w.packet_count(), 2);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 24 + (16 + 3) + (16 + 2));
+    }
+}

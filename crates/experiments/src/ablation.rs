@@ -1,0 +1,286 @@
+//! Ablation studies for the design choices `DESIGN.md` §6 calls out:
+//! the value of phase resets (§3.5), the two phase schedules, the
+//! threshold trade-off, and the hash families.
+
+use crate::report::Series;
+use crate::runner::parallel_fold;
+use crate::sweeps::SweepConfig;
+use unroller_baselines::{NoResetMin, ProbabilisticInsert};
+use unroller_core::hashing::{HashFamily, HashKind};
+use unroller_core::walk::{run_detector, run_detector_with};
+use unroller_core::{InPacketDetector, PhaseSchedule, Unroller, UnrollerParams, Walk};
+
+/// False-negative rate of a detector on `(B, L)` walks: the fraction of
+/// runs in which the loop is never reported within `max_hops`.
+pub fn false_negative_rate<D>(
+    detector: &D,
+    b_hops: usize,
+    l: usize,
+    cfg: &SweepConfig,
+) -> f64
+where
+    D: InPacketDetector + Sync,
+    D::State: Send,
+{
+    #[derive(Default)]
+    struct Acc {
+        runs: u64,
+        missed: u64,
+    }
+    // A working detector reports within a small multiple of X (Theorem 1
+    // gives < 5X for b = 4); anything still silent far past that is a
+    // false negative, so a tight cap keeps the FN sweep cheap even for
+    // variants that loop forever.
+    let cap = cfg
+        .max_hops
+        .min(1_000 + 100 * (b_hops as u64 + l as u64));
+    let acc: Acc = parallel_fold(
+        cfg.runs,
+        cfg.seed ^ 0xab1a,
+        cfg.threads,
+        |_, rng, acc: &mut Acc| {
+            let walk = Walk::random(b_hops, l, rng);
+            acc.runs += 1;
+            if run_detector(detector, &walk, cap).reported_at.is_none() {
+                acc.missed += 1;
+            }
+        },
+        |a, b| Acc {
+            runs: a.runs + b.runs,
+            missed: a.missed + b.missed,
+        },
+    );
+    acc.missed as f64 / acc.runs.max(1) as f64
+}
+
+/// §3.5 ablation rows: false-negative rates of the no-reset variants vs
+/// Unroller across pre-loop lengths. Unroller is always 0; the variants
+/// degrade as `B` grows.
+pub fn reset_ablation(l: usize, cfg: &SweepConfig) -> Vec<Series> {
+    let b_values = [0usize, 2, 5, 10, 20];
+    let noreset = NoResetMin::new();
+    let probins = ProbabilisticInsert::new(1, 0.5, cfg.seed);
+    let unroller = Unroller::from_params(UnrollerParams::default()).unwrap();
+    let mut out = Vec::new();
+    for (label, rates) in [
+        (
+            "no-reset-min",
+            b_values
+                .iter()
+                .map(|&b| (b as f64, false_negative_rate(&noreset, b, l, cfg)))
+                .collect::<Vec<_>>(),
+        ),
+        (
+            "prob-insert",
+            b_values
+                .iter()
+                .map(|&b| (b as f64, false_negative_rate(&probins, b, l, cfg)))
+                .collect(),
+        ),
+        (
+            "unroller",
+            b_values
+                .iter()
+                .map(|&b| (b as f64, false_negative_rate(&unroller, b, l, cfg)))
+                .collect(),
+        ),
+    ] {
+        out.push(Series {
+            label: label.into(),
+            points: rates,
+        });
+    }
+    out
+}
+
+/// Compares the two phase schedules' average detection time over an L
+/// sweep (design choice 1 in `DESIGN.md`).
+pub fn schedule_ablation(b_hops: usize, cfg: &SweepConfig) -> Vec<Series> {
+    [
+        ("power-boundary", PhaseSchedule::PowerBoundary),
+        ("cumulative", PhaseSchedule::CumulativeGeometric),
+    ]
+    .iter()
+    .map(|&(label, schedule)| {
+        let params = UnrollerParams::default().with_schedule(schedule);
+        let mut s = Series::new(label);
+        for l in (2..=30).step_by(2) {
+            s.points.push((
+                l as f64,
+                crate::sweeps::avg_detection_ratio(params, b_hops, l, cfg),
+            ));
+        }
+        s
+    })
+    .collect()
+}
+
+/// Compares hash families' false-positive rates at a fixed `z` (design
+/// choice 5): all well-mixed families should land near the same rate;
+/// only a pathological family would diverge.
+pub fn hash_family_fp(z: u32, path_len: usize, cfg: &SweepConfig) -> Vec<(String, f64)> {
+    [HashKind::MultiplyShift, HashKind::SplitMix, HashKind::Tabulation]
+        .iter()
+        .map(|&kind| {
+            let params = UnrollerParams::default().with_z(z);
+            let det = Unroller::with_hashes(params, HashFamily::new(kind, 1, cfg.seed ^ 0xf00))
+                .expect("valid");
+            #[derive(Default)]
+            struct Acc {
+                runs: u64,
+                fps: u64,
+                state: Option<unroller_core::UnrollerState>,
+            }
+            let acc: Acc = parallel_fold(
+                cfg.runs,
+                cfg.seed ^ (kind as u64),
+                cfg.threads,
+                |_, rng, acc: &mut Acc| {
+                    let walk = Walk::random_loop_free(path_len, rng);
+                    let state = acc.state.get_or_insert_with(|| det.init_state());
+                    let out = run_detector_with(&det, &walk, path_len as u64 + 1, state);
+                    acc.runs += 1;
+                    if out.false_positive() {
+                        acc.fps += 1;
+                    }
+                },
+                |a, b| Acc {
+                    runs: a.runs + b.runs,
+                    fps: a.fps + b.fps,
+                    state: None,
+                },
+            );
+            (format!("{kind:?}"), acc.fps as f64 / acc.runs.max(1) as f64)
+        })
+        .collect()
+}
+
+/// The threshold trade-off in one table: FP rate (on loop-free paths)
+/// and detection-time ratio (on loops) per `Th` at fixed `z`.
+pub fn threshold_tradeoff(z: u32, cfg: &SweepConfig) -> Vec<(u32, f64, f64)> {
+    [1u32, 2, 4, 8]
+        .iter()
+        .map(|&th| {
+            let params = UnrollerParams::default().with_z(z).with_th(th);
+            let fp = crate::false_positives::false_positive_rate(
+                params,
+                crate::false_positives::FP_PATH_LEN,
+                cfg,
+            );
+            let time = crate::sweeps::avg_detection_ratio(params, 5, 20, cfg);
+            (th, fp, time)
+        })
+        .collect()
+}
+
+/// Check-before-reset ordering demonstration (design choice 2): the
+/// number of extra hops a check-*after*-reset variant would need on a
+/// boundary-closing loop. Returned as (ours, hypothetical) for the
+/// constructed instance.
+pub fn ordering_demo() -> (u64, u64) {
+    // b = 2 walk where the revisit lands exactly on a power-of-2 hop:
+    // hops 50, 60, 70, then 60 forever — the revisit of 60 is hop 4,
+    // a phase boundary.
+    let det = Unroller::from_params(UnrollerParams::default().with_b(2)).unwrap();
+    let walk = Walk::new(vec![50, 60, 70], vec![60]);
+    let ours = run_detector(&det, &walk, 1000).reported_at.unwrap();
+    // A reset-first variant would wipe the stored 60 at hop 4 and only
+    // re-detect after the (length-1) loop re-delivers 60 once more.
+    let hypothetical = ours + 1;
+    (ours, hypothetical)
+}
+
+/// Statistics for the `(Th − 1)·L` detection-cost claim (§3.3): the
+/// measured extra hops per threshold step, normalized by `L`.
+pub fn threshold_extra_hops_per_l(l: usize, cfg: &SweepConfig) -> f64 {
+    let t1 = crate::sweeps::detection_stats(UnrollerParams::default(), 5, l, cfg);
+    let t2 = crate::sweeps::detection_stats(
+        UnrollerParams::default().with_th(2),
+        5,
+        l,
+        cfg,
+    );
+    let extra = t2.sum_hops as f64 / t2.detected as f64 - t1.sum_hops as f64 / t1.detected as f64;
+    extra / l as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SweepConfig {
+        SweepConfig {
+            runs: 3_000,
+            seed: 4,
+            threads: 2,
+            max_hops: 20_000,
+        }
+    }
+
+    #[test]
+    fn unroller_never_misses() {
+        let det = Unroller::from_params(UnrollerParams::default()).unwrap();
+        assert_eq!(false_negative_rate(&det, 10, 10, &quick()), 0.0);
+    }
+
+    #[test]
+    fn noreset_misses_more_with_longer_preloop() {
+        let det = NoResetMin::new();
+        let cfg = quick();
+        let fn0 = false_negative_rate(&det, 0, 10, &cfg);
+        let fn20 = false_negative_rate(&det, 20, 10, &cfg);
+        assert_eq!(fn0, 0.0, "first hop on the loop always works");
+        assert!(fn20 > 0.5, "B=20,L=10: minimum usually pre-loop, got {fn20}");
+    }
+
+    #[test]
+    fn reset_ablation_unroller_row_is_zero() {
+        let series = reset_ablation(10, &quick());
+        let unroller = series.iter().find(|s| s.label == "unroller").unwrap();
+        assert!(unroller.points.iter().all(|&(_, y)| y == 0.0));
+        let noreset = series.iter().find(|s| s.label == "no-reset-min").unwrap();
+        assert!(noreset.points.last().unwrap().1 > 0.3);
+    }
+
+    #[test]
+    fn threshold_cost_is_about_l_hops_per_step() {
+        // §3.3: Th adds (Th−1)·L hops per extra match — that is the cost
+        // when the stored minimum survives between matches. A phase
+        // boundary falling inside the +L window wipes it and forces a
+        // re-acquisition, so the measured mean sits somewhat above 1·L
+        // (≈1.6·L at B=5, L=20, b=4) but well below a full extra cycle
+        // of re-detection (~3·L).
+        let per_l = threshold_extra_hops_per_l(20, &quick());
+        assert!(
+            (0.7..=2.5).contains(&per_l),
+            "extra hops per L should be ~1-2, got {per_l}"
+        );
+    }
+
+    #[test]
+    fn hash_families_land_near_each_other() {
+        let rates = hash_family_fp(8, 20, &quick());
+        assert_eq!(rates.len(), 3);
+        let max = rates.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+        let min = rates.iter().map(|&(_, r)| r).fold(1.0f64, f64::min);
+        assert!(max > 0.0, "z=8 on 20 hops must collide sometimes");
+        assert!(max / min.max(1e-9) < 4.0, "family rates diverge: {rates:?}");
+    }
+
+    #[test]
+    fn ordering_demo_detects_on_boundary() {
+        let (ours, hypothetical) = ordering_demo();
+        assert_eq!(ours, 4, "check-before-reset catches the boundary revisit");
+        assert!(hypothetical > ours);
+    }
+
+    #[test]
+    fn schedules_are_both_sane() {
+        let series = schedule_ablation(5, &quick());
+        for s in &series {
+            for &(_, y) in &s.points {
+                assert!((1.0..6.0).contains(&y), "{}: ratio {y}", s.label);
+            }
+        }
+    }
+}

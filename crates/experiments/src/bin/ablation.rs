@@ -1,0 +1,45 @@
+//! Ablation studies for the design choices DESIGN.md §6 calls out:
+//! phase resets (§3.5), the two phase schedules, the threshold
+//! trade-off, hash families, and the check-before-reset ordering.
+
+use unroller_experiments::ablation;
+use unroller_experiments::report::render_series_table;
+
+fn main() {
+    let cli = unroller_experiments::Cli::parse("ablation", 20_000);
+    let cfg = cli.sweep();
+
+    println!("# Ablation 1: importance of switch ID resetting (§3.5)");
+    println!("false-negative rate vs pre-loop length B (L = 10):");
+    let series = ablation::reset_ablation(10, &cfg);
+    print!("{}", render_series_table("reset ablation", "B", &series));
+
+    println!("\n# Ablation 2: phase schedule (implementation vs analysis)");
+    let series = ablation::schedule_ablation(5, &cfg);
+    print!(
+        "{}",
+        render_series_table("avg time, power-boundary vs cumulative-geometric", "L", &series)
+    );
+
+    println!("\n# Ablation 3: threshold trade-off at z = 8 (FP vs detection time)");
+    println!("{:>4} {:>14} {:>14}", "Th", "fp-rate", "avg time");
+    for (th, fp, time) in ablation::threshold_tradeoff(8, &cfg) {
+        println!("{th:>4} {fp:>14.6} {time:>14.3}");
+    }
+    let per_l = ablation::threshold_extra_hops_per_l(20, &cfg);
+    println!(
+        "measured extra hops per threshold step, normalized by L: {per_l:.3} \
+         (§3.3 predicts ~1.0; phase resets inside the +L window inflate it)"
+    );
+
+    println!("\n# Ablation 4: hash family false-positive rates (z = 8, 20-hop path)");
+    for (name, rate) in ablation::hash_family_fp(8, 20, &cfg) {
+        println!("{name:>16}: {rate:.6}");
+    }
+
+    println!("\n# Ablation 5: check-before-reset ordering");
+    let (ours, hypothetical) = ablation::ordering_demo();
+    println!(
+        "boundary-closing loop detected at hop {ours}; a reset-first variant would need hop {hypothetical}"
+    );
+}

@@ -1,0 +1,85 @@
+//! Validates the paper's theoretical bounds empirically: Theorem 1's
+//! worst-case constant, the Appendix B chunked bound, the §3.2
+//! average-case 3X result, and the Appendix A adversarial family.
+
+use unroller_core::bounds;
+use unroller_core::walk::run_detector;
+use unroller_core::{PhaseSchedule, Unroller, UnrollerParams, Walk};
+
+fn main() {
+    let cli = unroller_experiments::Cli::parse("bounds", 50_000);
+    println!("# Theoretical constants");
+    println!(
+        "worst-case constant, b=4 (Thm 1):        {:.4}  (paper: 4.67)",
+        bounds::worst_case_constant(4)
+    );
+    println!(
+        "chunked constant, b=7 c=2 (App B):       {:.4}  (paper: 4.33)",
+        bounds::chunked_constant(7, 2)
+    );
+    println!(
+        "deterministic lower bound (Thm 5):       {:.4}  (paper: 3.73)",
+        bounds::LOWER_BOUND_CONSTANT
+    );
+    println!(
+        "optimal integer base for the worst case: {}",
+        bounds::optimal_worst_case_base()
+    );
+
+    println!("\n# Empirical worst ratio over adversarial minimum placements");
+    println!("(analysis schedule, b = 4, exhaustive min positions, B<=12, L<=15)");
+    let det = Unroller::from_params(UnrollerParams::analysis(4)).unwrap();
+    let mut worst: f64 = 0.0;
+    let mut worst_at = (0usize, 0usize, 0usize);
+    for b_hops in 0..=12usize {
+        for l in 1..=15usize {
+            for pos in 1..=b_hops + l {
+                let walk = bounds::walk_with_min_at(b_hops, l, pos);
+                let hops = run_detector(&det, &walk, 1 << 22)
+                    .reported_at
+                    .expect("detects") as f64;
+                let ratio = hops / walk.x() as f64;
+                if ratio > worst {
+                    worst = ratio;
+                    worst_at = (b_hops, l, pos);
+                }
+                let bound = bounds::worst_case_bound(4, b_hops as u64, l as u64);
+                assert!(hops <= bound, "bound violated at B={b_hops} L={l} pos={pos}");
+            }
+        }
+    }
+    println!(
+        "worst observed ratio: {worst:.3} at (B, L, min position) = {worst_at:?}  \
+         [must be <= {:.3}]",
+        bounds::worst_case_constant(4)
+    );
+
+    println!("\n# Average case (b = 3): mean hops / X over random walks");
+    let det3 = Unroller::from_params(UnrollerParams::analysis(3)).unwrap();
+    let mut rng = unroller_core::test_rng(cli.seed);
+    let mut total = 0.0;
+    let runs = cli.runs.min(500_000);
+    for _ in 0..runs {
+        let b_hops = rand::Rng::gen_range(&mut rng, 0..10usize);
+        let l = rand::Rng::gen_range(&mut rng, 1..30usize);
+        let walk = Walk::random(b_hops, l, &mut rng);
+        let out = run_detector(&det3, &walk, 1 << 22);
+        total += out.time_ratio(walk.x()).unwrap();
+    }
+    let mean = total / runs as f64;
+    println!("mean ratio over {runs} runs: {mean:.3}  (paper bound: 3.00)");
+
+    println!("\n# Appendix A adversarial family (Lemma 6 instances, cumulative schedule)");
+    for n in 2..=5 {
+        let (walk, lower) = bounds::lemma6_instance(PhaseSchedule::CumulativeGeometric, 4, n);
+        let det = Unroller::from_params(UnrollerParams::analysis(4)).unwrap();
+        let hops = run_detector(&det, &walk, 1 << 24).reported_at.unwrap();
+        println!(
+            "n={n}: B={:>3} L=2 → detected at hop {:>4} (adversary forces >= {lower}), \
+             ratio {:.3}",
+            walk.b(),
+            hops,
+            hops as f64 / walk.x() as f64
+        );
+    }
+}

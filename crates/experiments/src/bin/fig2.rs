@@ -1,0 +1,10 @@
+//! Regenerates Figure 2: average detection time vs loop length `L` for
+//! phase bases `b ∈ {2, 4, 6}` (`B = 5`, single full ID).
+
+use unroller_experiments::report::emit;
+
+fn main() {
+    let cli = unroller_experiments::Cli::parse("fig2", 100_000);
+    let series = unroller_experiments::sweeps::fig2(&cli.sweep());
+    emit("Figure 2: detection time varying L and b", "L", &series, cli.csv);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 3: average detection time vs loop length `L` for
+//! pre-loop lengths `B ∈ {0, 3, 7}` (`b = 4`).
+
+use unroller_experiments::report::emit;
+
+fn main() {
+    let cli = unroller_experiments::Cli::parse("fig3", 100_000);
+    let series = unroller_experiments::sweeps::fig3(&cli.sweep());
+    emit("Figure 3: detection time varying L and B", "L", &series, cli.csv);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 4: average detection time vs `L` for
+//! `(c, H) ∈ {(1,1), (2,2), (4,4)}` (`b = 4`, `B = 5`).
+
+use unroller_experiments::report::emit;
+
+fn main() {
+    let cli = unroller_experiments::Cli::parse("fig4", 100_000);
+    let series = unroller_experiments::sweeps::fig4(&cli.sweep());
+    emit("Figure 4: detection time varying L and c, H", "L", &series, cli.csv);
+}

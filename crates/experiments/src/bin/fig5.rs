@@ -1,0 +1,15 @@
+//! Regenerates Figure 5: the individual impact of chunks `c` (panel a)
+//! and hash functions `H` (panel b) on detection time
+//! (`b = 4`, `B = 5`, `L = 20`).
+
+use unroller_experiments::report::emit;
+
+fn main() {
+    let cli = unroller_experiments::Cli::parse("fig5", 100_000);
+    let cfg = cli.sweep();
+    let a = unroller_experiments::sweeps::fig5a(&cfg);
+    emit("Figure 5(a): detection time varying c", "c", &a, cli.csv);
+    println!();
+    let b = unroller_experiments::sweeps::fig5b(&cfg);
+    emit("Figure 5(b): detection time varying H", "H", &b, cli.csv);
+}

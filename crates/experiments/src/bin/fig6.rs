@@ -1,0 +1,15 @@
+//! Regenerates Figure 6: false positives when compressing switch IDs to
+//! `z` bits, on a loop-free 20-hop path. Panel (a) varies `(c, H)`;
+//! panel (b) varies the reporting threshold `Th`.
+
+use unroller_experiments::report::emit;
+
+fn main() {
+    let cli = unroller_experiments::Cli::parse("fig6", 200_000);
+    let cfg = cli.sweep();
+    let a = unroller_experiments::false_positives::fig6a(&cfg);
+    emit("Figure 6(a): false positives varying c and H", "z", &a, cli.csv);
+    println!();
+    let b = unroller_experiments::false_positives::fig6b(&cfg);
+    emit("Figure 6(b): false positives varying Th", "z", &b, cli.csv);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 7: average detection time vs `L` for thresholds
+//! `Th ∈ {1, 2, 4}` (`b = 4`, `B = 5`, `z = 32`) — the counting
+//! technique costs `(Th − 1)·L` extra hops.
+
+use unroller_experiments::report::emit;
+
+fn main() {
+    let cli = unroller_experiments::Cli::parse("fig7", 100_000);
+    let series = unroller_experiments::sweeps::fig7(&cli.sweep());
+    emit(
+        "Figure 7: detection time using the counting technique, varying Th",
+        "L",
+        &series,
+        cli.csv,
+    );
+}

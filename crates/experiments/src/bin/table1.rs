@@ -1,0 +1,9 @@
+//! Regenerates Table 1: the qualitative design-space comparison.
+
+fn main() {
+    // Table 1 is qualitative — no runs involved; flags are accepted for
+    // uniformity with the other binaries.
+    let _ = unroller_experiments::Cli::parse("table1", 0);
+    let rows = unroller_experiments::tables::table1_rows();
+    print!("{}", unroller_experiments::tables::render_table1(&rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Table 4 substitute: the dataplane model's resource
+//! footprint (see DESIGN.md §3 — we cannot synthesize FPGAs here; the
+//! Mpps analogue of the frequency column comes from the
+//! `dataplane_throughput` Criterion bench).
+
+fn main() {
+    let _ = unroller_experiments::Cli::parse("table4", 0);
+    let reports = unroller_experiments::tables::table4_reports();
+    print!("{}", unroller_experiments::tables::render_table4(&reports));
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 5: Unroller vs PathDump vs in-packet Bloom filter
+//! on the six evaluation topologies (minimum zero-false-positive bits
+//! and Unroller's average detection time).
+
+use unroller_experiments::table5::{render, run_table5, Table5Config};
+
+fn main() {
+    let cli = unroller_experiments::Cli::parse("table5", 20_000);
+    let cfg = Table5Config {
+        runs: cli.runs,
+        scenario_pool: 2_048,
+        seed: cli.seed,
+        threads: cli.threads,
+    };
+    eprintln!(
+        "table5: {} runs per measurement over {} pooled scenarios per topology",
+        cfg.runs, cfg.scenario_pool
+    );
+    let rows = run_table5(&cfg);
+    print!("{}", render(&rows));
+}

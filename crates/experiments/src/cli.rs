@@ -1,0 +1,141 @@
+//! A tiny argument parser shared by the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--runs N` — independent runs per data point (default varies);
+//! * `--paper` — use the paper's 3,000,000 runs per point;
+//! * `--seed N` — RNG seed (default 1);
+//! * `--threads N` — worker threads (default: available parallelism);
+//! * `--help` — usage.
+
+use crate::sweeps::SweepConfig;
+
+/// Parsed common options.
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Runs per data point.
+    pub runs: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Whether `--paper` was passed.
+    pub paper: bool,
+    /// Emit CSV instead of an aligned text table (figure binaries).
+    pub csv: bool,
+}
+
+/// The paper's run count per data point.
+pub const PAPER_RUNS: u64 = 3_000_000;
+
+impl Cli {
+    /// Parses `std::env::args`, using `default_runs` when `--runs` is
+    /// absent. Prints usage and exits on `--help` or malformed input.
+    pub fn parse(binary: &str, default_runs: u64) -> Cli {
+        Self::parse_from(binary, default_runs, std::env::args().skip(1))
+    }
+
+    /// Testable parser core.
+    pub fn parse_from(
+        binary: &str,
+        default_runs: u64,
+        args: impl IntoIterator<Item = String>,
+    ) -> Cli {
+        let mut cli = Cli {
+            runs: default_runs,
+            seed: 1,
+            threads: crate::runner::default_threads(),
+            paper: false,
+            csv: false,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut take = |name: &str| -> u64 {
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("{binary}: {name} requires a numeric argument");
+                        std::process::exit(2);
+                    })
+            };
+            match arg.as_str() {
+                "--runs" => cli.runs = take("--runs"),
+                "--seed" => cli.seed = take("--seed"),
+                "--threads" => cli.threads = take("--threads") as usize,
+                "--paper" => {
+                    cli.paper = true;
+                    cli.runs = PAPER_RUNS;
+                }
+                "--csv" => cli.csv = true,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: {binary} [--runs N] [--paper] [--seed N] [--threads N] [--csv]\n\
+                         reproduces the corresponding table/figure of the Unroller paper\n\
+                         (CoNEXT '20); --paper uses the published 3M runs per data point"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("{binary}: unknown argument `{other}` (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+
+    /// The sweep configuration these options describe.
+    pub fn sweep(&self) -> SweepConfig {
+        SweepConfig {
+            runs: self.runs,
+            seed: self.seed,
+            threads: self.threads,
+            max_hops: 1 << 22,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::parse_from("test", 1000, args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse(&[]);
+        assert_eq!(cli.runs, 1000);
+        assert_eq!(cli.seed, 1);
+        assert!(!cli.paper);
+    }
+
+    #[test]
+    fn runs_and_seed() {
+        let cli = parse(&["--runs", "5000", "--seed", "9"]);
+        assert_eq!(cli.runs, 5000);
+        assert_eq!(cli.seed, 9);
+    }
+
+    #[test]
+    fn csv_flag() {
+        assert!(parse(&["--csv"]).csv);
+        assert!(!parse(&[]).csv);
+    }
+
+    #[test]
+    fn paper_mode() {
+        let cli = parse(&["--paper"]);
+        assert_eq!(cli.runs, PAPER_RUNS);
+        assert!(cli.paper);
+    }
+
+    #[test]
+    fn sweep_config_propagates() {
+        let cli = parse(&["--runs", "123", "--threads", "3"]);
+        let s = cli.sweep();
+        assert_eq!(s.runs, 123);
+        assert_eq!(s.threads, 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! # unroller-experiments
+//!
+//! The experiment harness reproducing **every table and figure** of the
+//! Unroller paper's evaluation (§5). Each artifact has a library entry
+//! point here and a binary under `src/bin/`:
+//!
+//! | artifact | module | binary |
+//! |---|---|---|
+//! | Table 1 (design space)        | [`tables`]          | `table1` |
+//! | Table 4 (resources, substituted) | [`tables`]       | `table4` |
+//! | Table 5 (vs state of the art) | [`table5`]          | `table5` |
+//! | Figure 2 (vs `L`, `b`)        | [`sweeps::fig2`]    | `fig2` |
+//! | Figure 3 (vs `L`, `B`)        | [`sweeps::fig3`]    | `fig3` |
+//! | Figure 4 (vs `L`, `c=H`)      | [`sweeps::fig4`]    | `fig4` |
+//! | Figure 5 (vs `c`; vs `H`)     | [`sweeps::fig5a`], [`sweeps::fig5b`] | `fig5` |
+//! | Figure 6 (FP vs `z`)          | [`false_positives`] | `fig6` |
+//! | Figure 7 (vs `L`, `Th`)       | [`sweeps::fig7`]    | `fig7` |
+//! | Theorem bounds                | `unroller_core::bounds` | `bounds` |
+//! | Ablations (DESIGN.md §6)      | [`ablation`]        | `ablation` |
+//!
+//! Binaries default to fast run counts; pass `--paper` for the
+//! published 3M runs per data point (see [`cli`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod cli;
+pub mod false_positives;
+pub mod report;
+pub mod runner;
+pub mod sweeps;
+pub mod table5;
+pub mod tables;
+
+pub use cli::Cli;
+pub use report::Series;
+pub use runner::{parallel_fold, TrialAccumulator};
+pub use sweeps::SweepConfig;

@@ -1,0 +1,167 @@
+//! Plain-text rendering of experiment results — the same rows and
+//! series the paper's tables and figures report.
+
+/// One plotted series (a labeled line in a paper figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. `"b=4"`).
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The y value at a given x, if sampled.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+}
+
+/// Renders a figure as an aligned text table: one row per x value, one
+/// column per series.
+pub fn render_series_table(title: &str, x_label: &str, series: &[Series]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = write!(out, "{x_label:>8}");
+    for s in series {
+        let _ = write!(out, " {:>12}", s.label);
+    }
+    let _ = writeln!(out);
+    // Collect the union of x values, sorted.
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    for x in xs {
+        let _ = write!(out, "{x:>8.0}");
+        for s in series {
+            match s.y_at(x) {
+                Some(y) if y.abs() < 1e-3 && y != 0.0 => {
+                    let _ = write!(out, " {y:>12.3e}");
+                }
+                Some(y) => {
+                    let _ = write!(out, " {y:>12.4}");
+                }
+                None => {
+                    let _ = write!(out, " {:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a figure as CSV (`x,label1,label2,…` header then one row per
+/// x value; absent points are empty cells). Feed straight into any
+/// plotting tool to redraw the paper's figures.
+pub fn render_series_csv(x_label: &str, series: &[Series]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{x_label}");
+    for s in series {
+        let _ = write!(out, ",{}", s.label);
+    }
+    let _ = writeln!(out);
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    for x in xs {
+        let _ = write!(out, "{x}");
+        for s in series {
+            match s.y_at(x) {
+                Some(y) => {
+                    let _ = write!(out, ",{y}");
+                }
+                None => out.push(','),
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Prints a figure in the format the caller selected (`--csv` or the
+/// aligned text table).
+pub fn emit(title: &str, x_label: &str, series: &[Series], csv: bool) {
+    if csv {
+        print!("{}", render_series_csv(x_label, series));
+    } else {
+        print!("{}", render_series_table(title, x_label, series));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_shape() {
+        let a = Series {
+            label: "b=2".into(),
+            points: vec![(1.0, 1.5), (2.0, 2.5)],
+        };
+        let b = Series {
+            label: "b=4".into(),
+            points: vec![(2.0, 9.0)],
+        };
+        let csv = render_series_csv("L", &[a, b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "L,b=2,b=4");
+        assert_eq!(lines[1], "1,1.5,");
+        assert_eq!(lines[2], "2,2.5,9");
+    }
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("b=4");
+        s.points.push((1.0, 2.5));
+        s.points.push((2.0, 3.5));
+        assert_eq!(s.y_at(1.0), Some(2.5));
+        assert_eq!(s.y_at(3.0), None);
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let a = Series {
+            label: "a".into(),
+            points: vec![(1.0, 1.5), (2.0, 2.5)],
+        };
+        let b = Series {
+            label: "b".into(),
+            points: vec![(1.0, 9.0)],
+        };
+        let table = render_series_table("Figure X", "L", &[a, b]);
+        assert!(table.contains("# Figure X"));
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4); // title + header + 2 rows
+        assert!(lines[3].contains('-'), "missing marker for absent point");
+    }
+
+    #[test]
+    fn tiny_values_use_scientific_notation() {
+        let s = Series {
+            label: "fp".into(),
+            points: vec![(8.0, 1.2e-5)],
+        };
+        let table = render_series_table("FP", "z", &[s]);
+        assert!(table.contains("e-5"), "{table}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Parallel trial execution.
+//!
+//! Every evaluation point in the paper aggregates millions of
+//! independent runs ("each data point reflects 3M runs"). The runner
+//! shards trials across threads with crossbeam scoped threads; each
+//! shard owns a deterministically derived RNG, so results are
+//! reproducible for a given seed *and independent of the thread count*.
+
+use rand::SeedableRng;
+
+/// Number of worker threads to use (the machine's available
+/// parallelism).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Runs `trials` independent trials, sharded over `threads` threads,
+/// folding each shard locally with `fold` into an accumulator and
+/// merging shard accumulators with `merge`.
+///
+/// `fold` receives the global trial index and a shard-local RNG derived
+/// from `(seed, shard)`. Trial *i* always lands in the same shard for a
+/// fixed `threads`, and aggregate statistics (means, rates) are
+/// seed-reproducible.
+pub fn parallel_fold<A, Fold, Merge>(
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    fold: Fold,
+    merge: Merge,
+) -> A
+where
+    A: Default + Send,
+    Fold: Fn(u64, &mut rand::rngs::StdRng, &mut A) + Sync,
+    Merge: Fn(A, A) -> A,
+{
+    let threads = threads.clamp(1, 256);
+    if threads == 1 || trials < 1024 {
+        let mut acc = A::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
+        for t in 0..trials {
+            fold(t, &mut rng, &mut acc);
+        }
+        return acc;
+    }
+    let per = trials / threads as u64;
+    let rem = trials % threads as u64;
+    let accs: Vec<A> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|shard| {
+                let fold = &fold;
+                s.spawn(move |_| {
+                    let lo = shard as u64 * per + (shard as u64).min(rem);
+                    let count = per + if (shard as u64) < rem { 1 } else { 0 };
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(
+                        seed.wrapping_mul(0x9e3779b97f4a7c15)
+                            .wrapping_add(shard as u64 + 1),
+                    );
+                    let mut acc = A::default();
+                    for t in lo..lo + count {
+                        fold(t, &mut rng, &mut acc);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("no worker panicked");
+    accs.into_iter().fold(A::default(), merge)
+}
+
+/// The standard accumulator for detection-time and false-positive
+/// statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrialAccumulator {
+    /// Trials executed.
+    pub runs: u64,
+    /// Trials in which a loop was reported.
+    pub detected: u64,
+    /// Reports whose reporting hop was not a genuine revisit.
+    pub false_positives: u64,
+    /// Sum of detection hops over detected trials.
+    pub sum_hops: u64,
+    /// Sum of `hops / X` over detected trials.
+    pub sum_ratio: f64,
+}
+
+impl TrialAccumulator {
+    /// Merges two shard accumulators.
+    pub fn merge(mut self, other: Self) -> Self {
+        self.runs += other.runs;
+        self.detected += other.detected;
+        self.false_positives += other.false_positives;
+        self.sum_hops += other.sum_hops;
+        self.sum_ratio += other.sum_ratio;
+        self
+    }
+
+    /// Mean `hops / X` over detected trials (the paper's "Avg Time").
+    pub fn avg_ratio(&self) -> f64 {
+        if self.detected == 0 {
+            f64::NAN
+        } else {
+            self.sum_ratio / self.detected as f64
+        }
+    }
+
+    /// Fraction of trials that raised a false positive.
+    pub fn fp_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.runs as f64
+        }
+    }
+
+    /// Records one detection outcome.
+    pub fn record(&mut self, outcome: unroller_core::DetectionOutcome, x: usize) {
+        self.runs += 1;
+        if let Some(hops) = outcome.reported_at {
+            self.detected += 1;
+            self.sum_hops += hops;
+            if x > 0 {
+                self.sum_ratio += hops as f64 / x as f64;
+            }
+            if !outcome.true_positive {
+                self.false_positives += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_counts_all_trials() {
+        #[derive(Default)]
+        struct Count(u64);
+        let c: Count = parallel_fold(
+            10_000,
+            1,
+            4,
+            |_, _, acc: &mut Count| acc.0 += 1,
+            |a, b| Count(a.0 + b.0),
+        );
+        assert_eq!(c.0, 10_000);
+    }
+
+    #[test]
+    fn uneven_split_loses_nothing() {
+        #[derive(Default)]
+        struct Sum(u64);
+        // 10_007 is prime, so every shard size differs.
+        let s: Sum = parallel_fold(
+            10_007,
+            2,
+            5,
+            |t, _, acc: &mut Sum| acc.0 += t,
+            |a, b| Sum(a.0 + b.0),
+        );
+        assert_eq!(s.0, 10_007 * 10_006 / 2);
+    }
+
+    #[test]
+    fn single_thread_path_matches() {
+        #[derive(Default)]
+        struct Sum(u64);
+        let s: Sum = parallel_fold(500, 2, 1, |t, _, acc: &mut Sum| acc.0 += t, |a, b| Sum(a.0 + b.0));
+        assert_eq!(s.0, 500 * 499 / 2);
+    }
+
+    #[test]
+    fn accumulator_math() {
+        use unroller_core::DetectionOutcome;
+        let mut a = TrialAccumulator::default();
+        a.record(
+            DetectionOutcome {
+                reported_at: Some(30),
+                true_positive: true,
+            },
+            10,
+        );
+        a.record(
+            DetectionOutcome {
+                reported_at: None,
+                true_positive: false,
+            },
+            10,
+        );
+        a.record(
+            DetectionOutcome {
+                reported_at: Some(5),
+                true_positive: false, // a false positive
+            },
+            10,
+        );
+        assert_eq!(a.runs, 3);
+        assert_eq!(a.detected, 2);
+        assert_eq!(a.false_positives, 1);
+        assert!((a.avg_ratio() - (3.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert!((a.fp_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let a = TrialAccumulator {
+            runs: 5,
+            detected: 3,
+            false_positives: 1,
+            sum_hops: 50,
+            sum_ratio: 7.5,
+        };
+        let b = TrialAccumulator {
+            runs: 2,
+            detected: 2,
+            false_positives: 0,
+            sum_hops: 10,
+            sum_ratio: 2.0,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.runs, 7);
+        assert_eq!(m.detected, 5);
+        assert_eq!(m.sum_hops, 60);
+    }
+}

@@ -1,0 +1,111 @@
+//! Tables 1 and 4: the qualitative design-space table and the resource
+//! footprint (FPGA substitute).
+
+use unroller_baselines::{BloomFilterDetector, IntPathRecorder, PathDump};
+use unroller_core::profile::{literature_profiles, DetectorProfile};
+use unroller_core::{InPacketDetector, Unroller, UnrollerParams};
+use unroller_dataplane::{ResourceReport, UnrollerPipeline};
+
+/// All rows of Table 1: literature entries plus the detectors actually
+/// implemented and runnable in this workspace.
+pub fn table1_rows() -> Vec<DetectorProfile> {
+    let mut rows = literature_profiles();
+    rows.push(IntPathRecorder::new().profile());
+    rows.push(BloomFilterDetector::new(64, 2, 0).profile());
+    rows.push(PathDump::from_layers(&[], &[], &[]).profile());
+    rows.push(
+        Unroller::from_params(UnrollerParams::default())
+            .expect("default params valid")
+            .profile(),
+    );
+    rows
+}
+
+/// Renders Table 1.
+pub fn render_table1(rows: &[DetectorProfile]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} | {:<30} | real-time | switch | network",
+        "Solution", "Type"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for r in rows {
+        let _ = writeln!(out, "{r}");
+    }
+    out
+}
+
+/// The configurations whose footprints Table 4's substitute reports:
+/// the default plus the paper's noteworthy operating points.
+pub fn table4_reports() -> Vec<ResourceReport> {
+    [
+        UnrollerParams::default(),
+        UnrollerParams::default().with_b(2),
+        UnrollerParams::default().with_z(7).with_th(4),
+        UnrollerParams::default().with_c(2).with_h(2).with_z(8),
+        UnrollerParams::default().with_b(3), // non-power-of-two: LUT path
+    ]
+    .iter()
+    .map(|&p| {
+        UnrollerPipeline::new(1, p)
+            .expect("valid params")
+            .resources()
+    })
+    .collect()
+}
+
+/// Renders the Table 4 substitute.
+pub fn render_table4(reports: &[ResourceReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 4 substitute: dataplane-model resource footprint per switch"
+    );
+    let _ = writeln!(
+        out,
+        "(the paper reports FPGA LUT/REG/BRAM/MHz; see DESIGN.md §3 for the mapping;\n\
+         run `cargo bench -p unroller-bench --bench dataplane_throughput` for Mpps)"
+    );
+    for r in reports {
+        let _ = writeln!(out, "\n{r}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unroller_core::profile::Category;
+
+    #[test]
+    fn table1_has_all_ten_rows() {
+        // 6 literature + INT + Bloom + PathDump + Unroller.
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 10);
+        // Unroller is the only partial-encoding row that is real-time
+        // with low/low overheads — the paper's headline cell.
+        let unroller = rows.iter().find(|r| r.name == "Unroller").unwrap();
+        assert_eq!(unroller.category, Category::PartialEncodingOnPackets);
+        assert!(unroller.real_time);
+    }
+
+    #[test]
+    fn render_table1_contains_every_solution() {
+        let s = render_table1(&table1_rows());
+        for name in ["FlowRadar", "NetSight", "INT", "PathDump", "Unroller"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn table4_reports_cover_lut_path() {
+        let reports = table4_reports();
+        assert_eq!(reports.len(), 5);
+        assert!(reports.iter().any(|r| r.config.contains("b=3")));
+        // Every report claims the paper's two pipeline stages.
+        assert!(reports.iter().all(|r| r.pipeline_stages == 2));
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-packet event tracing — the simulator's tcpdump.
+//!
+//! Every observable packet event is appended to a [`Trace`]; examples
+//! and tests use it to assert *why* a packet ended the way it did, and
+//! [`Trace::dump`] renders a human-readable log in the spirit of the
+//! smoltcp examples' `--pcap` option.
+
+use crate::event::SimTime;
+use unroller_topology::NodeId;
+
+/// One traced packet event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The packet left its source host toward the first switch.
+    Sent {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// The packet was processed by a switch (its `hop`-th switch).
+    Hop {
+        /// Switch node.
+        node: NodeId,
+        /// 1-based hop count.
+        hop: u32,
+    },
+    /// The switch reported a routing loop.
+    LoopDetected {
+        /// Reporting switch.
+        node: NodeId,
+        /// Hop at which the report fired.
+        hop: u32,
+    },
+    /// The packet was rerouted onto a backup port after a loop report.
+    Rerouted {
+        /// Rerouting switch.
+        node: NodeId,
+        /// The backup next hop taken.
+        via: NodeId,
+    },
+    /// The packet reached its destination.
+    Delivered {
+        /// Destination node.
+        node: NodeId,
+    },
+    /// Dropped: TTL reached zero.
+    DroppedTtl {
+        /// Node where the TTL expired.
+        node: NodeId,
+    },
+    /// Dropped: loop reported and the policy is drop-and-report.
+    DroppedLoop {
+        /// Reporting switch.
+        node: NodeId,
+    },
+    /// Dropped: injected link fault.
+    DroppedFault {
+        /// Node whose egress dropped the packet.
+        node: NodeId,
+    },
+    /// Dropped: no route toward the destination.
+    DroppedNoRoute {
+        /// Node with no forwarding entry.
+        node: NodeId,
+    },
+}
+
+/// One trace record: time, packet, event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// Packet identifier.
+    pub packet: u64,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// An append-only event log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a trace; when `enabled` is false all records are
+    /// discarded (for multi-million-packet experiment runs).
+    pub fn new(enabled: bool) -> Self {
+        Trace {
+            entries: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, packet: u64, event: TraceEvent) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                time,
+                packet,
+                event,
+            });
+        }
+    }
+
+    /// All recorded entries.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries concerning one packet.
+    pub fn for_packet(&self, packet: u64) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.packet == packet)
+    }
+
+    /// Renders the log (one line per event).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = write!(out, "[{:>10} ns] pkt {:>4}  ", e.time, e.packet);
+            let _ = match &e.event {
+                TraceEvent::Sent { src, dst } => writeln!(out, "sent {src} -> {dst}"),
+                TraceEvent::Hop { node, hop } => writeln!(out, "hop {hop} at switch {node}"),
+                TraceEvent::LoopDetected { node, hop } => {
+                    writeln!(out, "LOOP reported by switch {node} at hop {hop}")
+                }
+                TraceEvent::Rerouted { node, via } => {
+                    writeln!(out, "rerouted at switch {node} via {via}")
+                }
+                TraceEvent::Delivered { node } => writeln!(out, "delivered at {node}"),
+                TraceEvent::DroppedTtl { node } => writeln!(out, "dropped at {node} (TTL)"),
+                TraceEvent::DroppedLoop { node } => {
+                    writeln!(out, "dropped at {node} (loop policy)")
+                }
+                TraceEvent::DroppedFault { node } => {
+                    writeln!(out, "dropped at {node} (fault injection)")
+                }
+                TraceEvent::DroppedNoRoute { node } => {
+                    writeln!(out, "dropped at {node} (no route)")
+                }
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_when_enabled() {
+        let mut t = Trace::new(true);
+        t.record(5, 1, TraceEvent::Sent { src: 0, dst: 3 });
+        t.record(10, 1, TraceEvent::Hop { node: 1, hop: 1 });
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.for_packet(1).count(), 2);
+        assert_eq!(t.for_packet(2).count(), 0);
+    }
+
+    #[test]
+    fn disabled_trace_discards() {
+        let mut t = Trace::new(false);
+        t.record(5, 1, TraceEvent::Delivered { node: 3 });
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn dump_is_line_per_event() {
+        let mut t = Trace::new(true);
+        t.record(5, 1, TraceEvent::Sent { src: 0, dst: 3 });
+        t.record(9, 1, TraceEvent::LoopDetected { node: 2, hop: 7 });
+        let dump = t.dump();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.contains("LOOP reported by switch 2"));
+    }
+}

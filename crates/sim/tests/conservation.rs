@@ -1,0 +1,156 @@
+//! Property-based tests of simulator invariants: packet conservation,
+//! TTL discipline, latency sanity, and determinism under arbitrary
+//! topologies, loop injections, faults, and traffic patterns.
+
+use proptest::prelude::*;
+use unroller_core::{Unroller, UnrollerParams};
+use unroller_sim::{DetectAction, NullDetector, SimConfig, SimStats, Simulator};
+use unroller_topology::generators::random_connected;
+use unroller_topology::ids::assign_sequential_ids;
+
+/// Builds a simulator over a random connected graph and runs a random
+/// traffic-and-failure scenario described by the inputs.
+#[allow(clippy::too_many_arguments)] // the arguments ARE the proptest strategy
+fn run_scenario(
+    n: usize,
+    extra: usize,
+    graph_seed: u64,
+    packets: u8,
+    drop_prob: u8,
+    poison: Option<(u64, u64)>,
+    reroute: bool,
+    serialization: bool,
+    with_unroller: bool,
+) -> SimStats {
+    let g = random_connected(n, extra, graph_seed);
+    let ids = assign_sequential_ids(n, 1000);
+    let cfg = SimConfig {
+        drop_probability: (drop_prob % 100) as f64 / 100.0,
+        seed: graph_seed ^ 0xfeed,
+        on_detect: if reroute {
+            DetectAction::Reroute
+        } else {
+            DetectAction::DropAndReport
+        },
+        link_serialization_ns: if serialization { 300 } else { 0 },
+        ttl: 48,
+        ..SimConfig::default()
+    };
+    macro_rules! drive {
+        ($sim:expr) => {{
+            let mut sim = $sim;
+            if let Some((a, b)) = poison {
+                // Poison one node's route toward one destination with
+                // its first neighbor: a legal (possibly looping) rewrite.
+                let node = (a as usize) % n;
+                let dst = (b as usize) % n;
+                if node != dst {
+                    let next = sim.graph().neighbors(node).first().copied();
+                    if let Some(next) = next {
+                        sim.poison_route(node, dst, next);
+                    }
+                }
+            }
+            for i in 0..packets {
+                let src = (i as usize * 7) % n;
+                let dst = (i as usize * 13 + 1) % n;
+                if src != dst {
+                    sim.send_packet(i as u64 * 500, src, dst);
+                }
+            }
+            sim.run_until(u64::MAX, 2_000_000);
+            sim.stats.clone()
+        }};
+    }
+    if with_unroller {
+        let det = Unroller::from_params(UnrollerParams::default()).unwrap();
+        drive!(Simulator::new(g, ids, det, cfg))
+    } else {
+        drive!(Simulator::new(g, ids, NullDetector, cfg))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every injected packet terminates in exactly one of the accounted
+    /// ways, whatever the scenario.
+    #[test]
+    fn packets_are_conserved(
+        n in 2usize..25,
+        extra in 0usize..25,
+        graph_seed in any::<u64>(),
+        packets in 1u8..40,
+        drop_prob in 0u8..100,
+        poison in any::<Option<(u64, u64)>>(),
+        reroute in any::<bool>(),
+        serialization in any::<bool>(),
+        with_unroller in any::<bool>(),
+    ) {
+        let stats = run_scenario(
+            n, extra, graph_seed, packets, drop_prob, poison, reroute,
+            serialization, with_unroller,
+        );
+        prop_assert!(stats.accounted(), "unaccounted packets: {stats:?}");
+        // Hop counts never exceed what the TTL permits (the detector can
+        // only shorten lives, and reroutes consume TTL too).
+        for r in &stats.reports {
+            prop_assert!(r.hop as u64 <= 49, "report at hop {}", r.hop);
+        }
+        prop_assert_eq!(stats.delivery_latencies.len() as u64, stats.delivered);
+    }
+
+    /// Scenarios are bit-for-bit deterministic under a fixed seed.
+    #[test]
+    fn scenarios_are_deterministic(
+        n in 2usize..15,
+        extra in 0usize..15,
+        graph_seed in any::<u64>(),
+        packets in 1u8..20,
+        drop_prob in 0u8..100,
+        serialization in any::<bool>(),
+    ) {
+        let a = run_scenario(n, extra, graph_seed, packets, drop_prob, None, false, serialization, true);
+        let b = run_scenario(n, extra, graph_seed, packets, drop_prob, None, false, serialization, true);
+        prop_assert_eq!(a, b);
+    }
+
+    /// With no faults, no loops, and a connected graph, everything is
+    /// delivered and nothing is reported.
+    #[test]
+    fn healthy_network_delivers_everything(
+        n in 2usize..25,
+        extra in 0usize..25,
+        graph_seed in any::<u64>(),
+        packets in 1u8..40,
+        serialization in any::<bool>(),
+    ) {
+        let stats = run_scenario(n, extra, graph_seed, packets, 0, None, false, serialization, true);
+        prop_assert_eq!(stats.delivered, stats.sent);
+        prop_assert!(stats.reports.is_empty());
+        prop_assert_eq!(stats.dropped_ttl, 0);
+    }
+
+    /// Serialization can only increase delivery latency relative to the
+    /// unqueued model, never decrease it.
+    #[test]
+    fn queueing_is_monotone(
+        n in 2usize..15,
+        extra in 0usize..15,
+        graph_seed in any::<u64>(),
+        packets in 2u8..20,
+    ) {
+        let fast = run_scenario(n, extra, graph_seed, packets, 0, None, false, false, false);
+        let slow = run_scenario(n, extra, graph_seed, packets, 0, None, false, true, false);
+        prop_assert_eq!(fast.delivered, slow.delivered);
+        // Queueing may reorder deliveries; compare the sorted latency
+        // distributions element-wise.
+        let mut f = fast.delivery_latencies.clone();
+        let mut s = slow.delivery_latencies.clone();
+        f.sort_unstable();
+        s.sort_unstable();
+        for (f, s) in f.iter().zip(&s) {
+            prop_assert!(s >= f, "queueing made a packet faster: {s} < {f}");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Topology generators: data-center fabrics (fat-tree, VL2) and
+//! parameterized WAN-like graphs with a prescribed node count and
+//! diameter.
+
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A layered data-center fabric with a layer oracle (used by the
+/// PathDump baseline, which is only applicable to such topologies).
+#[derive(Debug, Clone)]
+pub struct LayeredFabric {
+    /// The switch-level graph.
+    pub graph: Graph,
+    /// `layers[node]` is 0 for edge/ToR, 1 for aggregation, 2 for
+    /// core/intermediate.
+    pub layers: Vec<u8>,
+}
+
+impl LayeredFabric {
+    /// Nodes on the given layer.
+    pub fn layer_nodes(&self, layer: u8) -> Vec<NodeId> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == layer)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A `k`-ary fat-tree **switch-level** topology (servers omitted):
+/// `(k/2)²` core switches and `k` pods of `k/2` aggregation plus `k/2`
+/// edge switches each. For `k = 4`: 20 switches, diameter 4 — the
+/// paper's *FatTree4* row in Table 5.
+///
+/// # Panics
+///
+/// Panics if `k` is odd or `k < 2`.
+pub fn fat_tree(k: usize) -> LayeredFabric {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
+    let half = k / 2;
+    let cores = half * half;
+    let n = cores + k * k; // cores + k pods × (half agg + half edge)
+    let mut g = Graph::new(n);
+    let mut layers = vec![0u8; n];
+
+    // Node numbering: [0, cores) cores, then per pod `p`:
+    //   agg  p·k + a        for a in 0..half
+    //   edge p·k + half + e for e in 0..half
+    let agg = |p: usize, a: usize| cores + p * k + a;
+    let edge = |p: usize, e: usize| cores + p * k + half + e;
+
+    for layer in layers.iter_mut().take(cores) {
+        *layer = 2;
+    }
+    for p in 0..k {
+        for a in 0..half {
+            layers[agg(p, a)] = 1;
+            // Aggregation switch `a` connects to cores [a·half, (a+1)·half).
+            for j in 0..half {
+                g.add_edge(agg(p, a), a * half + j);
+            }
+            // Full bipartite agg↔edge inside the pod.
+            for e in 0..half {
+                g.add_edge(agg(p, a), edge(p, e));
+            }
+        }
+    }
+    LayeredFabric { graph: g, layers }
+}
+
+/// A VL2-style fabric: `ni` intermediate switches, `na` aggregation
+/// switches (each connected to every intermediate), and `ntor`
+/// top-of-rack switches (each dual-homed to two aggregation switches).
+///
+/// # Panics
+///
+/// Panics if any layer is empty or `na < 2`.
+pub fn vl2(ni: usize, na: usize, ntor: usize) -> LayeredFabric {
+    assert!(ni >= 1 && na >= 2 && ntor >= 1);
+    let n = ni + na + ntor;
+    let mut g = Graph::new(n);
+    let mut layers = vec![0u8; n];
+    // Numbering: [0, ni) intermediates, [ni, ni+na) aggs, rest ToRs.
+    for layer in layers.iter_mut().take(ni) {
+        *layer = 2;
+    }
+    for a in 0..na {
+        layers[ni + a] = 1;
+        for i in 0..ni {
+            g.add_edge(ni + a, i);
+        }
+    }
+    for t in 0..ntor {
+        let tor = ni + na + t;
+        g.add_edge(tor, ni + t % na);
+        g.add_edge(tor, ni + (t + 1) % na);
+    }
+    LayeredFabric { graph: g, layers }
+}
+
+/// A WAN-like topology with exactly `n` nodes and diameter exactly `d`.
+///
+/// Construction: a backbone path of `d + 1` nodes fixes the diameter;
+/// the remaining nodes attach to interior backbone positions
+/// (`1 ..= d − 1`), which provably cannot reduce *or* increase the
+/// diameter; finally `extra_edges` chords are added between leaves
+/// hanging off the same or adjacent backbone positions (again
+/// diameter-neutral, see the proof sketch in the module tests). This is
+/// the Topology-Zoo substitute documented in `DESIGN.md`: Table 5's
+/// metrics depend on the (node count, diameter) pair, which we match
+/// exactly.
+///
+/// # Panics
+///
+/// Panics if `d < 2` or `n < d + 1`.
+pub fn wan_like(n: usize, d: usize, extra_edges: usize, seed: u64) -> Graph {
+    assert!(d >= 2, "diameter must be at least 2");
+    assert!(n > d, "need at least d + 1 nodes");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x77616e);
+    let mut g = Graph::new(n);
+    // Backbone: nodes 0 ..= d.
+    for i in 0..d {
+        g.add_edge(i, i + 1);
+    }
+    // Leaves: nodes d+1 .. n, each attached to an interior backbone
+    // position. attach[leaf - (d+1)] records the position.
+    let leaves: Vec<NodeId> = (d + 1..n).collect();
+    let mut attach = Vec::with_capacity(leaves.len());
+    for &leaf in &leaves {
+        let pos = rng.gen_range(1..d); // interior: 1 ..= d-1
+        g.add_edge(leaf, pos);
+        attach.push(pos);
+    }
+    // Chords between leaves on the same or adjacent backbone positions.
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra_edges && leaves.len() >= 2 && guard < extra_edges * 50 + 100 {
+        guard += 1;
+        let i = rng.gen_range(0..leaves.len());
+        let j = rng.gen_range(0..leaves.len());
+        if i == j {
+            continue;
+        }
+        let (pi, pj) = (attach[i], attach[j]);
+        if pi.abs_diff(pj) <= 1 && !g.has_edge(leaves[i], leaves[j]) {
+            g.add_edge(leaves[i], leaves[j]);
+            added += 1;
+        }
+    }
+    debug_assert_eq!(g.diameter(), d);
+    g
+}
+
+/// A ring of `n` nodes (diameter `⌊n/2⌋`).
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3);
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n);
+    }
+    g
+}
+
+/// A `w × h` grid.
+pub fn grid(w: usize, h: usize) -> Graph {
+    assert!(w >= 1 && h >= 1);
+    let mut g = Graph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let u = y * w + x;
+            if x + 1 < w {
+                g.add_edge(u, u + 1);
+            }
+            if y + 1 < h {
+                g.add_edge(u, u + w);
+            }
+        }
+    }
+    g
+}
+
+/// An Erdős–Rényi-ish random connected graph: a random spanning tree
+/// plus `extra` random edges. Useful for fuzzing the loop sampler.
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x6772617068);
+    let mut g = Graph::new(n);
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let parent = order[rng.gen_range(0..i)];
+        g.add_edge(order[i], parent);
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra && guard < extra * 50 + 100 {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v);
+            added += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_4_matches_table5_row() {
+        let ft = fat_tree(4);
+        assert_eq!(ft.graph.node_count(), 20);
+        assert_eq!(ft.graph.diameter(), 4);
+        assert!(ft.graph.is_connected());
+        assert_eq!(ft.layer_nodes(2).len(), 4); // cores
+        assert_eq!(ft.layer_nodes(1).len(), 8); // aggs
+        assert_eq!(ft.layer_nodes(0).len(), 8); // edges
+    }
+
+    #[test]
+    fn fat_tree_structure_is_layered() {
+        let ft = fat_tree(4);
+        // Every edge connects adjacent layers.
+        for u in ft.graph.nodes() {
+            for &v in ft.graph.neighbors(u) {
+                assert_eq!(
+                    ft.layers[u].abs_diff(ft.layers[v]),
+                    1,
+                    "edge {u}-{v} skips a layer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_8() {
+        let ft = fat_tree(8);
+        // (8/2)² = 16 cores + 8 pods × 8 = 80 switches.
+        assert_eq!(ft.graph.node_count(), 80);
+        assert_eq!(ft.graph.diameter(), 4);
+    }
+
+    #[test]
+    fn vl2_shape() {
+        let f = vl2(4, 8, 20);
+        assert_eq!(f.graph.node_count(), 32);
+        assert!(f.graph.is_connected());
+        assert!(f.graph.diameter() <= 4);
+        for u in f.graph.nodes() {
+            for &v in f.graph.neighbors(u) {
+                assert_eq!(f.layers[u].abs_diff(f.layers[v]), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn wan_like_hits_exact_node_count_and_diameter() {
+        for (n, d) in [(16, 2), (51, 7), (40, 8), (25, 5), (158, 35)] {
+            let g = wan_like(n, d, n / 2, 42);
+            assert_eq!(g.node_count(), n, "n for ({n},{d})");
+            assert_eq!(g.diameter(), d, "diameter for ({n},{d})");
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn wan_like_diameter_stable_across_seeds() {
+        for seed in 0..20 {
+            let g = wan_like(30, 6, 15, seed);
+            assert_eq!(g.diameter(), 6, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ring_and_grid() {
+        assert_eq!(ring(8).diameter(), 4);
+        assert_eq!(ring(9).diameter(), 4);
+        assert_eq!(grid(4, 4).diameter(), 6);
+        assert_eq!(grid(1, 7).diameter(), 6);
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..10 {
+            let g = random_connected(40, 20, seed);
+            assert!(g.is_connected(), "seed {seed}");
+            assert!(g.edge_count() >= 39);
+        }
+    }
+}

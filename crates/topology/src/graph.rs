@@ -1,0 +1,238 @@
+//! An undirected graph of switches with the path primitives the
+//! evaluation needs: BFS shortest paths, eccentricity, and diameter.
+//!
+//! Nodes are dense indices `0 .. n`; the mapping to random 32-bit switch
+//! identifiers happens per experiment run (see
+//! [`crate::ids::assign_random_ids`]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A node index.
+pub type NodeId = usize;
+
+/// An undirected simple graph stored as adjacency lists.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds an undirected edge; self-loops and duplicate edges are
+    /// ignored (the graph stays simple).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        if u == v || self.adj[u].contains(&v) {
+            return;
+        }
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+        self.edges += 1;
+    }
+
+    /// True if `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// The neighbors of `u`.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.adj.len()
+    }
+
+    /// BFS distances from `src`; `usize::MAX` marks unreachable nodes.
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.adj.len()];
+        let mut queue = VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// A shortest path from `src` to `dst` (inclusive of both), or
+    /// `None` if unreachable. Ties are broken deterministically by the
+    /// adjacency-list order.
+    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut parent = vec![usize::MAX; self.adj.len()];
+        let mut queue = VecDeque::new();
+        parent[src] = src;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if parent[v] == usize::MAX {
+                    parent[v] = u;
+                    if v == dst {
+                        let mut path = vec![dst];
+                        let mut cur = dst;
+                        while cur != src {
+                            cur = parent[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// The eccentricity of `u`: the greatest BFS distance to any
+    /// reachable node.
+    pub fn eccentricity(&self, u: NodeId) -> usize {
+        self.bfs_distances(u)
+            .into_iter()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The graph diameter (greatest shortest-path distance between any
+    /// connected pair). `O(n·m)` — fine for the evaluation topologies
+    /// (≤ 158 nodes).
+    pub fn diameter(&self) -> usize {
+        self.nodes().map(|u| self.eccentricity(u)).max().unwrap_or(0)
+    }
+
+    /// True if every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn basic_construction() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(0, 0);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn shortest_path_on_path_graph() {
+        let g = path_graph(6);
+        assert_eq!(g.shortest_path(0, 5), Some(vec![0, 1, 2, 3, 4, 5]));
+        assert_eq!(g.shortest_path(3, 3), Some(vec![3]));
+        assert_eq!(g.shortest_path(5, 2), Some(vec![5, 4, 3, 2]));
+    }
+
+    #[test]
+    fn shortest_path_prefers_shortcut() {
+        let mut g = path_graph(6);
+        g.add_edge(0, 4);
+        let p = g.shortest_path(0, 5).unwrap();
+        assert_eq!(p.len(), 3); // 0 → 4 → 5
+        assert_eq!(p, vec![0, 4, 5]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert_eq!(g.shortest_path(0, 3), None);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn diameter_of_known_shapes() {
+        assert_eq!(path_graph(6).diameter(), 5);
+        // A 5-cycle has diameter 2.
+        let mut g = Graph::new(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+        }
+        assert_eq!(g.diameter(), 2);
+        // A star has diameter 2.
+        let mut g = Graph::new(6);
+        for i in 1..6 {
+            g.add_edge(0, i);
+        }
+        assert_eq!(g.diameter(), 2);
+    }
+
+    #[test]
+    fn bfs_distances_match_path_lengths() {
+        let g = path_graph(10);
+        let dist = g.bfs_distances(0);
+        for (i, &d) in dist.iter().enumerate() {
+            assert_eq!(d, i);
+            assert_eq!(g.shortest_path(0, i).unwrap().len(), i + 1);
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! A minimal, from-scratch GraphML reader/writer.
+//!
+//! The paper's Table 5 topologies come from the Internet Topology Zoo,
+//! which distributes GraphML files. Those files are not redistributable
+//! inside this repository (the evaluation therefore uses shape-exact
+//! synthetic stand-ins — see `DESIGN.md` §3), but users who *have* the
+//! Zoo files can load them here and run every experiment on the real
+//! graphs:
+//!
+//! ```no_run
+//! let text = std::fs::read_to_string("Geant2012.graphml").unwrap();
+//! let named = unroller_topology::graphml::parse_graphml(&text).unwrap();
+//! println!("{} nodes, diameter {}", named.graph.node_count(), named.graph.diameter());
+//! ```
+//!
+//! The parser handles the XML subset GraphML actually uses: element
+//! tags with single- or double-quoted attributes, self-closing tags,
+//! comments, processing instructions, character data, and the five
+//! predefined entities. It ignores elements it does not know, so Zoo
+//! files' extensive `<data>` annotations parse cleanly.
+
+use crate::graph::Graph;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed graph plus the node names from the file (if any).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedGraph {
+    /// The graph, with nodes densely re-indexed in file order.
+    pub graph: Graph,
+    /// `names[node]` is the node's label (falling back to its GraphML
+    /// id when the file carries no label data).
+    pub names: Vec<String>,
+}
+
+/// GraphML parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphMlError {
+    /// Malformed XML at (byte offset, description).
+    Xml(usize, String),
+    /// An `<edge>` referenced an undeclared node id.
+    UnknownNode(String),
+    /// An `<edge>` lacked a `source` or `target` attribute.
+    IncompleteEdge,
+    /// The document contained no `<graph>` element.
+    NoGraph,
+}
+
+impl fmt::Display for GraphMlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphMlError::Xml(at, what) => write!(f, "malformed XML at byte {at}: {what}"),
+            GraphMlError::UnknownNode(id) => write!(f, "edge references unknown node `{id}`"),
+            GraphMlError::IncompleteEdge => write!(f, "edge missing source/target"),
+            GraphMlError::NoGraph => write!(f, "no <graph> element found"),
+        }
+    }
+}
+
+impl std::error::Error for GraphMlError {}
+
+#[derive(Debug, PartialEq)]
+enum Event {
+    Open {
+        name: String,
+        attrs: Vec<(String, String)>,
+        self_closing: bool,
+    },
+    Close(String),
+    Text(String),
+}
+
+fn decode_entities(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+fn encode_entities(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Tokenizes the XML subset GraphML uses.
+fn tokenize(text: &str) -> Result<Vec<Event>, GraphMlError> {
+    let bytes = text.as_bytes();
+    let mut events = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            // Character data until the next tag.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'<' {
+                i += 1;
+            }
+            let chunk = text[start..i].trim();
+            if !chunk.is_empty() {
+                events.push(Event::Text(decode_entities(chunk)));
+            }
+            continue;
+        }
+        // A tag of some kind.
+        if text[i..].starts_with("<!--") {
+            match text[i..].find("-->") {
+                Some(end) => i += end + 3,
+                None => return Err(GraphMlError::Xml(i, "unterminated comment".into())),
+            }
+            continue;
+        }
+        if text[i..].starts_with("<?") {
+            match text[i..].find("?>") {
+                Some(end) => i += end + 2,
+                None => {
+                    return Err(GraphMlError::Xml(i, "unterminated declaration".into()));
+                }
+            }
+            continue;
+        }
+        if text[i..].starts_with("<!") {
+            // DOCTYPE etc.: skip to the closing '>'.
+            match text[i..].find('>') {
+                Some(end) => i += end + 1,
+                None => return Err(GraphMlError::Xml(i, "unterminated <! section".into())),
+            }
+            continue;
+        }
+        if text[i..].starts_with("</") {
+            let end = text[i..]
+                .find('>')
+                .ok_or_else(|| GraphMlError::Xml(i, "unterminated closing tag".into()))?;
+            let name = text[i + 2..i + end].trim().to_string();
+            events.push(Event::Close(name));
+            i += end + 1;
+            continue;
+        }
+        // Opening tag: scan to '>' while honoring quoted attributes.
+        let tag_start = i + 1;
+        let mut j = tag_start;
+        let mut quote: Option<u8> = None;
+        loop {
+            if j >= bytes.len() {
+                return Err(GraphMlError::Xml(i, "unterminated tag".into()));
+            }
+            match (quote, bytes[j]) {
+                (None, b'>') => break,
+                (None, q @ (b'"' | b'\'')) => quote = Some(q),
+                (Some(q), c) if c == q => quote = None,
+                _ => {}
+            }
+            j += 1;
+        }
+        let raw = &text[tag_start..j];
+        let (raw, self_closing) = match raw.strip_suffix('/') {
+            Some(r) => (r, true),
+            None => (raw, false),
+        };
+        let mut parts = raw.splitn(2, char::is_whitespace);
+        let name = parts
+            .next()
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| GraphMlError::Xml(i, "empty tag name".into()))?
+            .to_string();
+        let attrs = parse_attrs(parts.next().unwrap_or(""), i)?;
+        events.push(Event::Open {
+            name,
+            attrs,
+            self_closing,
+        });
+        i = j + 1;
+    }
+    Ok(events)
+}
+
+fn parse_attrs(raw: &str, at: usize) -> Result<Vec<(String, String)>, GraphMlError> {
+    let mut attrs = Vec::new();
+    let bytes = raw.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'=' && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let key = raw[key_start..i].to_string();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'=' {
+            return Err(GraphMlError::Xml(at, format!("attribute `{key}` has no value")));
+        }
+        i += 1; // '='
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || (bytes[i] != b'"' && bytes[i] != b'\'') {
+            return Err(GraphMlError::Xml(at, format!("attribute `{key}` not quoted")));
+        }
+        let q = bytes[i];
+        i += 1;
+        let val_start = i;
+        while i < bytes.len() && bytes[i] != q {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(GraphMlError::Xml(at, format!("attribute `{key}` unterminated")));
+        }
+        attrs.push((key, decode_entities(&raw[val_start..i])));
+        i += 1; // closing quote
+    }
+    Ok(attrs)
+}
+
+fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Parses a GraphML document into a dense undirected [`Graph`] plus
+/// node names. Directed files are read as undirected (the evaluation's
+/// graphs are physical link topologies).
+pub fn parse_graphml(text: &str) -> Result<NamedGraph, GraphMlError> {
+    let events = tokenize(text)?;
+
+    // Pass 1: find the key id carrying the node label, if declared.
+    let mut label_key: Option<String> = None;
+    for e in &events {
+        if let Event::Open { name, attrs, .. } = e {
+            if name == "key"
+                && attr(attrs, "for") == Some("node")
+                && attr(attrs, "attr.name") == Some("label")
+            {
+                label_key = attr(attrs, "id").map(str::to_string);
+            }
+        }
+    }
+
+    // Pass 2: collect nodes and edges.
+    let mut ids: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut labels: HashMap<usize, String> = HashMap::new();
+    let mut edges: Vec<(String, String)> = Vec::new();
+    let mut saw_graph = false;
+
+    let mut current_node: Option<usize> = None;
+    let mut pending_label_data = false;
+
+    for e in &events {
+        match e {
+            Event::Open {
+                name,
+                attrs,
+                self_closing,
+            } => match name.as_str() {
+                "graph" => saw_graph = true,
+                "node" => {
+                    let id = attr(attrs, "id")
+                        .ok_or_else(|| GraphMlError::Xml(0, "node without id".into()))?
+                        .to_string();
+                    let idx = *index.entry(id.clone()).or_insert_with(|| {
+                        ids.push(id);
+                        ids.len() - 1
+                    });
+                    if !self_closing {
+                        current_node = Some(idx);
+                    }
+                }
+                "edge" => {
+                    let (Some(s), Some(t)) = (attr(attrs, "source"), attr(attrs, "target"))
+                    else {
+                        return Err(GraphMlError::IncompleteEdge);
+                    };
+                    edges.push((s.to_string(), t.to_string()));
+                }
+                "data" => {
+                    pending_label_data = current_node.is_some()
+                        && label_key.as_deref().is_some_and(|k| attr(attrs, "key") == Some(k));
+                }
+                _ => {}
+            },
+            Event::Close(name) => match name.as_str() {
+                "node" => current_node = None,
+                "data" => pending_label_data = false,
+                _ => {}
+            },
+            Event::Text(text) => {
+                if pending_label_data {
+                    if let Some(idx) = current_node {
+                        labels.insert(idx, text.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    if !saw_graph {
+        return Err(GraphMlError::NoGraph);
+    }
+    let mut graph = Graph::new(ids.len());
+    for (s, t) in edges {
+        let &u = index.get(&s).ok_or(GraphMlError::UnknownNode(s))?;
+        let &v = index.get(&t).ok_or(GraphMlError::UnknownNode(t))?;
+        graph.add_edge(u, v);
+    }
+    let names = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| labels.get(&i).cloned().unwrap_or_else(|| id.clone()))
+        .collect();
+    Ok(NamedGraph { graph, names })
+}
+
+/// Serializes a graph (and optional node names) to GraphML that this
+/// module — and standard tools — can read back.
+pub fn to_graphml(graph: &Graph, names: Option<&[String]>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, r#"<?xml version="1.0" encoding="utf-8"?>"#);
+    let _ = writeln!(
+        out,
+        r#"<graphml xmlns="http://graphml.graphdrawing.org/xmlns">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"  <key id="d0" for="node" attr.name="label" attr.type="string"/>"#
+    );
+    let _ = writeln!(out, r#"  <graph edgedefault="undirected">"#);
+    for n in graph.nodes() {
+        match names.and_then(|ns| ns.get(n)) {
+            Some(name) => {
+                let _ = writeln!(
+                    out,
+                    r#"    <node id="n{n}"><data key="d0">{}</data></node>"#,
+                    encode_entities(name)
+                );
+            }
+            None => {
+                let _ = writeln!(out, r#"    <node id="n{n}"/>"#);
+            }
+        }
+    }
+    for u in graph.nodes() {
+        for &v in graph.neighbors(u) {
+            if u < v {
+                let _ = writeln!(out, r#"    <edge source="n{u}" target="n{v}"/>"#);
+            }
+        }
+    }
+    let _ = writeln!(out, "  </graph>");
+    let _ = writeln!(out, "</graphml>");
+    out
+}
+
+/// Loads a GraphML file from disk.
+pub fn load_graphml_file(path: impl AsRef<std::path::Path>) -> std::io::Result<NamedGraph> {
+    let text = std::fs::read_to_string(path)?;
+    parse_graphml(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_connected;
+
+    const SAMPLE: &str = r#"<?xml version="1.0" encoding="utf-8"?>
+<!-- a Topology-Zoo-shaped sample -->
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="label" attr.type="string" for="node" id="d33"/>
+  <key attr.name="LinkSpeed" attr.type="string" for="edge" id="d40"/>
+  <graph edgedefault="undirected">
+    <node id="0">
+      <data key="d33">Vienna &amp; Environs</data>
+    </node>
+    <node id="1">
+      <data key="d33">Prague</data>
+    </node>
+    <node id="2"/>
+    <edge source="0" target="1">
+      <data key="d40">10G</data>
+    </edge>
+    <edge source="1" target="2"/>
+  </graph>
+</graphml>"#;
+
+    #[test]
+    fn parses_zoo_shaped_sample() {
+        let named = parse_graphml(SAMPLE).unwrap();
+        assert_eq!(named.graph.node_count(), 3);
+        assert_eq!(named.graph.edge_count(), 2);
+        assert!(named.graph.has_edge(0, 1));
+        assert!(named.graph.has_edge(1, 2));
+        assert_eq!(named.names[0], "Vienna & Environs"); // entity decoded
+        assert_eq!(named.names[1], "Prague");
+        assert_eq!(named.names[2], "2"); // falls back to the id
+    }
+
+    /// Canonical edge set for structure comparison (adjacency-list
+    /// *order* is not meaningful and differs across construction
+    /// orders).
+    fn edge_set(g: &Graph) -> Vec<(usize, usize)> {
+        let mut edges: Vec<(usize, usize)> = g
+            .nodes()
+            .flat_map(|u| {
+                g.neighbors(u)
+                    .iter()
+                    .filter(move |&&v| u < v)
+                    .map(move |&v| (u, v))
+            })
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        for seed in 0..5 {
+            let g = random_connected(20, 15, seed);
+            let names: Vec<String> = (0..20).map(|i| format!("node-{i}")).collect();
+            let text = to_graphml(&g, Some(&names));
+            let back = parse_graphml(&text).unwrap();
+            assert_eq!(back.graph.node_count(), g.node_count(), "seed {seed}");
+            assert_eq!(edge_set(&back.graph), edge_set(&g), "seed {seed}");
+            assert_eq!(back.names, names);
+        }
+    }
+
+    #[test]
+    fn roundtrip_without_names() {
+        let g = random_connected(8, 4, 9);
+        let back = parse_graphml(&to_graphml(&g, None)).unwrap();
+        assert_eq!(edge_set(&back.graph), edge_set(&g));
+    }
+
+    #[test]
+    fn rejects_edge_to_unknown_node() {
+        let text = r#"<graphml><graph>
+            <node id="a"/>
+            <edge source="a" target="ghost"/>
+        </graph></graphml>"#;
+        assert!(matches!(
+            parse_graphml(text),
+            Err(GraphMlError::UnknownNode(id)) if id == "ghost"
+        ));
+    }
+
+    #[test]
+    fn rejects_incomplete_edge() {
+        let text = r#"<graphml><graph><node id="a"/><edge source="a"/></graph></graphml>"#;
+        assert_eq!(parse_graphml(text), Err(GraphMlError::IncompleteEdge));
+    }
+
+    #[test]
+    fn rejects_missing_graph_element() {
+        assert_eq!(
+            parse_graphml("<graphml></graphml>"),
+            Err(GraphMlError::NoGraph)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_xml() {
+        assert!(matches!(
+            parse_graphml("<graphml><graph><node id="),
+            Err(GraphMlError::Xml(..))
+        ));
+        assert!(matches!(
+            parse_graphml("<graphml><!-- unterminated"),
+            Err(GraphMlError::Xml(..))
+        ));
+    }
+
+    #[test]
+    fn quoted_gt_inside_attribute() {
+        let text = r#"<graphml><graph>
+            <node id="a>b"/>
+            <node id="c"/>
+            <edge source="a>b" target="c"/>
+        </graph></graphml>"#;
+        let named = parse_graphml(text).unwrap();
+        assert_eq!(named.graph.node_count(), 2);
+        assert!(named.graph.has_edge(0, 1));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let text = r#"<graphml><graph>
+            <node id="a"/><node id="b"/>
+            <edge source="a" target="b"/>
+            <edge source="b" target="a"/>
+        </graph></graphml>"#;
+        let named = parse_graphml(text).unwrap();
+        assert_eq!(named.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let text = "<graphml><graph><node id='x'/><node id='y'/><edge source='x' target='y'/></graph></graphml>";
+        let named = parse_graphml(text).unwrap();
+        assert_eq!(named.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn loaded_graph_runs_the_full_pipeline() {
+        // A loaded topology plugs into path/loop machinery directly.
+        let g = random_connected(16, 12, 3);
+        let named = parse_graphml(&to_graphml(&g, None)).unwrap();
+        let mut rng = unroller_core::test_rng(4);
+        let scenario =
+            crate::loops::sample_scenario(&named.graph, 10, 100, &mut rng).expect("has loops");
+        assert!(scenario.l() >= 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! # unroller-topology
+//!
+//! The topology substrate for the Unroller evaluation: switch-level
+//! graphs, the paper's Table 5 topologies, and routing-loop scenario
+//! sampling.
+//!
+//! * [`graph`] — an undirected graph with BFS shortest paths,
+//!   eccentricity and diameter.
+//! * [`generators`] — `k`-ary fat-trees, VL2 fabrics, WAN-like graphs
+//!   with exact (node count, diameter), rings, grids, and random
+//!   connected graphs.
+//! * [`zoo`] — the six named Table 5 topologies (Stanford, BellSouth,
+//!   GEANT, ATT-NA, UsCarrier, FatTree4), matching the published node
+//!   counts and diameters.
+//! * [`loops`] — sampling of routing loops that intersect a path, and
+//!   the [`loops::LoopScenario`] → packet-walk conversion.
+//! * [`ids`] — per-run random switch identifier assignment.
+//!
+//! ```
+//! use unroller_topology::{loops, zoo, ids};
+//! use unroller_core::prelude::*;
+//!
+//! let topo = zoo::geant();
+//! let mut rng = unroller_core::test_rng(1);
+//! let scenario = loops::sample_scenario(&topo.graph, 20, 100, &mut rng).unwrap();
+//! let switch_ids = ids::assign_random_ids(topo.graph.node_count(), &mut rng);
+//! let walk = scenario.walk(&switch_ids);
+//!
+//! let det = Unroller::from_params(UnrollerParams::default()).unwrap();
+//! let outcome = run_detector(&det, &walk, 100_000);
+//! assert!(outcome.reported_at.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod graph;
+pub mod graphml;
+pub mod ids;
+pub mod loops;
+pub mod zoo;
+
+pub use graph::{Graph, NodeId};
+pub use loops::LoopScenario;
+pub use zoo::Topology;

@@ -1,0 +1,274 @@
+//! Routing-loop scenario sampling (the Table 5 workload).
+//!
+//! The paper's methodology: "we randomly picked two nodes in each
+//! considered topology and selected a shortest path between them. Out of
+//! all possible loops that intersect with that path, we picked one
+//! uniformly at random." Enumerating every simple cycle of a graph is
+//! exponential, so we substitute a *uniformly randomized* sampler: pick
+//! a uniform node on the path and grow a simple cycle through it by a
+//! random walk with uniform neighbor choices and fair coin stops. Every
+//! loop intersecting the path has positive probability; `DESIGN.md` §3
+//! records the substitution.
+
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use unroller_core::{SwitchId, Walk};
+
+/// A complete loop scenario on a topology: the intended path, the cycle
+/// the packet gets trapped in, and where the path enters it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopScenario {
+    /// The intended (shortest) path, as node indices.
+    pub path: Vec<NodeId>,
+    /// The cycle, rotated so `cycle[0]` is the node where the packet
+    /// enters it.
+    pub cycle: Vec<NodeId>,
+    /// Index into `path` of the entry node (`= B`, the number of
+    /// pre-loop hops).
+    pub entry: usize,
+}
+
+impl LoopScenario {
+    /// Pre-loop hop count `B`.
+    pub fn b(&self) -> usize {
+        self.entry
+    }
+
+    /// Loop length `L`.
+    pub fn l(&self) -> usize {
+        self.cycle.len()
+    }
+
+    /// `X = B + L`.
+    pub fn x(&self) -> usize {
+        self.b() + self.l()
+    }
+
+    /// Materializes the packet trajectory using the per-run switch
+    /// identifier assignment `ids[node]`.
+    pub fn walk(&self, ids: &[SwitchId]) -> Walk {
+        let pre = self.path[..self.entry].iter().map(|&n| ids[n]).collect();
+        let cycle = self.cycle.iter().map(|&n| ids[n]).collect();
+        Walk::new(pre, cycle)
+    }
+
+    /// The nodes a detector deployed on this scenario will observe
+    /// (pre-loop path plus cycle), without duplicates.
+    pub fn observed_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.path[..self.entry].to_vec();
+        nodes.extend(&self.cycle);
+        nodes
+    }
+}
+
+/// Samples a simple cycle through `start` (length in `2 ..= max_len`,
+/// where length 2 models a forwarding ping-pong over one link) by a
+/// randomized walk. Returns `None` if the attempt dead-ends.
+pub fn sample_cycle_through<R: Rng + ?Sized>(
+    g: &Graph,
+    start: NodeId,
+    max_len: usize,
+    rng: &mut R,
+) -> Option<Vec<NodeId>> {
+    let mut visited = vec![false; g.node_count()];
+    visited[start] = true;
+    let mut cycle = vec![start];
+    let mut scratch: Vec<NodeId> = Vec::new();
+    loop {
+        let u = *cycle.last().unwrap();
+        let can_close = cycle.len() >= 2 && g.has_edge(u, start);
+        scratch.clear();
+        scratch.extend(g.neighbors(u).iter().copied().filter(|&v| !visited[v]));
+        let must_close = scratch.is_empty() || cycle.len() >= max_len;
+        if can_close && (must_close || rng.gen_bool(0.5)) {
+            return Some(cycle);
+        }
+        if must_close {
+            return None; // dead end and cannot close
+        }
+        let &next = scratch.choose(rng).expect("non-empty");
+        visited[next] = true;
+        cycle.push(next);
+    }
+}
+
+/// Samples a cycle intersecting `path`, trying up to `attempts`
+/// randomized walks. The returned cycle passes through at least one
+/// path node.
+pub fn sample_cycle_intersecting<R: Rng + ?Sized>(
+    g: &Graph,
+    path: &[NodeId],
+    max_len: usize,
+    attempts: usize,
+    rng: &mut R,
+) -> Option<Vec<NodeId>> {
+    for _ in 0..attempts {
+        let &through = path.choose(rng)?;
+        if let Some(cycle) = sample_cycle_through(g, through, max_len, rng) {
+            return Some(cycle);
+        }
+    }
+    None
+}
+
+/// Samples a complete Table 5 scenario: a uniform random distinct node
+/// pair, a shortest path between them, and a random cycle intersecting
+/// that path, rotated to the packet's entry point.
+pub fn sample_scenario<R: Rng + ?Sized>(
+    g: &Graph,
+    max_loop_len: usize,
+    attempts: usize,
+    rng: &mut R,
+) -> Option<LoopScenario> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    for _ in 0..attempts {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        if src == dst {
+            continue;
+        }
+        let Some(path) = g.shortest_path(src, dst) else {
+            continue;
+        };
+        let Some(cycle) = sample_cycle_intersecting(g, &path, max_loop_len, 8, rng) else {
+            continue;
+        };
+        // The packet enters the loop at the first path node on the cycle.
+        let entry = path
+            .iter()
+            .position(|p| cycle.contains(p))
+            .expect("cycle intersects path by construction");
+        let pivot = cycle
+            .iter()
+            .position(|&c| c == path[entry])
+            .expect("entry node is on the cycle");
+        let mut rotated = cycle;
+        rotated.rotate_left(pivot);
+        return Some(LoopScenario {
+            path,
+            cycle: rotated,
+            entry,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{fat_tree, random_connected, ring};
+
+    fn rng() -> rand::rngs::StdRng {
+        unroller_core::test_rng(77)
+    }
+
+    fn assert_valid_cycle(g: &Graph, cycle: &[NodeId]) {
+        assert!(cycle.len() >= 2, "cycle too short: {cycle:?}");
+        // Consecutive nodes adjacent; closes back to the start.
+        for w in cycle.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "{:?} not an edge", w);
+        }
+        assert!(g.has_edge(*cycle.last().unwrap(), cycle[0]));
+        // Simple: no repeated nodes.
+        let mut sorted = cycle.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cycle.len(), "cycle revisits a node");
+    }
+
+    #[test]
+    fn cycles_on_a_ring_are_the_whole_ring_or_pingpong() {
+        let g = ring(6);
+        let mut r = rng();
+        for _ in 0..50 {
+            if let Some(c) = sample_cycle_through(&g, 0, 12, &mut r) {
+                assert_valid_cycle(&g, &c);
+                // On a simple ring the only simple cycles through 0 are
+                // the full ring (6) or a ping-pong (2).
+                assert!(c.len() == 6 || c.len() == 2, "unexpected cycle {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_cycles_are_valid_on_random_graphs() {
+        let mut r = rng();
+        for seed in 0..5 {
+            let g = random_connected(30, 25, seed);
+            for start in [0usize, 5, 29] {
+                for _ in 0..20 {
+                    if let Some(c) = sample_cycle_through(&g, start, 15, &mut r) {
+                        assert_eq!(c[0], start);
+                        assert_valid_cycle(&g, &c);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_geometry_is_consistent() {
+        let mut r = rng();
+        let ft = fat_tree(4);
+        for _ in 0..100 {
+            let s = sample_scenario(&ft.graph, 10, 50, &mut r).expect("fat-tree has cycles");
+            assert_valid_cycle(&ft.graph, &s.cycle);
+            assert!(s.entry < s.path.len());
+            assert_eq!(s.cycle[0], s.path[s.entry], "entry node starts the cycle");
+            // No earlier path node is on the cycle.
+            for &p in &s.path[..s.entry] {
+                assert!(!s.cycle.contains(&p));
+            }
+            assert_eq!(s.x(), s.b() + s.l());
+        }
+    }
+
+    #[test]
+    fn scenario_walk_maps_ids() {
+        let mut r = rng();
+        let g = random_connected(20, 15, 3);
+        let ids: Vec<u32> = (0..20).map(|i| 1000 + i).collect();
+        let s = sample_scenario(&g, 10, 200, &mut r).expect("cycle exists");
+        let w = s.walk(&ids);
+        assert_eq!(w.b(), s.b());
+        assert_eq!(w.l(), s.l());
+        for (i, &n) in s.path[..s.entry].iter().enumerate() {
+            assert_eq!(w.pre[i], ids[n]);
+        }
+        for (i, &n) in s.cycle.iter().enumerate() {
+            assert_eq!(w.cycle[i], ids[n]);
+        }
+    }
+
+    #[test]
+    fn cycle_respects_max_len() {
+        let mut r = rng();
+        let g = random_connected(50, 60, 9);
+        for _ in 0..100 {
+            if let Some(c) = sample_cycle_through(&g, 0, 6, &mut r) {
+                assert!(c.len() <= 6, "cycle {c:?} exceeds max_len");
+            }
+        }
+    }
+
+    #[test]
+    fn only_pingpong_loops_on_a_tree() {
+        // A tree has no simple cycles of length ≥ 3, but forwarding
+        // ping-pongs (length 2, one link used both ways) are still valid
+        // routing loops and the only ones the sampler may return.
+        let g = random_connected(20, 0, 5);
+        let mut r = rng();
+        for start in 0..20 {
+            for _ in 0..10 {
+                if let Some(c) = sample_cycle_through(&g, start, 20, &mut r) {
+                    assert_eq!(c.len(), 2, "tree admits only ping-pong loops: {c:?}");
+                    assert!(g.has_edge(c[0], c[1]));
+                }
+            }
+        }
+    }
+}

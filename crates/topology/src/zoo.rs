@@ -1,0 +1,156 @@
+//! The evaluation topologies of Table 5.
+//!
+//! The paper uses five real topologies from the Internet Topology Zoo /
+//! the Mini-Stanford backbone plus a 4-ary fat-tree. The Zoo's GraphML
+//! data is not redistributable inside this repository, so the WAN
+//! topologies are *synthesized to the published (node count, diameter)
+//! pairs* with deterministic seeds (see `DESIGN.md` §3 for why this
+//! preserves Table 5's metrics); the fat-tree is exact.
+//!
+//! | name | nodes | diameter |
+//! |---|---|---|
+//! | Stanford  | 16  | 2  |
+//! | BellSouth | 51  | 7  |
+//! | GEANT     | 40  | 8  |
+//! | ATT-NA    | 25  | 5  |
+//! | UsCarrier | 158 | 35 |
+//! | FatTree4  | 20  | 4  |
+
+use crate::generators::{fat_tree, wan_like, LayeredFabric};
+use crate::graph::Graph;
+
+/// A named evaluation topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Display name (matches the paper's Table 5 rows).
+    pub name: &'static str,
+    /// The switch-level graph.
+    pub graph: Graph,
+    /// Layer oracle for layered fabrics (`None` for WANs) — this is what
+    /// makes PathDump applicable.
+    pub layers: Option<Vec<u8>>,
+}
+
+impl Topology {
+    fn wan(name: &'static str, n: usize, d: usize, extra: usize, seed: u64) -> Self {
+        Topology {
+            name,
+            graph: wan_like(n, d, extra, seed),
+            layers: None,
+        }
+    }
+
+    fn fabric(name: &'static str, f: LayeredFabric) -> Self {
+        Topology {
+            name,
+            graph: f.graph,
+            layers: Some(f.layers),
+        }
+    }
+
+    /// Published node count / diameter pairs for the Table 5 rows.
+    pub fn expected_shape(name: &str) -> Option<(usize, usize)> {
+        Some(match name {
+            "Stanford" => (16, 2),
+            "BellSouth" => (51, 7),
+            "GEANT" => (40, 8),
+            "ATT-NA" => (25, 5),
+            "UsCarrier" => (158, 35),
+            "FatTree4" => (20, 4),
+            _ => return None,
+        })
+    }
+}
+
+/// Mini-Stanford backbone stand-in: 16 nodes, diameter 2.
+pub fn stanford() -> Topology {
+    Topology::wan("Stanford", 16, 2, 10, 0x5741)
+}
+
+/// BellSouth stand-in: 51 nodes, diameter 7.
+pub fn bellsouth() -> Topology {
+    Topology::wan("BellSouth", 51, 7, 18, 0x5742)
+}
+
+/// GEANT stand-in: 40 nodes, diameter 8.
+pub fn geant() -> Topology {
+    Topology::wan("GEANT", 40, 8, 14, 0x5743)
+}
+
+/// AT&T North America stand-in: 25 nodes, diameter 5.
+pub fn att_na() -> Topology {
+    Topology::wan("ATT-NA", 25, 5, 10, 0x5744)
+}
+
+/// UsCarrier stand-in: 158 nodes, diameter 35 (a long, sparse carrier
+/// chain).
+pub fn us_carrier() -> Topology {
+    Topology::wan("UsCarrier", 158, 35, 30, 0x5745)
+}
+
+/// The exact 4-ary fat-tree (20 switches, diameter 4).
+pub fn fattree4() -> Topology {
+    Topology::fabric("FatTree4", fat_tree(4))
+}
+
+/// A small VL2 fabric (4 intermediates, 8 aggregations, 20 ToRs) — the
+/// other topology class PathDump supports ("can only be applied to a
+/// very limited set of topologies, e.g., FatTree and VL2"). Not a
+/// Table 5 row, but exercised by the PathDump applicability tests.
+pub fn vl2_small() -> Topology {
+    Topology::fabric("VL2", crate::generators::vl2(4, 8, 20))
+}
+
+/// All six Table 5 topologies, in row order.
+pub fn table5_topologies() -> Vec<Topology> {
+    vec![
+        stanford(),
+        bellsouth(),
+        geant(),
+        att_na(),
+        us_carrier(),
+        fattree4(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_topology_matches_published_shape() {
+        for t in table5_topologies() {
+            let (n, d) = Topology::expected_shape(t.name).unwrap();
+            assert_eq!(t.graph.node_count(), n, "{} node count", t.name);
+            assert_eq!(t.graph.diameter(), d, "{} diameter", t.name);
+            assert!(t.graph.is_connected(), "{} connected", t.name);
+        }
+    }
+
+    #[test]
+    fn only_fattree_is_layered() {
+        for t in table5_topologies() {
+            assert_eq!(t.layers.is_some(), t.name == "FatTree4", "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn topologies_are_deterministic() {
+        assert_eq!(geant().graph, geant().graph);
+        assert_eq!(us_carrier().graph, us_carrier().graph);
+    }
+
+    #[test]
+    fn unknown_name_has_no_expected_shape() {
+        assert_eq!(Topology::expected_shape("Nonexistent"), None);
+    }
+
+    #[test]
+    fn vl2_is_layered_and_connected() {
+        let t = vl2_small();
+        assert!(t.layers.is_some());
+        assert!(t.graph.is_connected());
+        assert_eq!(t.graph.node_count(), 32);
+        assert!(t.graph.diameter() <= 4);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests over the topology substrate: graph invariants,
+//! generator guarantees, and loop-sampler validity on arbitrary inputs.
+
+// Index-style loops over node ids are clearer than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use unroller_topology::generators::{fat_tree, random_connected, wan_like};
+use unroller_topology::loops::{sample_cycle_through, sample_scenario};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `wan_like` hits the requested node count and diameter exactly,
+    /// for arbitrary (n, d, extra, seed).
+    #[test]
+    fn wan_like_exact_shape(
+        d in 2usize..20,
+        extra_nodes in 0usize..40,
+        chords in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let n = d + 1 + extra_nodes;
+        let g = wan_like(n, d, chords, seed);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.diameter(), d);
+        prop_assert!(g.is_connected());
+    }
+
+    /// Shortest paths are valid (consecutive adjacency, no repeats) and
+    /// their length matches the BFS distance.
+    #[test]
+    fn shortest_paths_are_shortest(
+        n in 2usize..40,
+        extra in 0usize..40,
+        seed in any::<u64>(),
+        pair in any::<(u64, u64)>(),
+    ) {
+        let g = random_connected(n, extra, seed);
+        let src = (pair.0 as usize) % n;
+        let dst = (pair.1 as usize) % n;
+        let path = g.shortest_path(src, dst).expect("connected");
+        prop_assert_eq!(path[0], src);
+        prop_assert_eq!(*path.last().unwrap(), dst);
+        for w in path.windows(2) {
+            prop_assert!(g.has_edge(w[0], w[1]));
+        }
+        let mut sorted = path.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), path.len(), "path revisits a node");
+        prop_assert_eq!(path.len() - 1, g.bfs_distances(src)[dst]);
+    }
+
+    /// Sampled cycles are valid routing loops: adjacent consecutive
+    /// nodes, closing edge, no repeated nodes, within the length cap.
+    #[test]
+    fn sampled_cycles_are_valid(
+        n in 3usize..40,
+        extra in 1usize..40,
+        seed in any::<u64>(),
+        start_raw in any::<u64>(),
+        max_len in 2usize..20,
+        rng_seed in any::<u64>(),
+    ) {
+        let g = random_connected(n, extra, seed);
+        let start = (start_raw as usize) % n;
+        let mut rng = unroller_core::test_rng(rng_seed);
+        if let Some(c) = sample_cycle_through(&g, start, max_len, &mut rng) {
+            prop_assert!(c.len() >= 2 && c.len() <= max_len);
+            prop_assert_eq!(c[0], start);
+            for w in c.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+            prop_assert!(g.has_edge(*c.last().unwrap(), c[0]));
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), c.len());
+        }
+    }
+
+    /// Scenario geometry: the entry node starts the rotated cycle and no
+    /// earlier path node lies on it, so `B` is exactly the entry index.
+    #[test]
+    fn scenarios_are_coherent(
+        n in 4usize..30,
+        extra in 2usize..30,
+        seed in any::<u64>(),
+        rng_seed in any::<u64>(),
+    ) {
+        let g = random_connected(n, extra, seed);
+        let mut rng = unroller_core::test_rng(rng_seed);
+        if let Some(s) = sample_scenario(&g, n, 50, &mut rng) {
+            prop_assert_eq!(s.cycle[0], s.path[s.entry]);
+            for &p in &s.path[..s.entry] {
+                prop_assert!(!s.cycle.contains(&p));
+            }
+            prop_assert_eq!(s.b() + s.l(), s.x());
+            // The walk materialization preserves lengths.
+            let ids: Vec<u32> = (0..n as u32).map(|i| 10_000 + i).collect();
+            let w = s.walk(&ids);
+            prop_assert_eq!(w.b(), s.b());
+            prop_assert_eq!(w.l(), s.l());
+        }
+    }
+
+    /// Fat-trees of any even arity are layered, connected, and have
+    /// diameter 4 (switch level).
+    #[test]
+    fn fat_tree_shape(k_half in 1usize..5) {
+        let k = 2 * k_half;
+        let f = fat_tree(k);
+        prop_assert_eq!(f.graph.node_count(), (k / 2) * (k / 2) + k * k);
+        prop_assert!(f.graph.is_connected());
+        if k >= 4 {
+            prop_assert_eq!(f.graph.diameter(), 4);
+        }
+        for u in f.graph.nodes() {
+            for &v in f.graph.neighbors(u) {
+                prop_assert_eq!(f.layers[u].abs_diff(f.layers[v]), 1);
+            }
+        }
+    }
+
+    /// Adding an edge never increases any pairwise distance.
+    #[test]
+    fn edges_only_shrink_distances(
+        n in 3usize..25,
+        extra in 0usize..20,
+        seed in any::<u64>(),
+        edge in any::<(u64, u64)>(),
+    ) {
+        let g = random_connected(n, extra, seed);
+        let u = (edge.0 as usize) % n;
+        let v = (edge.1 as usize) % n;
+        prop_assume!(u != v && !g.has_edge(u, v));
+        let before: Vec<Vec<usize>> = (0..n).map(|s| g.bfs_distances(s)).collect();
+        let mut g2 = g.clone();
+        g2.add_edge(u, v);
+        for s in 0..n {
+            let after = g2.bfs_distances(s);
+            for t in 0..n {
+                prop_assert!(after[t] <= before[s][t]);
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Natural routing loops: a link failure sends distance-vector routing
+//! counting to infinity, and during convergence the forwarding state
+//! contains transient micro-loops — the route-instability scenario the
+//! paper's introduction motivates with. Unroller catches the trapped
+//! packets in the data plane, round by round, until the protocol
+//! converges.
+//!
+//! ```sh
+//! cargo run --release --example dv_microloop
+//! ```
+
+use unroller::control::distvec::{DistanceVector, INFINITY};
+use unroller::core::{Unroller, UnrollerParams};
+use unroller::sim::{SimConfig, Simulator};
+use unroller::topology::generators::grid;
+use unroller::topology::ids::assign_sequential_ids;
+
+fn main() {
+    // A 1x6 line: after the 4-5 link fails, destination 5 is partitioned
+    // and the remaining nodes count to infinity, looping the while.
+    let g = grid(6, 1);
+    let n = g.node_count();
+    let ids = assign_sequential_ids(n, 100);
+    let dst = 5;
+
+    let mut dv = DistanceVector::new(g.clone(), false);
+    println!("distance-vector converged; node 0 -> node {dst} distance {}", dv.distance(0, dst));
+
+    println!("\n=== link 4-5 fails ===");
+    dv.fail_link(4, 5);
+
+    let det = Unroller::from_params(UnrollerParams::default()).unwrap();
+    let mut round = 0u32;
+    loop {
+        // Install the protocol's current (possibly looping) forwarding
+        // state into the data plane and send a packet.
+        let mut sim = Simulator::new(g.clone(), ids.clone(), det.clone(), SimConfig::default());
+        sim.set_routes(dst, dv.forwarding(dst));
+        sim.send_packet(0, 0, dst);
+        let stats = sim.run();
+
+        let loop_desc = dv
+            .loop_toward(dst)
+            .map(|c| format!("micro-loop {c:?}"))
+            .unwrap_or_else(|| "no loop".into());
+        let fate = if stats.delivered == 1 {
+            "delivered".into()
+        } else if !stats.reports.is_empty() {
+            format!(
+                "LOOP caught by switch {} at hop {}",
+                stats.reports[0].node, stats.reports[0].hop
+            )
+        } else if stats.dropped_no_route == 1 {
+            "dropped (no route — protocol gave up correctly)".into()
+        } else {
+            "dropped (TTL)".into()
+        };
+        println!(
+            "round {round:>2}: dist(0->{dst}) = {:>2}  {loop_desc:<24} packet: {fate}",
+            dv.distance(0, dst)
+        );
+
+        if !dv.step() {
+            break;
+        }
+        round += 1;
+        if round > 3 * INFINITY {
+            break;
+        }
+    }
+    println!(
+        "\nconverged after {round} rounds; destination {dst} is {}",
+        if dv.distance(0, dst) >= INFINITY {
+            "unreachable (correctly: the failure partitioned it)"
+        } else {
+            "reachable again"
+        }
+    );
+    println!(
+        "every looping round above was caught *in the data plane* — no TTL expiry,\n\
+         no collector round-trips, exactly the real-time property Unroller provides."
+    );
+}

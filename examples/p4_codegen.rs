@@ -1,0 +1,30 @@
+//! Generate the deployable P4₁₆ program and its controller
+//! provisioning script for a chosen configuration — the artifact the
+//! paper ships (§4: a single ~60-line ingress control block).
+//!
+//! ```sh
+//! cargo run --release --example p4_codegen                       # paper default
+//! cargo run --release --example p4_codegen -- "b=4,z=7,th=4"     # §3.3 example
+//! cargo run --release --example p4_codegen -- "b=3,c=2"          # LUT path
+//! ```
+
+use unroller::core::UnrollerParams;
+use unroller::dataplane::p4gen::{generate_p4, provisioning_script};
+
+fn main() {
+    let params: UnrollerParams = std::env::args()
+        .nth(1)
+        .map(|s| {
+            s.parse().unwrap_or_else(|e| {
+                eprintln!("bad parameter string `{s}`: {e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_default();
+
+    println!("{}", generate_p4(&params));
+    println!("//// --- controller provisioning (switch id 0x2a shown) ---");
+    for line in provisioning_script(&params, 0x2a).lines() {
+        println!("//// {line}");
+    }
+}

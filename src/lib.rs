@@ -1,0 +1,35 @@
+//! # unroller
+//!
+//! Facade crate for the Unroller workspace — a from-scratch Rust
+//! reproduction of *"Detecting Routing Loops in the Data Plane"*
+//! (CoNEXT 2020). Re-exports every sub-crate under a stable module tree:
+//!
+//! * [`core`] — the Unroller algorithm family (phases, hashing,
+//!   thresholds, chunks) and its theoretical bounds.
+//! * [`baselines`] — INT full-path encoding, in-packet Bloom filters,
+//!   PathDump, and the no-reset ablation variant.
+//! * [`topology`] — network graphs, WAN/data-center generators, and
+//!   path/loop sampling.
+//! * [`control`] — loop localization, the report-ingesting controller,
+//!   and a distance-vector routing substrate producing transient loops.
+//! * [`dataplane`] — a P4-like pipeline model with a bit-exact Unroller
+//!   control block and resource accounting.
+//! * [`sim`] — a deterministic discrete-event packet-level network
+//!   simulator with routing-loop injection.
+//! * [`experiments`] — runners reproducing every table and figure of the
+//!   paper's evaluation.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use unroller_baselines as baselines;
+pub use unroller_core as core;
+pub use unroller_control as control;
+pub use unroller_dataplane as dataplane;
+pub use unroller_experiments as experiments;
+pub use unroller_sim as sim;
+pub use unroller_topology as topology;
+
+pub use unroller_core::prelude;

@@ -1,0 +1,153 @@
+//! Integration tests for the full control loop: data-plane detection →
+//! tagged membership collection → controller localization → healing,
+//! and the distance-vector substrate's transient loops feeding the data
+//! plane.
+
+use unroller::control::{Controller, DistanceVector, LocalizingDetector, INFINITY};
+use unroller::core::{Unroller, UnrollerParams};
+use unroller::sim::{SimConfig, Simulator};
+use unroller::topology::generators::{grid, ring};
+use unroller::topology::ids::{assign_random_ids, assign_sequential_ids};
+use unroller::topology::loops::sample_scenario;
+use unroller::topology::zoo;
+
+fn localizer() -> LocalizingDetector<Unroller> {
+    LocalizingDetector::new(
+        Unroller::from_params(UnrollerParams::default()).unwrap(),
+        64,
+    )
+}
+
+#[test]
+fn detect_localize_heal_roundtrip() {
+    let mut rng = unroller::core::test_rng(101);
+    for topo in [zoo::geant(), zoo::att_na(), zoo::fattree4()] {
+        let ids = assign_random_ids(topo.graph.node_count(), &mut rng);
+        let mut sim = Simulator::new(
+            topo.graph.clone(),
+            ids.clone(),
+            localizer(),
+            SimConfig::default(),
+        );
+        let Some(scenario) = sample_scenario(&topo.graph, 12, 500, &mut rng) else {
+            continue;
+        };
+        let dst = *scenario.path.last().unwrap();
+        // A source guaranteed to hit the poisoned cycle: a cycle node.
+        let src = scenario.cycle[0];
+        if src == dst {
+            continue;
+        }
+        sim.inject_cycle(&scenario.cycle, dst);
+        sim.send_packet(0, src, dst);
+        sim.run();
+        assert_eq!(sim.stats.reports.len(), 1, "{}", topo.name);
+
+        // The controller localizes exactly the injected cycle.
+        let mut ctl = Controller::new(&ids);
+        assert_eq!(ctl.ingest_from_sim(&sim), 1, "{}", topo.name);
+        let loops = ctl.localized_loops();
+        assert_eq!(loops.len(), 1);
+        let mut got = loops[0].nodes.clone();
+        got.sort_unstable();
+        let mut want = scenario.cycle.clone();
+        want.sort_unstable();
+        assert_eq!(got, want, "{}: wrong membership", topo.name);
+
+        // Healing restores delivery.
+        ctl.heal(&mut sim);
+        let delivered_before = sim.stats.delivered;
+        sim.send_packet(1_000_000, src, dst);
+        sim.run();
+        assert_eq!(sim.stats.delivered, delivered_before + 1, "{}", topo.name);
+    }
+}
+
+#[test]
+fn localization_costs_one_extra_loop_pass_in_sim() {
+    // The localizer holds the report back for exactly L additional hops
+    // compared with plain Unroller — visible end-to-end in the sim.
+    let g = grid(6, 1);
+    let ids = assign_sequential_ids(6, 400);
+
+    let run_hops = |use_localizer: bool| -> u32 {
+        let cfg = SimConfig::default();
+        if use_localizer {
+            let mut sim = Simulator::new(g.clone(), ids.clone(), localizer(), cfg);
+            sim.inject_cycle(&[1, 2], 5);
+            sim.send_packet(0, 0, 5);
+            sim.run().reports[0].hop
+        } else {
+            let det = Unroller::from_params(UnrollerParams::default()).unwrap();
+            let mut sim = Simulator::new(g.clone(), ids.clone(), det, cfg);
+            sim.inject_cycle(&[1, 2], 5);
+            sim.send_packet(0, 0, 5);
+            sim.run().reports[0].hop
+        }
+    };
+
+    let plain = run_hops(false);
+    let local = run_hops(true);
+    assert_eq!(local, plain + 2, "L = 2 extra hops for collection");
+}
+
+#[test]
+fn dv_transient_loops_are_caught_by_unroller_in_the_dataplane() {
+    // Run the protocol's convergence after a failure; every round whose
+    // forwarding state contains a loop must end in a data-plane report
+    // (never a TTL drop), and loop-free rounds must never report.
+    let g = grid(6, 1);
+    let ids = assign_sequential_ids(6, 700);
+    let dst = 5;
+    let det = Unroller::from_params(UnrollerParams::default()).unwrap();
+
+    let mut dv = DistanceVector::new(g.clone(), false);
+    dv.fail_link(4, 5);
+    let mut saw_loop_round = false;
+    for _round in 0..3 * INFINITY {
+        let mut sim = Simulator::new(g.clone(), ids.clone(), det.clone(), SimConfig::default());
+        sim.set_routes(dst, dv.forwarding(dst));
+        sim.send_packet(0, 0, dst);
+        let stats = sim.run();
+        let looping = dv.loop_toward(dst).is_some();
+        if looping {
+            saw_loop_round = true;
+            assert_eq!(
+                stats.reports.len(),
+                1,
+                "looping round must be caught in the data plane"
+            );
+            assert_eq!(stats.dropped_ttl, 0, "never fall back to TTL");
+        } else {
+            assert!(stats.reports.is_empty(), "no false report");
+        }
+        if !dv.step() {
+            break;
+        }
+    }
+    assert!(saw_loop_round, "the scenario must produce transient loops");
+    assert!(dv.loop_toward(dst).is_none(), "converged state is loop-free");
+}
+
+#[test]
+fn dv_on_ring_converges_and_sim_delivers_after() {
+    let g = ring(8);
+    let ids = assign_sequential_ids(8, 30);
+    let mut dv = DistanceVector::new(g.clone(), false);
+    dv.fail_link(0, 1);
+    dv.converge(300);
+    // Install the converged post-failure tables for every destination:
+    // traffic still flows (the long way).
+    let det = Unroller::from_params(UnrollerParams::default()).unwrap();
+    let mut sim = Simulator::new(g, ids, det, SimConfig::default());
+    for dst in 0..8 {
+        sim.set_routes(dst, dv.forwarding(dst));
+    }
+    sim.send_packet(0, 0, 1);
+    sim.send_packet(0, 1, 0);
+    let stats = sim.run();
+    assert_eq!(stats.delivered, 2);
+    assert!(stats.reports.is_empty());
+    // The long way: 7 hops = 8 switches processed per packet.
+    assert_eq!(stats.total_hops, 16);
+}
