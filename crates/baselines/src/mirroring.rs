@@ -88,19 +88,15 @@ impl Collector {
             seen: HashMap::new(),
             postcards: 0,
             findings: Vec::new(),
-        cfg,
+            cfg,
         }
     }
 
     /// Consistent sampling: mirror iff `h(packet, switch)` falls under
     /// the probability threshold — the same decision on every visit.
     fn sampled(&self, packet: u64, switch: SwitchId) -> bool {
-        let key = (packet as u32)
-            .rotate_left(13)
-            .wrapping_mul(0x9e37_79b9)
-            ^ switch;
-        (self.coin.hash(0, key) as u64) < self.threshold
-            || self.cfg.sample_probability >= 1.0
+        let key = (packet as u32).rotate_left(13).wrapping_mul(0x9e37_79b9) ^ switch;
+        (self.coin.hash(0, key) as u64) < self.threshold || self.cfg.sample_probability >= 1.0
     }
 
     /// A switch processes hop `hop` of `packet`: possibly emits a

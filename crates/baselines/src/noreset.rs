@@ -182,7 +182,10 @@ mod tests {
         let d = NoResetMin::new();
         let w = Walk::new(vec![1, 100], vec![50, 60, 70]);
         let out = run_detector(&d, &w, 100_000);
-        assert_eq!(out.reported_at, None, "no-reset variant must miss this loop");
+        assert_eq!(
+            out.reported_at, None,
+            "no-reset variant must miss this loop"
+        );
     }
 
     #[test]
@@ -224,9 +227,6 @@ mod tests {
         let d1 = ProbabilisticInsert::new(2, 0.5, 7);
         let d2 = ProbabilisticInsert::new(2, 0.5, 7);
         let w = Walk::new(vec![3, 9, 4], vec![8, 1, 6]);
-        assert_eq!(
-            run_detector(&d1, &w, 1000),
-            run_detector(&d2, &w, 1000)
-        );
+        assert_eq!(run_detector(&d1, &w, 1000), run_detector(&d2, &w, 1000));
     }
 }

@@ -189,6 +189,9 @@ mod tests {
         let reg = FlowRegistry::new(OnSwitchConfig::default());
         let p = reg.profile();
         assert!(!p.real_time);
-        assert_eq!(p.switch_overhead, unroller_core::prelude::OverheadLevel::High);
+        assert_eq!(
+            p.switch_overhead,
+            unroller_core::prelude::OverheadLevel::High
+        );
     }
 }

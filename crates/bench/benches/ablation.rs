@@ -1,4 +1,4 @@
-//! Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+//! Ablation benchmarks for the design choices DESIGN.md §7 calls out:
 //! phase-schedule cost, hash-family cost, and the LUT vs bitwise phase
 //! check.
 
@@ -16,8 +16,7 @@ fn bench_schedules(c: &mut Criterion) {
         ("power_boundary", PhaseSchedule::PowerBoundary),
         ("cumulative_geometric", PhaseSchedule::CumulativeGeometric),
     ] {
-        let det =
-            Unroller::from_params(UnrollerParams::default().with_schedule(schedule)).unwrap();
+        let det = Unroller::from_params(UnrollerParams::default().with_schedule(schedule)).unwrap();
         let mut st = det.init_state();
         group.bench_function(name, |b| {
             b.iter(|| black_box(run_detector_with(&det, &walk, 1 << 20, &mut st)))

@@ -23,7 +23,10 @@ fn bench_per_hop(c: &mut Criterion) {
             "unroller_c4h4",
             UnrollerParams::default().with_c(4).with_h(4).with_z(8),
         ),
-        ("unroller_th4", UnrollerParams::default().with_z(7).with_th(4)),
+        (
+            "unroller_th4",
+            UnrollerParams::default().with_z(7).with_th(4),
+        ),
     ];
     for (name, params) in configs {
         let det = Unroller::from_params(params).unwrap();

@@ -6,9 +6,9 @@
 //! performance regressions in the hot detection loop.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use unroller_core::UnrollerParams;
 use unroller_experiments::false_positives::false_positive_rate;
 use unroller_experiments::sweeps::{avg_detection_ratio, SweepConfig};
-use unroller_core::UnrollerParams;
 
 fn cfg() -> SweepConfig {
     SweepConfig {

@@ -3,3 +3,6 @@
 //! See `benches/`: `detectors` (per-hop cost), `dataplane_throughput`
 //! (Table 4 Mpps analogue), `figures` (figure-point kernels), `table5`
 //! (bit-search kernels), and `ablation` (design-choice comparisons).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -66,13 +66,10 @@ impl Controller {
         }
         let mut key = nodes.clone();
         key.sort_unstable();
-        let entry = self
-            .loops
-            .entry(key)
-            .or_insert_with(|| LocalizedLoop {
-                nodes,
-                report_count: 0,
-            });
+        let entry = self.loops.entry(key).or_insert_with(|| LocalizedLoop {
+            nodes,
+            report_count: 0,
+        });
         entry.report_count += 1;
         Some(entry)
     }
@@ -88,9 +85,7 @@ impl Controller {
     {
         let mut ingested = 0;
         for (_packet, state) in &sim.reported_states {
-            if let Some(members) =
-                crate::localize::LocalizingDetector::<D>::membership(state)
-            {
+            if let Some(members) = crate::localize::LocalizingDetector::<D>::membership(state) {
                 if self.ingest(members).is_some() {
                     ingested += 1;
                 }

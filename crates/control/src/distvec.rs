@@ -196,8 +196,7 @@ impl DistanceVector {
 
     /// True if any destination currently has a forwarding loop.
     pub fn any_loop(&self) -> Option<(NodeId, Vec<NodeId>)> {
-        (0..self.graph.node_count())
-            .find_map(|dst| self.loop_toward(dst).map(|c| (dst, c)))
+        (0..self.graph.node_count()).find_map(|dst| self.loop_toward(dst).map(|c| (dst, c)))
     }
 }
 
@@ -244,7 +243,10 @@ mod tests {
         // The loop persists for ~INFINITY rounds, then resolves.
         let rounds = dv.converge(200);
         assert!(rounds <= 2 * INFINITY + 2, "converged in {rounds}");
-        assert!(dv.loop_toward(3).is_none(), "loop must clear at convergence");
+        assert!(
+            dv.loop_toward(3).is_none(),
+            "loop must clear at convergence"
+        );
         assert_eq!(dv.distance(0, 3), INFINITY, "3 is partitioned");
     }
 

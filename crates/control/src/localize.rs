@@ -152,8 +152,8 @@ mod tests {
             let mut state = det.init_state();
             let out = run_detector_with(&det, &walk, 100_000, &mut state);
             assert!(out.reported_at.is_some());
-            let members = LocalizingDetector::<Unroller>::membership(&state)
-                .expect("collection completed");
+            let members =
+                LocalizingDetector::<Unroller>::membership(&state).expect("collection completed");
             // Exactly the loop switches, as a rotation of the cycle.
             let mut got = members.to_vec();
             got.sort_unstable();

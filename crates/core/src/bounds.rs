@@ -44,12 +44,13 @@ pub fn worst_case_constant(b: u32) -> f64 {
 /// The integer base minimizing [`worst_case_constant`] (the paper uses
 /// `b = 4`, giving `≈ 4.67X`).
 pub fn optimal_worst_case_base() -> u32 {
-    (2..=16).min_by(|&a, &b| {
-        worst_case_constant(a)
-            .partial_cmp(&worst_case_constant(b))
-            .unwrap()
-    })
-    .unwrap()
+    (2..=16)
+        .min_by(|&a, &b| {
+            worst_case_constant(a)
+                .partial_cmp(&worst_case_constant(b))
+                .unwrap()
+        })
+        .unwrap()
 }
 
 /// Appendix B: with each phase partitioned into `c` chunks the bound
@@ -141,11 +142,7 @@ pub fn walk_with_min_at(b_hops: usize, l: usize, min_pos: usize) -> Walk {
 /// must wait out the next full phase. Returns the walk and the hop count
 /// below which no detection can occur (`rₙ₊₁ + 2L − 2`, i.e. the packet
 /// must at least survive to the next reset and one further loop pass).
-pub fn lemma6_instance(
-    schedule: crate::phase::PhaseSchedule,
-    b: u32,
-    n: usize,
-) -> (Walk, u64) {
+pub fn lemma6_instance(schedule: crate::phase::PhaseSchedule, b: u32, n: usize) -> (Walk, u64) {
     // Collect reset hops: hops (> 1) that start a new phase.
     let mut resets = Vec::new();
     let mut x = 2u64;

@@ -200,7 +200,8 @@ impl InPacketDetector for Unroller {
 
         // (2) Evaluate the hash functions on the switch ID.
         let mut hashes = [0u32; MAX_SLOTS];
-        self.hashes.hash_all_into(switch, p.z_mask(), &mut hashes[..h]);
+        self.hashes
+            .hash_all_into(switch, p.z_mask(), &mut hashes[..h]);
 
         // (3) Compare against every stored identifier. A match means the
         // packet (probably) visited this switch before.
@@ -339,7 +340,10 @@ mod tests {
 
     #[test]
     fn detection_with_both_schedules() {
-        for schedule in [PhaseSchedule::PowerBoundary, PhaseSchedule::CumulativeGeometric] {
+        for schedule in [
+            PhaseSchedule::PowerBoundary,
+            PhaseSchedule::CumulativeGeometric,
+        ] {
             let d = det(UnrollerParams::default().with_schedule(schedule));
             let mut walk: Vec<u32> = vec![3, 1, 4, 1 + 10, 5]; // B = 5
             for _ in 0..50 {

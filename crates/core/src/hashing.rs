@@ -26,8 +26,7 @@ use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Selects a hash family implementation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum HashKind {
     /// Pass the identifier through unchanged (only sensible with `H = 1`).
     Identity,
@@ -39,7 +38,6 @@ pub enum HashKind {
     /// 4-way tabulation hashing.
     Tabulation,
 }
-
 
 /// A seeded family of `H` independent hash functions
 /// `h_i : SwitchId → u32`.
@@ -191,19 +189,31 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        for kind in [HashKind::MultiplyShift, HashKind::SplitMix, HashKind::Tabulation] {
+        for kind in [
+            HashKind::MultiplyShift,
+            HashKind::SplitMix,
+            HashKind::Tabulation,
+        ] {
             let f1 = HashFamily::new(kind, 1, 1);
             let f2 = HashFamily::new(kind, 1, 2);
-            let diffs = (0..1000u32).filter(|&x| f1.hash(0, x) != f2.hash(0, x)).count();
+            let diffs = (0..1000u32)
+                .filter(|&x| f1.hash(0, x) != f2.hash(0, x))
+                .count();
             assert!(diffs > 900, "{kind:?}: only {diffs} of 1000 outputs differ");
         }
     }
 
     #[test]
     fn functions_within_family_are_independent_looking() {
-        for kind in [HashKind::MultiplyShift, HashKind::SplitMix, HashKind::Tabulation] {
+        for kind in [
+            HashKind::MultiplyShift,
+            HashKind::SplitMix,
+            HashKind::Tabulation,
+        ] {
             let f = HashFamily::new(kind, 2, 7);
-            let diffs = (0..1000u32).filter(|&x| f.hash(0, x) != f.hash(1, x)).count();
+            let diffs = (0..1000u32)
+                .filter(|&x| f.hash(0, x) != f.hash(1, x))
+                .count();
             assert!(diffs > 900, "{kind:?}: functions 0 and 1 nearly identical");
         }
     }
@@ -221,7 +231,11 @@ mod tests {
         // Chi-squared-ish sanity check on the low byte: with 65536 samples
         // over 256 buckets the expected count is 256 per bucket; allow a
         // wide band since this is a smoke test, not a statistics suite.
-        for kind in [HashKind::MultiplyShift, HashKind::SplitMix, HashKind::Tabulation] {
+        for kind in [
+            HashKind::MultiplyShift,
+            HashKind::SplitMix,
+            HashKind::Tabulation,
+        ] {
             let f = HashFamily::new(kind, 1, 99);
             let mut buckets = [0u32; 256];
             for x in 0..65536u32 {

@@ -24,8 +24,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Which rule decides where phases begin.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum PhaseSchedule {
     /// Reset when `Xcnt` is a power of `b` (the paper's P4/FPGA
     /// implementation; the default).
@@ -35,7 +34,6 @@ pub enum PhaseSchedule {
     /// constants apply to this schedule exactly).
     CumulativeGeometric,
 }
-
 
 /// Where a given hop falls within the phase/chunk structure.
 ///
@@ -145,6 +143,19 @@ impl PhaseSchedule {
         }
         table
     }
+
+    /// Builds the chunk-index lookup table the implementation keeps when
+    /// `c > 1`: `table[x]` is the 0-based chunk hop `x` falls in. Index 0
+    /// is unused (hops are 1-based). Both the controller's provisioning
+    /// script and the `unroller-verify` phase-table pass derive their
+    /// expected values from this single source.
+    pub fn chunk_table(self, b: u32, c: u32, size: usize) -> Vec<u8> {
+        let mut table = vec![0u8; size];
+        for (x, slot) in table.iter_mut().enumerate().skip(1) {
+            *slot = self.position(x as u64, b, c).chunk as u8;
+        }
+        table
+    }
 }
 
 /// Locates 0-based offset `off` within a phase of `len` hops split into
@@ -190,11 +201,7 @@ mod tests {
                         p *= b as u64;
                     }
                 };
-                assert_eq!(
-                    s.is_phase_start(x, b),
-                    expected,
-                    "b={b} x={x}"
-                );
+                assert_eq!(s.is_phase_start(x, b), expected, "b={b} x={x}");
             }
         }
     }
@@ -215,7 +222,11 @@ mod tests {
             (86, (4, 86, 256)),
         ] {
             let pos = s.position(x, 4, 1);
-            assert_eq!((pos.phase, pos.phase_start, pos.phase_len), (phase, start, len), "x={x}");
+            assert_eq!(
+                (pos.phase, pos.phase_start, pos.phase_len),
+                (phase, start, len),
+                "x={x}"
+            );
         }
     }
 
@@ -233,14 +244,21 @@ mod tests {
             (64, (3, 64, 192)),
         ] {
             let pos = s.position(x, 4, 1);
-            assert_eq!((pos.phase, pos.phase_start, pos.phase_len), (phase, start, len), "x={x}");
+            assert_eq!(
+                (pos.phase, pos.phase_start, pos.phase_len),
+                (phase, start, len),
+                "x={x}"
+            );
         }
     }
 
     #[test]
     fn phases_partition_the_hop_line() {
         // Every hop belongs to exactly one phase; phases are contiguous.
-        for schedule in [PhaseSchedule::PowerBoundary, PhaseSchedule::CumulativeGeometric] {
+        for schedule in [
+            PhaseSchedule::PowerBoundary,
+            PhaseSchedule::CumulativeGeometric,
+        ] {
             for b in [2u32, 3, 4, 7] {
                 let mut prev = schedule.position(1, b, 1);
                 assert_eq!(prev.phase_start, 1);
@@ -265,7 +283,10 @@ mod tests {
 
     #[test]
     fn chunks_partition_each_phase() {
-        for schedule in [PhaseSchedule::PowerBoundary, PhaseSchedule::CumulativeGeometric] {
+        for schedule in [
+            PhaseSchedule::PowerBoundary,
+            PhaseSchedule::CumulativeGeometric,
+        ] {
             for b in [2u32, 4] {
                 for c in [1u32, 2, 3, 4, 8] {
                     let mut prev: Option<HopPosition> = None;
@@ -303,8 +324,10 @@ mod tests {
                     let (j, start) = chunk_of(off, len, c);
                     let lo = len * j as u64 / c as u64;
                     let hi = len * (j as u64 + 1) / c as u64;
-                    assert!(lo <= off && (off < hi || j as u64 == c as u64 - 1),
-                        "off={off} len={len} c={c} j={j} lo={lo} hi={hi}");
+                    assert!(
+                        lo <= off && (off < hi || j as u64 == c as u64 - 1),
+                        "off={off} len={len} c={c} j={j} lo={lo} hi={hi}"
+                    );
                     assert_eq!(start, lo);
                 }
             }
@@ -326,14 +349,36 @@ mod tests {
         }
         // For b = 4 the table marks exactly the powers of 4.
         let table = PhaseSchedule::PowerBoundary.phase_start_table(4, 256);
-        let marked: Vec<usize> =
-            (0..256).filter(|&i| table[i]).collect();
+        let marked: Vec<usize> = (0..256).filter(|&i| table[i]).collect();
         assert_eq!(marked, vec![1, 4, 16, 64]);
     }
 
     #[test]
+    fn chunk_table_matches_position() {
+        for schedule in [
+            PhaseSchedule::PowerBoundary,
+            PhaseSchedule::CumulativeGeometric,
+        ] {
+            for (b, c) in [(4u32, 2u32), (3, 4), (2, 8), (6, 3)] {
+                let t = schedule.chunk_table(b, c, 256);
+                assert_eq!(t[0], 0, "index 0 unused");
+                for x in 1..256u64 {
+                    assert_eq!(
+                        t[x as usize],
+                        schedule.position(x, b, c).chunk as u8,
+                        "schedule {schedule:?} b={b} c={c} x={x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn saturation_does_not_panic_at_huge_hop_counts() {
-        for schedule in [PhaseSchedule::PowerBoundary, PhaseSchedule::CumulativeGeometric] {
+        for schedule in [
+            PhaseSchedule::PowerBoundary,
+            PhaseSchedule::CumulativeGeometric,
+        ] {
             let pos = schedule.position(u64::MAX / 2, 2, 4);
             assert!(pos.phase_len > 0);
         }

@@ -40,18 +40,30 @@ impl BitWriter {
             }
             let space = 8 - self.used;
             let take = space.min(remaining);
+            debug_assert!((1..=8).contains(&take), "chunk of {take} bits");
             let shift = remaining - take;
             let bits = ((value >> shift) & ((1u64 << take) - 1)) as u8;
             let last = self.buf.last_mut().expect("pushed above");
+            debug_assert_eq!(
+                *last & (bits << (space - take)),
+                0,
+                "would overwrite already-written bits"
+            );
             *last |= bits << (space - take);
             self.used = (self.used + take) % 8;
+            debug_assert!(self.used < 8);
             remaining -= take;
         }
     }
 
     /// Total bits written so far.
     pub fn bit_len(&self) -> usize {
-        self.buf.len() * 8 - if self.used == 0 { 0 } else { (8 - self.used) as usize }
+        self.buf.len() * 8
+            - if self.used == 0 {
+                0
+            } else {
+                (8 - self.used) as usize
+            }
     }
 
     /// Finishes, returning the byte buffer (zero-padded to a byte
@@ -108,15 +120,18 @@ impl<'a> BitReader<'a> {
         let mut value = 0u64;
         let mut remaining = width;
         while remaining > 0 {
+            debug_assert!(self.pos / 8 < self.buf.len(), "read past checked bound");
             let byte = self.buf[self.pos / 8];
             let offset = (self.pos % 8) as u32;
             let space = 8 - offset;
             let take = space.min(remaining);
+            debug_assert!((1..=8).contains(&take), "chunk of {take} bits");
             let bits = (byte >> (space - take)) & ((1u16 << take) - 1) as u8;
             value = (value << take) | bits as u64;
             self.pos += take as usize;
             remaining -= take;
         }
+        debug_assert!(self.pos <= self.buf.len() * 8);
         Ok(value)
     }
 

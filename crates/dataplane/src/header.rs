@@ -79,7 +79,11 @@ impl WireHeader {
     /// Panics if a field exceeds its layout width (e.g. `thcnt` too
     /// large for `thcnt_bits`) or the slot count mismatches.
     pub fn encode(&self, layout: &HeaderLayout) -> Vec<u8> {
-        assert_eq!(self.swids.len(), layout.slots as usize, "slot count mismatch");
+        assert_eq!(
+            self.swids.len(),
+            layout.slots as usize,
+            "slot count mismatch"
+        );
         let mut w = BitWriter::new();
         if layout.xcnt_bits > 0 {
             w.write(self.xcnt as u64, layout.xcnt_bits);
@@ -115,10 +119,23 @@ mod tests {
 
     #[test]
     fn layout_matches_params_overhead() {
-        for (c, h, z, th) in [(1u32, 1u32, 32u32, 1u32), (2, 2, 8, 4), (4, 1, 7, 2), (1, 4, 12, 1)] {
-            let p = UnrollerParams::default().with_c(c).with_h(h).with_z(z).with_th(th);
+        for (c, h, z, th) in [
+            (1u32, 1u32, 32u32, 1u32),
+            (2, 2, 8, 4),
+            (4, 1, 7, 2),
+            (1, 4, 12, 1),
+        ] {
+            let p = UnrollerParams::default()
+                .with_c(c)
+                .with_h(h)
+                .with_z(z)
+                .with_th(th);
             let layout = HeaderLayout::from_params(&p);
-            assert_eq!(layout.total_bits(), p.overhead_bits(), "c={c} h={h} z={z} th={th}");
+            assert_eq!(
+                layout.total_bits(),
+                p.overhead_bits(),
+                "c={c} h={h} z={z} th={th}"
+            );
         }
     }
 
@@ -152,12 +169,18 @@ mod tests {
             let h = rng.gen_range(1..=4u32);
             let z = rng.gen_range(1..=32u32);
             let th = rng.gen_range(1..=8u32);
-            let p = UnrollerParams::default().with_c(c).with_h(h).with_z(z).with_th(th);
+            let p = UnrollerParams::default()
+                .with_c(c)
+                .with_h(h)
+                .with_z(z)
+                .with_th(th);
             let layout = HeaderLayout::from_params(&p);
             let hdr = WireHeader {
                 xcnt: rng.gen(),
                 thcnt: rng.gen_range(0..th),
-                swids: (0..(c * h)).map(|_| rng.gen::<u32>() & p.z_mask()).collect(),
+                swids: (0..(c * h))
+                    .map(|_| rng.gen::<u32>() & p.z_mask())
+                    .collect(),
             };
             let bytes = hdr.encode(&layout);
             assert_eq!(bytes.len(), layout.total_bytes());

@@ -37,6 +37,7 @@
 
 pub mod bitio;
 pub mod header;
+pub mod p4ast;
 pub mod p4gen;
 pub mod parser;
 pub mod pcap;

@@ -1,0 +1,415 @@
+//! A small P4₁₆ AST and renderer backing [`crate::p4gen`].
+//!
+//! [`generate_p4`](crate::p4gen::generate_p4) used to build the program
+//! text by string concatenation, which made it impossible to say *where*
+//! in the emitted source a given declaration landed. The generator now
+//! constructs a [`P4Program`] — a deliberately small AST covering
+//! exactly the constructs the generator emits (headers, structs,
+//! registers, actions, tables, verbatim glue) — and renders it through
+//! [`P4Program::render`], which records a line [`Span`] for every named
+//! declaration. `unroller-verify` uses those spans to cross-check its
+//! own independently parsed positions, and diagnostics can point at
+//! exact source lines.
+//!
+//! The AST is *not* a general P4 front-end: statement bodies are stored
+//! as pre-formatted lines (with indentation relative to the enclosing
+//! block), because the verifier re-parses the rendered text with a real
+//! lexer anyway. What the AST adds is structure for the declarations the
+//! static passes reason about, plus the source map.
+
+use std::fmt::Write as _;
+
+/// An inclusive 1-based line range in the rendered program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First line of the declaration.
+    pub start: u32,
+    /// Last line of the declaration (closing brace or the `;`).
+    pub end: u32,
+}
+
+/// What kind of declaration a [`SpanEntry`] names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `header` type declaration.
+    Header,
+    /// A `struct` type declaration.
+    Struct,
+    /// A `parser` declaration.
+    Parser,
+    /// A `control` declaration.
+    Control,
+    /// A `register<...>(...)` instantiation inside a control.
+    Register,
+    /// An `action` inside a control.
+    Action,
+    /// A `table` inside a control.
+    Table,
+}
+
+/// One named declaration and where it landed in the rendered source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEntry {
+    /// Declaration kind.
+    pub kind: ItemKind,
+    /// Declared name.
+    pub name: String,
+    /// Line range in the rendered program.
+    pub span: Span,
+}
+
+/// A field of a `header` or `struct`: `bit<8> xcnt;` or
+/// `ethernet_t ethernet;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field type as written (`bit<8>`, `ethernet_t`, …).
+    pub ty: String,
+    /// Field name.
+    pub name: String,
+}
+
+impl Field {
+    /// A `bit<width>` field.
+    pub fn bits(width: u32, name: impl Into<String>) -> Self {
+        Field {
+            ty: format!("bit<{width}>"),
+            name: name.into(),
+        }
+    }
+
+    /// A field of a named type.
+    pub fn typed(ty: impl Into<String>, name: impl Into<String>) -> Self {
+        Field {
+            ty: ty.into(),
+            name: name.into(),
+        }
+    }
+}
+
+/// A declaration inside a `control` block, in emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlDecl {
+    /// Comment lines (without indentation; `//` included).
+    Comment(Vec<String>),
+    /// `register<bit<elem_bits>>(size) name;`
+    Register {
+        /// Element width in bits.
+        elem_bits: u32,
+        /// Number of elements.
+        size: u32,
+        /// Instance name.
+        name: String,
+    },
+    /// `action name() { body }` — body lines carry indentation relative
+    /// to the action block.
+    Action {
+        /// Action name.
+        name: String,
+        /// Pre-formatted body lines.
+        body: Vec<String>,
+    },
+    /// A match-action table with an unconditional default action.
+    Table {
+        /// Comment lines rendered immediately above the table.
+        comment: Vec<String>,
+        /// Table name.
+        name: String,
+        /// Action names listed in `actions = { … }`.
+        actions: Vec<String>,
+        /// The `default_action = …;` expression (without the `;`).
+        default_action: String,
+    },
+    /// A blank separator line.
+    Blank,
+}
+
+/// A top-level item of the program, in emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// Pre-formatted source (comments, includes, constants, the fixed
+    /// parser/deparser/package trailer). May contain embedded newlines.
+    Verbatim(String),
+    /// `header name { fields }`
+    Header {
+        /// Type name.
+        name: String,
+        /// Fields in wire order.
+        fields: Vec<Field>,
+    },
+    /// `struct name { fields }`
+    Struct {
+        /// Type name.
+        name: String,
+        /// Fields in declaration order.
+        fields: Vec<Field>,
+    },
+    /// A `parser` block kept verbatim but tracked by name.
+    Parser {
+        /// Parser name.
+        name: String,
+        /// Full text including the `parser …(…) {` header line.
+        text: String,
+    },
+    /// `control name(signature) { decls apply { apply_body } }`
+    Control {
+        /// Control name.
+        name: String,
+        /// Parameter list as written (may contain embedded newlines).
+        signature: String,
+        /// Declarations before the `apply` block.
+        decls: Vec<ControlDecl>,
+        /// `apply` body lines, indentation relative to the block.
+        apply: Vec<String>,
+    },
+    /// A blank separator line.
+    Blank,
+}
+
+/// A complete generated program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct P4Program {
+    /// Top-level items in emission order.
+    pub items: Vec<Item>,
+}
+
+/// The rendered program text plus its source map.
+#[derive(Debug, Clone)]
+pub struct Rendered {
+    /// The program source.
+    pub text: String,
+    /// Line spans for every named declaration.
+    pub spans: Vec<SpanEntry>,
+}
+
+impl Rendered {
+    /// Looks up the span of a named declaration.
+    pub fn span_of(&self, kind: ItemKind, name: &str) -> Option<Span> {
+        self.spans
+            .iter()
+            .find(|e| e.kind == kind && e.name == name)
+            .map(|e| e.span)
+    }
+}
+
+/// Line-accumulating renderer.
+struct Renderer {
+    lines: Vec<String>,
+    spans: Vec<SpanEntry>,
+}
+
+impl Renderer {
+    fn next_line(&self) -> u32 {
+        self.lines.len() as u32 + 1
+    }
+
+    fn push(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+
+    /// Pushes pre-formatted text, splitting embedded newlines. A single
+    /// trailing newline does not produce an extra blank line.
+    fn push_text(&mut self, text: &str) {
+        let trimmed = text.strip_suffix('\n').unwrap_or(text);
+        for line in trimmed.split('\n') {
+            self.lines.push(line.to_string());
+        }
+    }
+
+    fn record(&mut self, kind: ItemKind, name: &str, start: u32) {
+        self.spans.push(SpanEntry {
+            kind,
+            name: name.to_string(),
+            span: Span {
+                start,
+                end: self.lines.len() as u32,
+            },
+        });
+    }
+
+    fn fields(&mut self, fields: &[Field]) {
+        for f in fields {
+            self.push(format!("    {} {};", f.ty, f.name));
+        }
+    }
+}
+
+impl P4Program {
+    /// Renders the program to source text, recording a [`Span`] for
+    /// every named declaration.
+    pub fn render(&self) -> Rendered {
+        let mut r = Renderer {
+            lines: Vec::new(),
+            spans: Vec::new(),
+        };
+        for item in &self.items {
+            match item {
+                Item::Verbatim(text) => r.push_text(text),
+                Item::Blank => r.push(""),
+                Item::Header { name, fields } => {
+                    let start = r.next_line();
+                    r.push(format!("header {name} {{"));
+                    r.fields(fields);
+                    r.push("}");
+                    r.record(ItemKind::Header, name, start);
+                }
+                Item::Struct { name, fields } => {
+                    let start = r.next_line();
+                    r.push(format!("struct {name} {{"));
+                    r.fields(fields);
+                    r.push("}");
+                    r.record(ItemKind::Struct, name, start);
+                }
+                Item::Parser { name, text } => {
+                    let start = r.next_line();
+                    r.push_text(text);
+                    r.record(ItemKind::Parser, name, start);
+                }
+                Item::Control {
+                    name,
+                    signature,
+                    decls,
+                    apply,
+                } => {
+                    let start = r.next_line();
+                    r.push_text(&format!("control {name}({signature}) {{"));
+                    for d in decls {
+                        render_decl(&mut r, d);
+                    }
+                    r.push("    apply {");
+                    for line in apply {
+                        r.push(format!("        {line}"));
+                    }
+                    r.push("    }");
+                    r.push("}");
+                    r.record(ItemKind::Control, name, start);
+                }
+            }
+        }
+        let mut text = String::with_capacity(self.items.len() * 40);
+        for line in &r.lines {
+            let _ = writeln!(text, "{line}");
+        }
+        Rendered {
+            text,
+            spans: r.spans,
+        }
+    }
+}
+
+fn render_decl(r: &mut Renderer, d: &ControlDecl) {
+    match d {
+        ControlDecl::Blank => r.push(""),
+        ControlDecl::Comment(lines) => {
+            for l in lines {
+                r.push(format!("    {l}"));
+            }
+        }
+        ControlDecl::Register {
+            elem_bits,
+            size,
+            name,
+        } => {
+            let start = r.next_line();
+            r.push(format!("    register<bit<{elem_bits}>>({size}) {name};"));
+            r.record(ItemKind::Register, name, start);
+        }
+        ControlDecl::Action { name, body } => {
+            let start = r.next_line();
+            r.push(format!("    action {name}() {{"));
+            for line in body {
+                r.push(format!("        {line}"));
+            }
+            r.push("    }");
+            r.record(ItemKind::Action, name, start);
+        }
+        ControlDecl::Table {
+            comment,
+            name,
+            actions,
+            default_action,
+        } => {
+            for l in comment {
+                r.push(format!("    {l}"));
+            }
+            let start = r.next_line();
+            r.push(format!("    table {name} {{"));
+            r.push(format!("        actions = {{ {}; }}", actions.join("; ")));
+            r.push(format!("        default_action = {default_action};"));
+            r.push("    }");
+            r.record(ItemKind::Table, name, start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renderer_tracks_spans() {
+        let prog = P4Program {
+            items: vec![
+                Item::Verbatim("// head\n#include <core.p4>\n".into()),
+                Item::Blank,
+                Item::Header {
+                    name: "h_t".into(),
+                    fields: vec![Field::bits(8, "x")],
+                },
+                Item::Control {
+                    name: "C".into(),
+                    signature: "inout h_t hdr".into(),
+                    decls: vec![
+                        ControlDecl::Register {
+                            elem_bits: 1,
+                            size: 256,
+                            name: "reg".into(),
+                        },
+                        ControlDecl::Action {
+                            name: "a".into(),
+                            body: vec!["reg.read(v, 0);".into()],
+                        },
+                        ControlDecl::Table {
+                            comment: vec![],
+                            name: "t".into(),
+                            actions: vec!["a".into()],
+                            default_action: "a()".into(),
+                        },
+                    ],
+                    apply: vec!["t.apply();".into()],
+                },
+            ],
+        };
+        let rendered = prog.render();
+        // Lines: 1 "// head", 2 include, 3 blank, 4-6 header,
+        // 7 control, 8 register, 9-11 action, 12-15 table, 16-18 apply,
+        // 19 closing brace.
+        assert_eq!(
+            rendered.span_of(ItemKind::Header, "h_t"),
+            Some(Span { start: 4, end: 6 })
+        );
+        assert_eq!(
+            rendered.span_of(ItemKind::Register, "reg"),
+            Some(Span { start: 8, end: 8 })
+        );
+        assert_eq!(
+            rendered.span_of(ItemKind::Action, "a"),
+            Some(Span { start: 9, end: 11 })
+        );
+        assert_eq!(
+            rendered.span_of(ItemKind::Table, "t"),
+            Some(Span { start: 12, end: 15 })
+        );
+        let control = rendered.span_of(ItemKind::Control, "C").unwrap();
+        assert_eq!(control.start, 7);
+        assert_eq!(control.end, rendered.text.lines().count() as u32);
+        assert!(rendered.text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn verbatim_trailing_newline_not_doubled() {
+        let prog = P4Program {
+            items: vec![Item::Verbatim("a\n".into()), Item::Verbatim("b".into())],
+        };
+        assert_eq!(prog.render().text, "a\nb\n");
+    }
+}

@@ -15,99 +15,224 @@
 //! text mirrors the semantics of [`crate::pipeline::UnrollerPipeline`],
 //! which *is* executable and bit-exact against the reference detector.
 
+use crate::p4ast::{ControlDecl, Field, Item, P4Program, Rendered};
 use unroller_core::params::UnrollerParams;
 use unroller_core::phase::PhaseSchedule;
 
 /// Generates a complete P4₁₆ (v1model) program implementing Unroller
 /// with the given parameters.
 pub fn generate_p4(p: &UnrollerParams) -> String {
-    let mut out = String::new();
+    generate_p4_program(p).render().text
+}
+
+/// Generates the program together with its source map — line spans for
+/// every named declaration, used by `unroller-verify` diagnostics.
+pub fn generate_p4_rendered(p: &UnrollerParams) -> Rendered {
+    generate_p4_program(p).render()
+}
+
+/// Builds the program as a [`P4Program`] AST. [`generate_p4`] is
+/// `generate_p4_program(p).render().text`.
+pub fn generate_p4_program(p: &UnrollerParams) -> P4Program {
     let slots = p.slots();
     let thcnt_bits = p.thcnt_bits();
-    let power_of_two_base = p.b.is_power_of_two();
+    let mut items = Vec::new();
 
-    out.push_str(&format!(
+    items.push(Item::Verbatim(format!(
         "// Unroller ingress control block — generated for {p}\n\
          // (\"Detecting Routing Loops in the Data Plane\", CoNEXT '20)\n\
          #include <core.p4>\n\
-         #include <v1model.p4>\n\n\
-         const bit<16> ETHERTYPE_UNROLLER = 0x88B5;\n\n"
+         #include <v1model.p4>"
+    )));
+    items.push(Item::Blank);
+    items.push(Item::Verbatim(
+        "const bit<16> ETHERTYPE_UNROLLER = 0x88B5;".into(),
     ));
+    items.push(Item::Blank);
 
     // --- Headers (Table 3 layout) -----------------------------------
-    out.push_str(
-        "header ethernet_t {\n    bit<48> dst;\n    bit<48> src;\n    bit<16> ethertype;\n}\n\n",
-    );
-    out.push_str("header unroller_t {\n");
+    items.push(Item::Header {
+        name: "ethernet_t".into(),
+        fields: vec![
+            Field::bits(48, "dst"),
+            Field::bits(48, "src"),
+            Field::bits(16, "ethertype"),
+        ],
+    });
+    items.push(Item::Blank);
+    let mut fields = Vec::new();
     if p.xcnt_in_header {
-        out.push_str("    bit<8> xcnt;\n");
+        fields.push(Field::bits(8, "xcnt"));
     }
     if thcnt_bits > 0 {
-        out.push_str(&format!("    bit<{thcnt_bits}> thcnt;\n"));
+        fields.push(Field::bits(thcnt_bits, "thcnt"));
     }
     for s in 0..slots {
-        out.push_str(&format!("    bit<{}> swid{};\n", p.z, s));
+        fields.push(Field::bits(p.z, format!("swid{s}")));
     }
-    out.push_str("}\n\n");
-    out.push_str(
-        "struct headers_t {\n    ethernet_t ethernet;\n    unroller_t unroller;\n}\n\
-         struct metadata_t {\n    bit<8> hops;\n    bit<1> matched;\n    bit<1> fresh;\n    bit<8> chunk;\n}\n\n",
-    );
+    items.push(Item::Header {
+        name: "unroller_t".into(),
+        fields,
+    });
+    items.push(Item::Blank);
+    items.push(Item::Struct {
+        name: "headers_t".into(),
+        fields: vec![
+            Field::typed("ethernet_t", "ethernet"),
+            Field::typed("unroller_t", "unroller"),
+        ],
+    });
+    items.push(Item::Struct {
+        name: "metadata_t".into(),
+        fields: vec![
+            Field::bits(8, "hops"),
+            Field::bits(1, "matched"),
+            Field::bits(1, "fresh"),
+            Field::bits(8, "chunk"),
+        ],
+    });
+    items.push(Item::Blank);
 
     // --- Parser ------------------------------------------------------
-    out.push_str(
-        "parser UnrollerParser(packet_in pkt, out headers_t hdr,\n\
-         \x20                     inout metadata_t meta,\n\
-         \x20                     inout standard_metadata_t std) {\n\
-         \x20   state start {\n\
-         \x20       pkt.extract(hdr.ethernet);\n\
-         \x20       transition select(hdr.ethernet.ethertype) {\n\
-         \x20           ETHERTYPE_UNROLLER: parse_unroller;\n\
-         \x20           default: accept;\n\
-         \x20       }\n\
-         \x20   }\n\
-         \x20   state parse_unroller {\n\
-         \x20       pkt.extract(hdr.unroller);\n\
-         \x20       transition accept;\n\
-         \x20   }\n\
-         }\n\n",
-    );
+    items.push(Item::Parser {
+        name: "UnrollerParser".into(),
+        text: "parser UnrollerParser(packet_in pkt, out headers_t hdr,\n\
+               \x20                     inout metadata_t meta,\n\
+               \x20                     inout standard_metadata_t std) {\n\
+               \x20   state start {\n\
+               \x20       pkt.extract(hdr.ethernet);\n\
+               \x20       transition select(hdr.ethernet.ethertype) {\n\
+               \x20           ETHERTYPE_UNROLLER: parse_unroller;\n\
+               \x20           default: accept;\n\
+               \x20       }\n\
+               \x20   }\n\
+               \x20   state parse_unroller {\n\
+               \x20       pkt.extract(hdr.unroller);\n\
+               \x20       transition accept;\n\
+               \x20   }\n\
+               }"
+        .into(),
+    });
+    items.push(Item::Blank);
 
     // --- Ingress control block ---------------------------------------
-    out.push_str("control UnrollerIngress(inout headers_t hdr, inout metadata_t meta,\n");
-    out.push_str("                        inout standard_metadata_t std) {\n");
-    out.push_str("    // Provisioned by the controller: this switch's identifier,\n");
-    out.push_str("    // pre-hashed to z bits per hash function (zero hash ops per packet).\n");
+    items.push(Item::Control {
+        name: "UnrollerIngress".into(),
+        signature: "inout headers_t hdr, inout metadata_t meta,\n\
+                    \x20                       inout standard_metadata_t std"
+            .into(),
+        decls: ingress_decls(p),
+        apply: vec![
+            "if (hdr.unroller.isValid()) {".into(),
+            "    tab_unroller_apply.apply();".into(),
+            "}".into(),
+        ],
+    });
+    items.push(Item::Blank);
+
+    // --- Deparser and package ----------------------------------------
+    items.push(Item::Control {
+        name: "UnrollerDeparser".into(),
+        signature: "packet_out pkt, in headers_t hdr".into(),
+        decls: vec![],
+        apply: vec![
+            "pkt.emit(hdr.ethernet);".into(),
+            "pkt.emit(hdr.unroller);".into(),
+        ],
+    });
+    items.push(Item::Blank);
+    items.push(Item::Verbatim(
+        "// Checksum stages are no-ops: the shim carries no checksum.\n\
+         control NoChecksum(inout headers_t hdr, inout metadata_t meta) { apply {} }\n\
+         control NoEgress(inout headers_t hdr, inout metadata_t meta,\n\
+         \x20                inout standard_metadata_t std) { apply {} }\n\n\
+         V1Switch(UnrollerParser(), NoChecksum(), UnrollerIngress(), NoEgress(),\n\
+         \x20        NoChecksum(), UnrollerDeparser()) main;"
+            .into(),
+    ));
+    P4Program { items }
+}
+
+/// The declarations of the `UnrollerIngress` control block: registers,
+/// the report/apply actions and the dummy dispatch table.
+fn ingress_decls(p: &UnrollerParams) -> Vec<ControlDecl> {
+    let power_of_two_base = p.b.is_power_of_two();
+    let mut decls = Vec::new();
+    decls.push(ControlDecl::Comment(vec![
+        "// Provisioned by the controller: this switch's identifier,".into(),
+        "// pre-hashed to z bits per hash function (zero hash ops per packet).".into(),
+    ]));
     for i in 0..p.h {
-        out.push_str(&format!(
-            "    register<bit<{}>>(1) reg_prehashed_h{};\n",
-            p.z, i
-        ));
+        decls.push(ControlDecl::Register {
+            elem_bits: p.z,
+            size: 1,
+            name: format!("reg_prehashed_h{i}"),
+        });
     }
     if !power_of_two_base {
-        out.push_str(&format!(
-            "    // b = {} is not a power of two: phase boundaries come from a\n\
-             \x20   // 256-entry lookup table indexed by the 8-bit hop counter (§4).\n\
-             \x20   register<bit<1>>(256) reg_phase_start;\n\
-             \x20   register<bit<8>>(256) reg_chunk;\n",
-            p.b
-        ));
+        decls.push(ControlDecl::Comment(vec![
+            format!(
+                "// b = {} is not a power of two: phase boundaries come from a",
+                p.b
+            ),
+            "// 256-entry lookup table indexed by the 8-bit hop counter (§4).".into(),
+        ]));
+        decls.push(ControlDecl::Register {
+            elem_bits: 1,
+            size: 256,
+            name: "reg_phase_start".into(),
+        });
+        decls.push(ControlDecl::Register {
+            elem_bits: 8,
+            size: 256,
+            name: "reg_chunk".into(),
+        });
     } else if p.c > 1 {
-        out.push_str("    register<bit<8>>(256) reg_chunk;\n");
+        decls.push(ControlDecl::Register {
+            elem_bits: 8,
+            size: 256,
+            name: "reg_chunk".into(),
+        });
     }
-    out.push_str("\n    action a_report_loop() {\n");
-    out.push_str("        // Drop and punt a digest to the controller.\n");
-    out.push_str("        digest<metadata_t>(1, meta);\n");
-    out.push_str("        mark_to_drop(std);\n");
-    out.push_str("    }\n\n");
+    decls.push(ControlDecl::Blank);
+    decls.push(ControlDecl::Action {
+        name: "a_report_loop".into(),
+        body: vec![
+            "// Drop and punt a digest to the controller.".into(),
+            "digest<metadata_t>(1, meta);".into(),
+            "mark_to_drop(std);".into(),
+        ],
+    });
+    decls.push(ControlDecl::Blank);
+    decls.push(ControlDecl::Action {
+        name: "a_unroller_apply".into(),
+        body: apply_action_body(p),
+    });
+    decls.push(ControlDecl::Blank);
+    decls.push(ControlDecl::Table {
+        comment: vec![
+            "// P4-To-VHDL requires actions to be invoked from a table, not a".into(),
+            "// control block: a dummy table with an unconditional default action.".into(),
+        ],
+        name: "tab_unroller_apply".into(),
+        actions: vec!["a_unroller_apply".into()],
+        default_action: "a_unroller_apply()".into(),
+    });
+    decls.push(ControlDecl::Blank);
+    decls
+}
 
-    out.push_str("    action a_unroller_apply() {\n");
+/// The statement lines of `a_unroller_apply` (indentation relative to
+/// the action block).
+fn apply_action_body(p: &UnrollerParams) -> Vec<String> {
+    let power_of_two_base = p.b.is_power_of_two();
+    let mut body: Vec<String> = Vec::new();
     if p.xcnt_in_header {
-        out.push_str("        hdr.unroller.xcnt = hdr.unroller.xcnt + 1;\n");
+        body.push("hdr.unroller.xcnt = hdr.unroller.xcnt + 1;".into());
     } else {
-        out.push_str("        // Xcnt inferred from the TTL (footnote 3): meta.hops is\n");
-        out.push_str("        // initial_ttl - ttl, computed by the pre-pipeline stage.\n");
-        out.push_str("        meta.hops = meta.hops + 1;\n");
+        body.push("// Xcnt inferred from the TTL (footnote 3): meta.hops is".into());
+        body.push("// initial_ttl - ttl, computed by the pre-pipeline stage.".into());
+        body.push("meta.hops = meta.hops + 1;".into());
     }
     let xcnt = if p.xcnt_in_header {
         "hdr.unroller.xcnt"
@@ -116,11 +241,15 @@ pub fn generate_p4(p: &UnrollerParams) -> String {
     };
     if power_of_two_base {
         let log2b = p.b.trailing_zeros();
-        out.push_str(&format!(
-            "        // b = {} is a power of two: hop counts that are powers of b\n\
-             \x20       // have exactly one set bit, on a multiple-of-{log2b} position.\n\
-             \x20       meta.fresh = (bit<1>)(({xcnt} & ({xcnt} - 1)) == 0{});\n",
-            p.b,
+        body.push(format!(
+            "// b = {} is a power of two: hop counts that are powers of b",
+            p.b
+        ));
+        body.push(format!(
+            "// have exactly one set bit, on a multiple-of-{log2b} position."
+        ));
+        body.push(format!(
+            "meta.fresh = (bit<1>)(({xcnt} & ({xcnt} - 1)) == 0{});",
             if log2b > 1 {
                 format!(" && ({xcnt} & 8w0b{}) == {xcnt}", power_mask(log2b))
             } else {
@@ -128,47 +257,40 @@ pub fn generate_p4(p: &UnrollerParams) -> String {
             }
         ));
     } else {
-        out.push_str(&format!(
-            "        bit<1> fresh_lut;\n\
-             \x20       reg_phase_start.read(fresh_lut, (bit<32>){xcnt});\n\
-             \x20       meta.fresh = fresh_lut;\n"
-        ));
+        body.push("bit<1> fresh_lut;".into());
+        body.push(format!("reg_phase_start.read(fresh_lut, (bit<32>){xcnt});"));
+        body.push("meta.fresh = fresh_lut;".into());
     }
     if p.c > 1 {
-        out.push_str(&format!(
-            "        reg_chunk.read(meta.chunk, (bit<32>){xcnt});\n"
-        ));
+        body.push(format!("reg_chunk.read(meta.chunk, (bit<32>){xcnt});"));
     }
     for i in 0..p.h {
-        out.push_str(&format!(
-            "        bit<{z}> my_id_h{i};\n\
-             \x20       reg_prehashed_h{i}.read(my_id_h{i}, 0);\n",
-            z = p.z
-        ));
+        body.push(format!("bit<{}> my_id_h{i};", p.z));
+        body.push(format!("reg_prehashed_h{i}.read(my_id_h{i}, 0);"));
     }
-    out.push_str("        // Compare against every stored identifier.\n");
-    out.push_str("        meta.matched = 0;\n");
+    body.push("// Compare against every stored identifier.".into());
+    body.push("meta.matched = 0;".into());
     for i in 0..p.h {
         for j in 0..p.c {
             let slot = i * p.c + j;
-            out.push_str(&format!(
-                "        if (hdr.unroller.swid{slot} == my_id_h{i}) {{ meta.matched = 1; }}\n"
+            body.push(format!(
+                "if (hdr.unroller.swid{slot} == my_id_h{i}) {{ meta.matched = 1; }}"
             ));
         }
     }
     if p.th > 1 {
-        out.push_str(&format!(
-            "        if (meta.matched == 1) {{\n\
-             \x20           if (hdr.unroller.thcnt == {}) {{ a_report_loop(); }}\n\
-             \x20           else {{ hdr.unroller.thcnt = hdr.unroller.thcnt + 1; }}\n\
-             \x20       }}\n",
+        body.push("if (meta.matched == 1) {".into());
+        body.push(format!(
+            "    if (hdr.unroller.thcnt == {}) {{ a_report_loop(); }}",
             p.th - 1
         ));
+        body.push("    else { hdr.unroller.thcnt = hdr.unroller.thcnt + 1; }".into());
+        body.push("}".into());
     } else {
-        out.push_str("        if (meta.matched == 1) { a_report_loop(); }\n");
+        body.push("if (meta.matched == 1) { a_report_loop(); }".into());
     }
-    out.push_str("        // Update the current chunk's slot(s): overwrite at a chunk\n");
-    out.push_str("        // boundary, min-merge otherwise.\n");
+    body.push("// Update the current chunk's slot(s): overwrite at a chunk".into());
+    body.push("// boundary, min-merge otherwise.".into());
     for i in 0..p.h {
         for j in 0..p.c {
             let slot = i * p.c + j;
@@ -177,46 +299,14 @@ pub fn generate_p4(p: &UnrollerParams) -> String {
             } else {
                 String::new()
             };
-            out.push_str(&format!(
-                "        if ({guard}(meta.fresh == 1 || my_id_h{i} < hdr.unroller.swid{slot})) {{\n\
-                 \x20           hdr.unroller.swid{slot} = my_id_h{i};\n\
-                 \x20       }}\n"
+            body.push(format!(
+                "if ({guard}(meta.fresh == 1 || my_id_h{i} < hdr.unroller.swid{slot})) {{"
             ));
+            body.push(format!("    hdr.unroller.swid{slot} = my_id_h{i};"));
+            body.push("}".into());
         }
     }
-    out.push_str("    }\n\n");
-
-    out.push_str(
-        "    // P4-To-VHDL requires actions to be invoked from a table, not a\n\
-         \x20   // control block: a dummy table with an unconditional default action.\n\
-         \x20   table tab_unroller_apply {\n\
-         \x20       actions = { a_unroller_apply; }\n\
-         \x20       default_action = a_unroller_apply();\n\
-         \x20   }\n\n\
-         \x20   apply {\n\
-         \x20       if (hdr.unroller.isValid()) {\n\
-         \x20           tab_unroller_apply.apply();\n\
-         \x20       }\n\
-         \x20   }\n\
-         }\n\n",
-    );
-
-    // --- Deparser and package ----------------------------------------
-    out.push_str(
-        "control UnrollerDeparser(packet_out pkt, in headers_t hdr) {\n\
-         \x20   apply {\n\
-         \x20       pkt.emit(hdr.ethernet);\n\
-         \x20       pkt.emit(hdr.unroller);\n\
-         \x20   }\n\
-         }\n\n\
-         // Checksum stages are no-ops: the shim carries no checksum.\n\
-         control NoChecksum(inout headers_t hdr, inout metadata_t meta) { apply {} }\n\
-         control NoEgress(inout headers_t hdr, inout metadata_t meta,\n\
-         \x20                inout standard_metadata_t std) { apply {} }\n\n\
-         V1Switch(UnrollerParser(), NoChecksum(), UnrollerIngress(), NoEgress(),\n\
-         \x20        NoChecksum(), UnrollerDeparser()) main;\n",
-    );
-    out
+    body
 }
 
 /// The bit mask selecting positions that are multiples of `log2b` — the
@@ -239,23 +329,22 @@ pub fn provisioning_script(p: &UnrollerParams, switch_id: u32) -> String {
     let hashes = HashFamily::default_for(p.z, p.h);
     let mut prehashed = vec![0u32; p.h as usize];
     hashes.hash_all_into(switch_id, p.z_mask(), &mut prehashed);
-    out.push_str(&format!(
-        "# provisioning for switch {switch_id} ({p})\n"
-    ));
+    out.push_str(&format!("# provisioning for switch {switch_id} ({p})\n"));
     for (i, v) in prehashed.iter().enumerate() {
         out.push_str(&format!("register_write reg_prehashed_h{i} 0 {v}\n"));
     }
     if !p.b.is_power_of_two() || p.c > 1 {
-        for x in 1..256u64 {
-            let pos = p.schedule.position(x, p.b, p.c);
+        let starts = p.schedule.phase_start_table(p.b, 256);
+        let chunks = p.schedule.chunk_table(p.b, p.c, 256);
+        for x in 1..256usize {
             if !p.b.is_power_of_two() {
                 out.push_str(&format!(
                     "register_write reg_phase_start {x} {}\n",
-                    u8::from(pos.is_phase_start(x))
+                    u8::from(starts[x])
                 ));
             }
             if p.c > 1 {
-                out.push_str(&format!("register_write reg_chunk {x} {}\n", pos.chunk));
+                out.push_str(&format!("register_write reg_chunk {x} {}\n", chunks[x]));
             }
         }
     }

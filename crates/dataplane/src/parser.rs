@@ -128,7 +128,8 @@ pub fn parse_frame<'a>(
     if eth.ethertype != ETHERTYPE_UNROLLER {
         return Err(FrameError::WrongEthertype(eth.ethertype));
     }
-    let shim = WireHeader::decode(layout, &frame[ETH_HEADER_LEN..need]).map_err(FrameError::Shim)?;
+    let shim =
+        WireHeader::decode(layout, &frame[ETH_HEADER_LEN..need]).map_err(FrameError::Shim)?;
     Ok((eth, shim, &frame[need..]))
 }
 

@@ -52,7 +52,8 @@ impl PcapWriter {
         self.buf.extend_from_slice(&secs.to_le_bytes());
         self.buf.extend_from_slice(&usecs.to_le_bytes());
         self.buf.extend_from_slice(&incl.to_le_bytes());
-        self.buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&frame[..incl as usize]);
         self.packets += 1;
     }

@@ -258,6 +258,15 @@ impl UnrollerPipeline {
     /// see `DESIGN.md` §3).
     pub fn resources(&self) -> ResourceReport {
         let p = &self.params;
+        // What the emitted P4 source declares: z bits per pre-hashed
+        // identifier, plus the phase/chunk LUT registers when present.
+        let p4_lut_bits = if !p.b.is_power_of_two() {
+            256 * (1 + 8)
+        } else if p.c > 1 {
+            256 * 8
+        } else {
+            0
+        };
         ResourceReport {
             config: format!(
                 "b={} z={} c={} H={} Th={} ({:?})",
@@ -267,6 +276,8 @@ impl UnrollerPipeline {
             register_bits: 32 + 32 * p.h as u64 + self.luts.bits(p.c),
             table_entries: self.table.entries() + 256,
             header_bits: self.layout.total_bits(),
+            p4_register_bits: (p.z * p.h) as u64 + p4_lut_bits,
+            p4_tables: 1,
             per_packet_hash_ops: 0, // pre-hashed into registers
             per_packet_compares: (p.c * p.h) as u64,
             per_packet_min_updates: p.h as u64,
@@ -327,9 +338,7 @@ mod tests {
                 let b = rng.gen_range(0..8);
                 let l = rng.gen_range(1..12);
                 let walk = unroller_core::Walk::random(b, l, &mut rng);
-                let hops: Vec<SwitchId> = (1..=200u64)
-                    .map_while(|h| walk.switch_at(h))
-                    .collect();
+                let hops: Vec<SwitchId> = (1..=200u64).map_while(|h| walk.switch_at(h)).collect();
                 assert_eq!(
                     drive_pipelines(params, &hops),
                     drive_software(params, &hops),
@@ -482,6 +491,8 @@ mod tests {
     #[test]
     fn mismatched_hash_family_rejected() {
         let fam = HashFamily::default_for(8, 2);
-        assert!(UnrollerPipeline::with_hashes(1, UnrollerParams::default().with_h(4), fam).is_err());
+        assert!(
+            UnrollerPipeline::with_hashes(1, UnrollerParams::default().with_h(4), fam).is_err()
+        );
     }
 }

@@ -27,6 +27,17 @@ pub struct ResourceReport {
     pub table_entries: u32,
     /// Per-packet header overhead in bits (Table 3 layout).
     pub header_bits: u32,
+    /// Register bits the *generated P4 program* declares per switch:
+    /// `z · H` pre-hashed identifier bits, plus the 256-entry LUT
+    /// registers when present (`1 + 8` bits per entry for a non-power
+    /// base, `8` for the chunk LUT alone). Distinct from
+    /// [`register_bits`](Self::register_bits), which counts the
+    /// *model's* provisioned state; `unroller-verify` cross-checks this
+    /// field against the declarations in the emitted source.
+    pub p4_register_bits: u64,
+    /// Match-action tables the generated P4 program declares (the dummy
+    /// dispatch table).
+    pub p4_tables: u32,
     /// Hash evaluations per packet (zero — identifiers are pre-hashed
     /// into registers at provisioning time).
     pub per_packet_hash_ops: u64,
@@ -43,6 +54,8 @@ impl fmt::Display for ResourceReport {
         writeln!(f, "  register bits:     {}", self.register_bits)?;
         writeln!(f, "  table entries:     {}", self.table_entries)?;
         writeln!(f, "  header bits:       {}", self.header_bits)?;
+        writeln!(f, "  p4 register bits:  {}", self.p4_register_bits)?;
+        writeln!(f, "  p4 tables:         {}", self.p4_tables)?;
         writeln!(f, "  hash ops/pkt:      {}", self.per_packet_hash_ops)?;
         writeln!(f, "  compares/pkt:      {}", self.per_packet_compares)?;
         write!(f, "  min updates/pkt:   {}", self.per_packet_min_updates)
@@ -51,7 +64,7 @@ impl fmt::Display for ResourceReport {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::pipeline::UnrollerPipeline;
     use unroller_core::params::UnrollerParams;
 

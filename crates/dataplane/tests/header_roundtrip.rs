@@ -1,0 +1,74 @@
+//! Property-based round-trip tests for the Table 3 wire header:
+//! `WireHeader::encode ∘ WireHeader::decode` is the identity for every
+//! layout the parameter space can produce — including TTL-inferred
+//! `Xcnt` (a 0-bit field) and non-power-of-two bases.
+
+use proptest::prelude::*;
+use unroller_core::params::UnrollerParams;
+use unroller_dataplane::header::{HeaderLayout, WireHeader};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any header value representable in any layout survives the wire.
+    #[test]
+    fn encode_decode_roundtrip(
+        b in 2u32..=9,
+        z in 1u32..=32,
+        c in 1u32..=4,
+        h in 1u32..=4,
+        th in 1u32..=8,
+        xcnt_in_header in prop::bool::ANY,
+        xcnt in any::<u64>(),
+        thcnt in any::<u64>(),
+        swid_seed in any::<u64>(),
+    ) {
+        let p = UnrollerParams {
+            xcnt_in_header,
+            ..UnrollerParams::default().with_b(b).with_z(z).with_c(c).with_h(h).with_th(th)
+        };
+        let layout = HeaderLayout::from_params(&p);
+        prop_assert_eq!(layout.total_bits(), p.overhead_bits());
+
+        // A TTL-inferred Xcnt has no wire bits: only 0 survives.
+        let xcnt = if xcnt_in_header { xcnt as u8 } else { 0 };
+        let thcnt = (thcnt as u32) % th;
+        let hdr = WireHeader {
+            xcnt,
+            thcnt,
+            swids: (0..layout.slots)
+                .map(|s| (swid_seed.rotate_left(s * 7) as u32) & p.z_mask())
+                .collect(),
+        };
+
+        let bytes = hdr.encode(&layout);
+        prop_assert_eq!(bytes.len(), layout.total_bytes());
+        let back = WireHeader::decode(&layout, &bytes).unwrap();
+        prop_assert_eq!(&back, &hdr);
+
+        // Truncating the buffer must error, never mis-decode.
+        if !bytes.is_empty() {
+            prop_assert!(WireHeader::decode(&layout, &bytes[..bytes.len() - 1]).is_err());
+        }
+    }
+
+    /// The all-zero initial header round-trips and stays all-zero.
+    #[test]
+    fn initial_header_roundtrip(
+        z in 1u32..=32,
+        c in 1u32..=4,
+        h in 1u32..=4,
+        th in 1u32..=8,
+        xcnt_in_header in prop::bool::ANY,
+    ) {
+        let p = UnrollerParams {
+            xcnt_in_header,
+            ..UnrollerParams::default().with_z(z).with_c(c).with_h(h).with_th(th)
+        };
+        let layout = HeaderLayout::from_params(&p);
+        let hdr = WireHeader::initial(&layout);
+        let bytes = hdr.encode(&layout);
+        prop_assert!(bytes.iter().all(|&x| x == 0));
+        prop_assert_eq!(WireHeader::decode(&layout, &bytes).unwrap(), hdr);
+    }
+}

@@ -12,12 +12,7 @@ use unroller_core::{InPacketDetector, PhaseSchedule, Unroller, UnrollerParams, W
 
 /// False-negative rate of a detector on `(B, L)` walks: the fraction of
 /// runs in which the loop is never reported within `max_hops`.
-pub fn false_negative_rate<D>(
-    detector: &D,
-    b_hops: usize,
-    l: usize,
-    cfg: &SweepConfig,
-) -> f64
+pub fn false_negative_rate<D>(detector: &D, b_hops: usize, l: usize, cfg: &SweepConfig) -> f64
 where
     D: InPacketDetector + Sync,
     D::State: Send,
@@ -31,9 +26,7 @@ where
     // gives < 5X for b = 4); anything still silent far past that is a
     // false negative, so a tight cap keeps the FN sweep cheap even for
     // variants that loop forever.
-    let cap = cfg
-        .max_hops
-        .min(1_000 + 100 * (b_hops as u64 + l as u64));
+    let cap = cfg.max_hops.min(1_000 + 100 * (b_hops as u64 + l as u64));
     let acc: Acc = parallel_fold(
         cfg.runs,
         cfg.seed ^ 0xab1a,
@@ -119,40 +112,44 @@ pub fn schedule_ablation(b_hops: usize, cfg: &SweepConfig) -> Vec<Series> {
 /// choice 5): all well-mixed families should land near the same rate;
 /// only a pathological family would diverge.
 pub fn hash_family_fp(z: u32, path_len: usize, cfg: &SweepConfig) -> Vec<(String, f64)> {
-    [HashKind::MultiplyShift, HashKind::SplitMix, HashKind::Tabulation]
-        .iter()
-        .map(|&kind| {
-            let params = UnrollerParams::default().with_z(z);
-            let det = Unroller::with_hashes(params, HashFamily::new(kind, 1, cfg.seed ^ 0xf00))
-                .expect("valid");
-            #[derive(Default)]
-            struct Acc {
-                runs: u64,
-                fps: u64,
-                state: Option<unroller_core::UnrollerState>,
-            }
-            let acc: Acc = parallel_fold(
-                cfg.runs,
-                cfg.seed ^ (kind as u64),
-                cfg.threads,
-                |_, rng, acc: &mut Acc| {
-                    let walk = Walk::random_loop_free(path_len, rng);
-                    let state = acc.state.get_or_insert_with(|| det.init_state());
-                    let out = run_detector_with(&det, &walk, path_len as u64 + 1, state);
-                    acc.runs += 1;
-                    if out.false_positive() {
-                        acc.fps += 1;
-                    }
-                },
-                |a, b| Acc {
-                    runs: a.runs + b.runs,
-                    fps: a.fps + b.fps,
-                    state: None,
-                },
-            );
-            (format!("{kind:?}"), acc.fps as f64 / acc.runs.max(1) as f64)
-        })
-        .collect()
+    [
+        HashKind::MultiplyShift,
+        HashKind::SplitMix,
+        HashKind::Tabulation,
+    ]
+    .iter()
+    .map(|&kind| {
+        let params = UnrollerParams::default().with_z(z);
+        let det = Unroller::with_hashes(params, HashFamily::new(kind, 1, cfg.seed ^ 0xf00))
+            .expect("valid");
+        #[derive(Default)]
+        struct Acc {
+            runs: u64,
+            fps: u64,
+            state: Option<unroller_core::UnrollerState>,
+        }
+        let acc: Acc = parallel_fold(
+            cfg.runs,
+            cfg.seed ^ (kind as u64),
+            cfg.threads,
+            |_, rng, acc: &mut Acc| {
+                let walk = Walk::random_loop_free(path_len, rng);
+                let state = acc.state.get_or_insert_with(|| det.init_state());
+                let out = run_detector_with(&det, &walk, path_len as u64 + 1, state);
+                acc.runs += 1;
+                if out.false_positive() {
+                    acc.fps += 1;
+                }
+            },
+            |a, b| Acc {
+                runs: a.runs + b.runs,
+                fps: a.fps + b.fps,
+                state: None,
+            },
+        );
+        (format!("{kind:?}"), acc.fps as f64 / acc.runs.max(1) as f64)
+    })
+    .collect()
 }
 
 /// The threshold trade-off in one table: FP rate (on loop-free paths)
@@ -194,12 +191,7 @@ pub fn ordering_demo() -> (u64, u64) {
 /// measured extra hops per threshold step, normalized by `L`.
 pub fn threshold_extra_hops_per_l(l: usize, cfg: &SweepConfig) -> f64 {
     let t1 = crate::sweeps::detection_stats(UnrollerParams::default(), 5, l, cfg);
-    let t2 = crate::sweeps::detection_stats(
-        UnrollerParams::default().with_th(2),
-        5,
-        l,
-        cfg,
-    );
+    let t2 = crate::sweeps::detection_stats(UnrollerParams::default().with_th(2), 5, l, cfg);
     let extra = t2.sum_hops as f64 / t2.detected as f64 - t1.sum_hops as f64 / t1.detected as f64;
     extra / l as f64
 }
@@ -230,7 +222,10 @@ mod tests {
         let fn0 = false_negative_rate(&det, 0, 10, &cfg);
         let fn20 = false_negative_rate(&det, 20, 10, &cfg);
         assert_eq!(fn0, 0.0, "first hop on the loop always works");
-        assert!(fn20 > 0.5, "B=20,L=10: minimum usually pre-loop, got {fn20}");
+        assert!(
+            fn20 > 0.5,
+            "B=20,L=10: minimum usually pre-loop, got {fn20}"
+        );
     }
 
     #[test]

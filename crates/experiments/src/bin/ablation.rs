@@ -1,4 +1,4 @@
-//! Ablation studies for the design choices DESIGN.md §6 calls out:
+//! Ablation studies for the design choices DESIGN.md §7 calls out:
 //! phase resets (§3.5), the two phase schedules, the threshold
 //! trade-off, hash families, and the check-before-reset ordering.
 
@@ -18,7 +18,11 @@ fn main() {
     let series = ablation::schedule_ablation(5, &cfg);
     print!(
         "{}",
-        render_series_table("avg time, power-boundary vs cumulative-geometric", "L", &series)
+        render_series_table(
+            "avg time, power-boundary vs cumulative-geometric",
+            "L",
+            &series
+        )
     );
 
     println!("\n# Ablation 3: threshold trade-off at z = 8 (FP vs detection time)");

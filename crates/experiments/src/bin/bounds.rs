@@ -44,7 +44,10 @@ fn main() {
                     worst_at = (b_hops, l, pos);
                 }
                 let bound = bounds::worst_case_bound(4, b_hops as u64, l as u64);
-                assert!(hops <= bound, "bound violated at B={b_hops} L={l} pos={pos}");
+                assert!(
+                    hops <= bound,
+                    "bound violated at B={b_hops} L={l} pos={pos}"
+                );
             }
         }
     }

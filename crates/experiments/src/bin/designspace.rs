@@ -33,7 +33,9 @@ fn main() {
 
     // Pre-draw the workload so every mechanism sees identical walks.
     let mut rng = unroller_core::test_rng(cli.seed);
-    let walks: Vec<Walk> = (0..runs).map(|_| Walk::random(b_hops, l, &mut rng)).collect();
+    let walks: Vec<Walk> = (0..runs)
+        .map(|_| Walk::random(b_hops, l, &mut rng))
+        .collect();
     let budget = |w: &Walk| (6 * w.x() + 64) as u64;
 
     // In-packet detectors share one measurement harness.
@@ -65,10 +67,7 @@ fn main() {
 
     let unroller = Unroller::from_params(UnrollerParams::default()).unwrap();
     rows.push(measure("Unroller", &unroller, &walks, budget));
-    let compact = Unroller::from_params(
-        "z=7,th=4".parse().expect("valid params"),
-    )
-    .unwrap();
+    let compact = Unroller::from_params("z=7,th=4".parse().expect("valid params")).unwrap();
     rows.push(measure("Unroller z=7 Th=4", &compact, &walks, budget));
     rows.push(measure("INT", &IntPathRecorder::new(), &walks, budget));
     rows.push(measure(
@@ -132,12 +131,16 @@ fn main() {
         });
     }
 
-    println!(
-        "design space, measured (B = {b_hops}, L = 20, {runs} runs; hop budget ~6X):\n"
-    );
+    println!("design space, measured (B = {b_hops}, L = 20, {runs} runs; hop budget ~6X):\n");
     println!(
         "{:<18} {:>9} {:>11} {:>9} {:>13} {:>14} {:>12}",
-        "mechanism", "real-time", "mean hops", "FN rate", "header bits", "postcard bits", "switch bits"
+        "mechanism",
+        "real-time",
+        "mean hops",
+        "FN rate",
+        "header bits",
+        "postcard bits",
+        "switch bits"
     );
     for r in &rows {
         println!(

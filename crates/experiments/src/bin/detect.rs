@@ -68,9 +68,7 @@ fn main() {
 
     if l == 0 {
         let rate = false_positive_rate(params, b_hops, &cfg);
-        println!(
-            "loop-free path of {b_hops} hops, {runs} runs: false-positive rate {rate:.3e}"
-        );
+        println!("loop-free path of {b_hops} hops, {runs} runs: false-positive rate {rate:.3e}");
         return;
     }
 

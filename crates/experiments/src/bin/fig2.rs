@@ -6,5 +6,10 @@ use unroller_experiments::report::emit;
 fn main() {
     let cli = unroller_experiments::Cli::parse("fig2", 100_000);
     let series = unroller_experiments::sweeps::fig2(&cli.sweep());
-    emit("Figure 2: detection time varying L and b", "L", &series, cli.csv);
+    emit(
+        "Figure 2: detection time varying L and b",
+        "L",
+        &series,
+        cli.csv,
+    );
 }

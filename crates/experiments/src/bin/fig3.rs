@@ -6,5 +6,10 @@ use unroller_experiments::report::emit;
 fn main() {
     let cli = unroller_experiments::Cli::parse("fig3", 100_000);
     let series = unroller_experiments::sweeps::fig3(&cli.sweep());
-    emit("Figure 3: detection time varying L and B", "L", &series, cli.csv);
+    emit(
+        "Figure 3: detection time varying L and B",
+        "L",
+        &series,
+        cli.csv,
+    );
 }

@@ -6,5 +6,10 @@ use unroller_experiments::report::emit;
 fn main() {
     let cli = unroller_experiments::Cli::parse("fig4", 100_000);
     let series = unroller_experiments::sweeps::fig4(&cli.sweep());
-    emit("Figure 4: detection time varying L and c, H", "L", &series, cli.csv);
+    emit(
+        "Figure 4: detection time varying L and c, H",
+        "L",
+        &series,
+        cli.csv,
+    );
 }

@@ -8,7 +8,12 @@ fn main() {
     let cli = unroller_experiments::Cli::parse("fig6", 200_000);
     let cfg = cli.sweep();
     let a = unroller_experiments::false_positives::fig6a(&cfg);
-    emit("Figure 6(a): false positives varying c and H", "z", &a, cli.csv);
+    emit(
+        "Figure 6(a): false positives varying c and H",
+        "z",
+        &a,
+        cli.csv,
+    );
     println!();
     let b = unroller_experiments::false_positives::fig6b(&cfg);
     emit("Figure 6(b): false positives varying Th", "z", &b, cli.csv);

@@ -21,7 +21,14 @@ fn main() {
         "B", "L", "unroller hops", "int hops", "unroller bit-hops", "int bit-hops"
     );
 
-    for (b_hops, l) in [(5usize, 5usize), (5, 10), (5, 20), (5, 40), (0, 20), (10, 20)] {
+    for (b_hops, l) in [
+        (5usize, 5usize),
+        (5, 10),
+        (5, 20),
+        (5, 40),
+        (0, 20),
+        (10, 20),
+    ] {
         let unroller = Unroller::from_params(UnrollerParams::default()).unwrap();
         let local = LocalizingDetector::new(unroller.clone(), 64);
         let int = unroller_baselines::IntPathRecorder::new();

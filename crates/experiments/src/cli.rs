@@ -51,12 +51,10 @@ impl Cli {
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let mut take = |name: &str| -> u64 {
-                args.next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("{binary}: {name} requires a numeric argument");
-                        std::process::exit(2);
-                    })
+                args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("{binary}: {name} requires a numeric argument");
+                    std::process::exit(2);
+                })
             };
             match arg.as_str() {
                 "--runs" => cli.runs = take("--runs"),

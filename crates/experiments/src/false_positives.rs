@@ -21,18 +21,16 @@ struct Acc {
     state: Option<UnrollerState>,
 }
 
-
 /// The false-positive probability of a configuration on a loop-free
 /// `path_len`-hop path.
-pub fn false_positive_rate(
-    params: UnrollerParams,
-    path_len: usize,
-    cfg: &SweepConfig,
-) -> f64 {
+pub fn false_positive_rate(params: UnrollerParams, path_len: usize, cfg: &SweepConfig) -> f64 {
     let det = Unroller::from_params(params).expect("valid parameters");
     let acc: Acc = parallel_fold(
         cfg.runs,
-        cfg.seed ^ 0xfa15e ^ ((params.z as u64) << 40) ^ ((params.th as u64) << 48)
+        cfg.seed
+            ^ 0xfa15e
+            ^ ((params.z as u64) << 40)
+            ^ ((params.th as u64) << 48)
             ^ ((params.c as u64) << 52)
             ^ ((params.h as u64) << 56),
         cfg.threads,
@@ -113,10 +111,7 @@ mod tests {
         let cfg = quick();
         let r4 = false_positive_rate(UnrollerParams::default().with_z(4), FP_PATH_LEN, &cfg);
         let r10 = false_positive_rate(UnrollerParams::default().with_z(10), FP_PATH_LEN, &cfg);
-        assert!(
-            r4 > r10,
-            "z=4 rate {r4} should exceed z=10 rate {r10}"
-        );
+        assert!(r4 > r10, "z=4 rate {r4} should exceed z=10 rate {r10}");
         assert!(r4 > 0.05, "z=4 should collide frequently, got {r4}");
     }
 

@@ -2,9 +2,9 @@
 //!
 //! Every evaluation point in the paper aggregates millions of
 //! independent runs ("each data point reflects 3M runs"). The runner
-//! shards trials across threads with crossbeam scoped threads; each
-//! shard owns a deterministically derived RNG, so results are
-//! reproducible for a given seed *and independent of the thread count*.
+//! shards trials across `std::thread::scope` workers; each shard owns a
+//! deterministically derived RNG, so results are reproducible for a
+//! given seed *and independent of the thread count*.
 
 use rand::SeedableRng;
 
@@ -47,11 +47,11 @@ where
     }
     let per = trials / threads as u64;
     let rem = trials % threads as u64;
-    let accs: Vec<A> = crossbeam::thread::scope(|s| {
+    let accs: Vec<A> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|shard| {
                 let fold = &fold;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let lo = shard as u64 * per + (shard as u64).min(rem);
                     let count = per + if (shard as u64) < rem { 1 } else { 0 };
                     let mut rng = rand::rngs::StdRng::seed_from_u64(
@@ -66,9 +66,11 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("no worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no worker panicked"))
+            .collect()
+    });
     accs.into_iter().fold(A::default(), merge)
 }
 
@@ -170,7 +172,13 @@ mod tests {
     fn single_thread_path_matches() {
         #[derive(Default)]
         struct Sum(u64);
-        let s: Sum = parallel_fold(500, 2, 1, |t, _, acc: &mut Sum| acc.0 += t, |a, b| Sum(a.0 + b.0));
+        let s: Sum = parallel_fold(
+            500,
+            2,
+            1,
+            |t, _, acc: &mut Sum| acc.0 += t,
+            |a, b| Sum(a.0 + b.0),
+        );
         assert_eq!(s.0, 500 * 499 / 2);
     }
 

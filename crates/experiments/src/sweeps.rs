@@ -43,7 +43,6 @@ struct Acc {
     state: Option<UnrollerState>,
 }
 
-
 /// Measures detection statistics for one `(params, B, L)` point.
 pub fn detection_stats(
     params: UnrollerParams,
@@ -81,11 +80,7 @@ pub fn avg_detection_ratio(
 }
 
 fn params_fingerprint(p: &UnrollerParams) -> u64 {
-    (p.b as u64)
-        | (p.z as u64) << 8
-        | (p.c as u64) << 16
-        | (p.h as u64) << 24
-        | (p.th as u64) << 32
+    (p.b as u64) | (p.z as u64) << 8 | (p.c as u64) << 16 | (p.h as u64) << 24 | (p.th as u64) << 32
 }
 
 /// The loop lengths the L-sweep figures sample.
@@ -236,12 +231,7 @@ mod tests {
     fn fig4_shape_chunks_and_hashes_help() {
         let cfg = quick();
         let r11 = avg_detection_ratio(UnrollerParams::default(), 5, 20, &cfg);
-        let r44 = avg_detection_ratio(
-            UnrollerParams::default().with_c(4).with_h(4),
-            5,
-            20,
-            &cfg,
-        );
+        let r44 = avg_detection_ratio(UnrollerParams::default().with_c(4).with_h(4), 5, 20, &cfg);
         assert!(r44 < r11, "c=H=4 ({r44}) should beat c=H=1 ({r11})");
     }
 

@@ -140,9 +140,14 @@ where
 /// over the configured runs; total bits add the 8-bit `Xcnt`.
 pub fn unroller_min_bits(pool: &[(usize, usize)], cfg: &Table5Config) -> u64 {
     for z in 1..=32u32 {
-        let det = Unroller::from_params(UnrollerParams::default().with_z(z))
-            .expect("valid params");
-        if !any_false_positive(&det, pool, cfg.runs, cfg.seed ^ (z as u64) << 8, cfg.threads) {
+        let det = Unroller::from_params(UnrollerParams::default().with_z(z)).expect("valid params");
+        if !any_false_positive(
+            &det,
+            pool,
+            cfg.runs,
+            cfg.seed ^ (z as u64) << 8,
+            cfg.threads,
+        ) {
             return 8 + z as u64;
         }
     }
@@ -156,7 +161,13 @@ pub fn bloom_min_bits(pool: &[(usize, usize)], cfg: &Table5Config) -> u64 {
     let expected = mean_x.ceil() as u32 + 1;
     let clean = |m: u32| {
         let det = BloomFilterDetector::with_optimal_k(m, expected, cfg.seed ^ 0xb100f);
-        !any_false_positive(&det, pool, cfg.runs, cfg.seed ^ (m as u64) << 16, cfg.threads)
+        !any_false_positive(
+            &det,
+            pool,
+            cfg.runs,
+            cfg.seed ^ (m as u64) << 16,
+            cfg.threads,
+        )
     };
     // Doubling phase.
     let mut hi = 16u32;
@@ -263,7 +274,10 @@ mod tests {
         for &(b, l) in &pool {
             assert!(l >= 2, "loops have at least 2 switches");
             assert!(b + l <= 2 * topo.graph.node_count());
-            assert!(b <= topo.graph.diameter(), "pre-loop part of a shortest path");
+            assert!(
+                b <= topo.graph.diameter(),
+                "pre-loop part of a shortest path"
+            );
         }
     }
 
@@ -274,7 +288,10 @@ mod tests {
         assert_eq!(row.nodes, 20);
         assert_eq!(row.diameter, 4);
         assert_eq!(row.pathdump_bits, Some(64), "PathDump applies to FatTree");
-        assert!(row.unroller_bits < row.bloom_bits, "Unroller must beat Bloom");
+        assert!(
+            row.unroller_bits < row.bloom_bits,
+            "Unroller must beat Bloom"
+        );
         assert!(row.unroller_avg_time >= 1.0 && row.unroller_avg_time <= 3.5);
     }
 

@@ -18,8 +18,8 @@ use crate::trace::{Trace, TraceEvent};
 use rand::Rng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use unroller_core::{InPacketDetector, SwitchId, Verdict};
 use unroller_core::profile::{Category, DetectorProfile, OverheadLevel};
+use unroller_core::{InPacketDetector, SwitchId, Verdict};
 use unroller_topology::{Graph, NodeId};
 
 /// Reaction when a switch reports a loop.
@@ -124,8 +124,7 @@ impl SimStats {
         if self.delivery_latencies.is_empty() {
             return 0.0;
         }
-        self.delivery_latencies.iter().sum::<u64>() as f64
-            / self.delivery_latencies.len() as f64
+        self.delivery_latencies.iter().sum::<u64>() as f64 / self.delivery_latencies.len() as f64
     }
 
     /// Worst (tail) delivery latency in ns.
@@ -362,7 +361,10 @@ impl<D: InPacketDetector> Simulator<D> {
     /// `cycle[i+1]` (wrapping), so any packet for `dst` touching the
     /// cycle circulates until detected or TTL-dropped.
     pub fn inject_cycle(&mut self, cycle: &[NodeId], dst: NodeId) {
-        assert!(cycle.len() >= 2, "a routing loop needs at least two switches");
+        assert!(
+            cycle.len() >= 2,
+            "a routing loop needs at least two switches"
+        );
         for i in 0..cycle.len() {
             let next = cycle[(i + 1) % cycle.len()];
             self.poison_route(cycle[i], dst, next);
@@ -491,7 +493,13 @@ impl<D: InPacketDetector> Simulator<D> {
         self.forward(packet, flight, node, None);
     }
 
-    fn forward(&mut self, packet: u64, mut flight: Flight<D::State>, node: NodeId, via: Option<NodeId>) {
+    fn forward(
+        &mut self,
+        packet: u64,
+        mut flight: Flight<D::State>,
+        node: NodeId,
+        via: Option<NodeId>,
+    ) {
         // TTL check before egress.
         if flight.ttl <= 1 {
             self.stats.dropped_ttl += 1;
@@ -568,10 +576,15 @@ mod tests {
     fn delivers_along_shortest_path() {
         let g = line(5);
         let ids = assign_sequential_ids(5, 100);
-        let mut sim = Simulator::new(g, ids, unroller(), SimConfig {
-            trace: true,
-            ..SimConfig::default()
-        });
+        let mut sim = Simulator::new(
+            g,
+            ids,
+            unroller(),
+            SimConfig {
+                trace: true,
+                ..SimConfig::default()
+            },
+        );
         sim.send_packet(0, 0, 4);
         let stats = sim.run().clone();
         assert_eq!(stats.delivered, 1);
@@ -605,10 +618,15 @@ mod tests {
     fn without_detector_only_ttl_saves_you() {
         let g = line(5);
         let ids = assign_sequential_ids(5, 100);
-        let mut sim = Simulator::new(g, ids, NullDetector, SimConfig {
-            ttl: 32,
-            ..SimConfig::default()
-        });
+        let mut sim = Simulator::new(
+            g,
+            ids,
+            NullDetector,
+            SimConfig {
+                ttl: 32,
+                ..SimConfig::default()
+            },
+        );
         sim.inject_cycle(&[1, 2], 4);
         sim.send_packet(0, 0, 4);
         let stats = sim.run();
@@ -628,11 +646,16 @@ mod tests {
         g.add_edge(0, 2);
         g.add_edge(2, 3);
         let ids = assign_sequential_ids(4, 50);
-        let mut sim = Simulator::new(g, ids, unroller(), SimConfig {
-            on_detect: DetectAction::Reroute,
-            trace: true,
-            ..SimConfig::default()
-        });
+        let mut sim = Simulator::new(
+            g,
+            ids,
+            unroller(),
+            SimConfig {
+                on_detect: DetectAction::Reroute,
+                trace: true,
+                ..SimConfig::default()
+            },
+        );
         sim.inject_cycle(&[0, 1], 3);
         sim.send_packet(0, 0, 3);
         let stats = sim.run().clone();
@@ -645,11 +668,16 @@ mod tests {
     fn fault_injection_drops_packets() {
         let g = ring(8);
         let ids = assign_sequential_ids(8, 10);
-        let mut sim = Simulator::new(g, ids, unroller(), SimConfig {
-            drop_probability: 0.5,
-            seed: 3,
-            ..SimConfig::default()
-        });
+        let mut sim = Simulator::new(
+            g,
+            ids,
+            unroller(),
+            SimConfig {
+                drop_probability: 0.5,
+                seed: 3,
+                ..SimConfig::default()
+            },
+        );
         for i in 0..100 {
             sim.send_packet(i * 10, 0, 4);
         }
@@ -664,11 +692,16 @@ mod tests {
         let run = || {
             let g = ring(10);
             let ids = assign_sequential_ids(10, 1);
-            let mut sim = Simulator::new(g, ids, unroller(), SimConfig {
-                drop_probability: 0.3,
-                seed: 42,
-                ..SimConfig::default()
-            });
+            let mut sim = Simulator::new(
+                g,
+                ids,
+                unroller(),
+                SimConfig {
+                    drop_probability: 0.3,
+                    seed: 42,
+                    ..SimConfig::default()
+                },
+            );
             sim.inject_cycle(&[2, 3], 7);
             for i in 0..50 {
                 sim.send_packet(i * 100, 0, 7);
@@ -775,12 +808,21 @@ mod tests {
         // beyond what delivered traffic would.
         let g = line(5);
         let ids = assign_sequential_ids(5, 100);
-        let mut healthy = Simulator::new(g.clone(), ids.clone(), NullDetector, SimConfig::default());
+        let mut healthy =
+            Simulator::new(g.clone(), ids.clone(), NullDetector, SimConfig::default());
         healthy.send_packet(0, 0, 4);
         let healthy_load = healthy.run().link_load(1, 2);
         assert_eq!(healthy_load, 1);
 
-        let mut looped = Simulator::new(g, ids, NullDetector, SimConfig { ttl: 64, ..SimConfig::default() });
+        let mut looped = Simulator::new(
+            g,
+            ids,
+            NullDetector,
+            SimConfig {
+                ttl: 64,
+                ..SimConfig::default()
+            },
+        );
         looped.inject_cycle(&[1, 2], 4);
         looped.send_packet(0, 0, 4);
         let stats = looped.run();
@@ -801,7 +843,15 @@ mod tests {
         g.add_edge(0, 2);
         g.add_edge(2, 3);
         let ids = assign_sequential_ids(4, 5);
-        let mut sim = Simulator::new(g, ids, NullDetector, SimConfig { trace: true, ..SimConfig::default() });
+        let mut sim = Simulator::new(
+            g,
+            ids,
+            NullDetector,
+            SimConfig {
+                trace: true,
+                ..SimConfig::default()
+            },
+        );
         sim.set_routes(3, vec![Some(2), Some(3), Some(3), None]);
         assert_eq!(sim.route(0, 3), vec![0, 2, 3]);
         sim.send_packet(0, 0, 3);

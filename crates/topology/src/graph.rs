@@ -44,7 +44,10 @@ impl Graph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         if u == v || self.adj[u].contains(&v) {
             return;
         }
@@ -136,7 +139,10 @@ impl Graph {
     /// connected pair). `O(n·m)` — fine for the evaluation topologies
     /// (≤ 158 nodes).
     pub fn diameter(&self) -> usize {
-        self.nodes().map(|u| self.eccentricity(u)).max().unwrap_or(0)
+        self.nodes()
+            .map(|u| self.eccentricity(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// True if every node can reach every other node.

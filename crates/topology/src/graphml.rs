@@ -195,14 +195,20 @@ fn parse_attrs(raw: &str, at: usize) -> Result<Vec<(String, String)>, GraphMlErr
             i += 1;
         }
         if i >= bytes.len() || bytes[i] != b'=' {
-            return Err(GraphMlError::Xml(at, format!("attribute `{key}` has no value")));
+            return Err(GraphMlError::Xml(
+                at,
+                format!("attribute `{key}` has no value"),
+            ));
         }
         i += 1; // '='
         while i < bytes.len() && bytes[i].is_ascii_whitespace() {
             i += 1;
         }
         if i >= bytes.len() || (bytes[i] != b'"' && bytes[i] != b'\'') {
-            return Err(GraphMlError::Xml(at, format!("attribute `{key}` not quoted")));
+            return Err(GraphMlError::Xml(
+                at,
+                format!("attribute `{key}` not quoted"),
+            ));
         }
         let q = bytes[i];
         i += 1;
@@ -211,7 +217,10 @@ fn parse_attrs(raw: &str, at: usize) -> Result<Vec<(String, String)>, GraphMlErr
             i += 1;
         }
         if i >= bytes.len() {
-            return Err(GraphMlError::Xml(at, format!("attribute `{key}` unterminated")));
+            return Err(GraphMlError::Xml(
+                at,
+                format!("attribute `{key}` unterminated"),
+            ));
         }
         attrs.push((key, decode_entities(&raw[val_start..i])));
         i += 1; // closing quote
@@ -276,15 +285,16 @@ pub fn parse_graphml(text: &str) -> Result<NamedGraph, GraphMlError> {
                     }
                 }
                 "edge" => {
-                    let (Some(s), Some(t)) = (attr(attrs, "source"), attr(attrs, "target"))
-                    else {
+                    let (Some(s), Some(t)) = (attr(attrs, "source"), attr(attrs, "target")) else {
                         return Err(GraphMlError::IncompleteEdge);
                     };
                     edges.push((s.to_string(), t.to_string()));
                 }
                 "data" => {
                     pending_label_data = current_node.is_some()
-                        && label_key.as_deref().is_some_and(|k| attr(attrs, "key") == Some(k));
+                        && label_key
+                            .as_deref()
+                            .is_some_and(|k| attr(attrs, "key") == Some(k));
                 }
                 _ => {}
             },

@@ -115,6 +115,10 @@ pub fn sample_cycle_intersecting<R: Rng + ?Sized>(
 /// Samples a complete Table 5 scenario: a uniform random distinct node
 /// pair, a shortest path between them, and a random cycle intersecting
 /// that path, rotated to the packet's entry point.
+///
+/// The cycle never passes through the destination: a switch delivers
+/// packets addressed to itself, so a "loop" containing `dst` cannot
+/// trap traffic toward `dst` and is not a routing loop for this flow.
 pub fn sample_scenario<R: Rng + ?Sized>(
     g: &Graph,
     max_loop_len: usize,
@@ -134,9 +138,16 @@ pub fn sample_scenario<R: Rng + ?Sized>(
         let Some(path) = g.shortest_path(src, dst) else {
             continue;
         };
-        let Some(cycle) = sample_cycle_intersecting(g, &path, max_loop_len, 8, rng) else {
+        // Grow the cycle from a non-destination path node, and reject
+        // walks that wander through the destination.
+        let Some(cycle) =
+            sample_cycle_intersecting(g, &path[..path.len() - 1], max_loop_len, 8, rng)
+        else {
             continue;
         };
+        if cycle.contains(&dst) {
+            continue;
+        }
         // The packet enters the loop at the first path node on the cycle.
         let entry = path
             .iter()
@@ -223,6 +234,9 @@ mod tests {
             for &p in &s.path[..s.entry] {
                 assert!(!s.cycle.contains(&p));
             }
+            // The destination is never on the cycle — a switch delivers
+            // its own packets, so such a scenario would not loop.
+            assert!(!s.cycle.contains(s.path.last().unwrap()));
             assert_eq!(s.x(), s.b() + s.l());
         }
     }

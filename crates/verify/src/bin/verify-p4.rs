@@ -1,0 +1,63 @@
+//! `verify-p4` — sweep the Table 4 parameter grid (or one `--params`
+//! configuration) through the static verifier and report structured
+//! diagnostics.
+//!
+//! ```text
+//! cargo run -p unroller-verify --bin verify-p4
+//! cargo run -p unroller-verify --bin verify-p4 -- --params b=3,c=2,h=2
+//! ```
+//!
+//! Exit status is non-zero when any configuration fails, so the check
+//! slots into CI next to the test suite.
+
+use std::process::ExitCode;
+use unroller_core::params::UnrollerParams;
+use unroller_verify::{table4_grid, verify_params};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: verify-p4 [--params <spec>]\n\
+         \x20  (no args)        verify every Table 4 configuration\n\
+         \x20  --params <spec>  verify one configuration, e.g. `b=3,z=7,th=4`"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grid: Vec<UnrollerParams> = match args.as_slice() {
+        [] => table4_grid(),
+        [flag, spec] if flag == "--params" => match spec.parse() {
+            Ok(p) => vec![p],
+            Err(e) => {
+                eprintln!("verify-p4: bad --params `{spec}`: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => usage(),
+    };
+
+    let mut failures = 0usize;
+    for p in &grid {
+        let diags = verify_params(p);
+        if diags.is_empty() {
+            println!("ok   {p}");
+        } else {
+            failures += 1;
+            println!("FAIL {p}");
+            for d in &diags {
+                println!("     {d}");
+            }
+        }
+    }
+    println!(
+        "verify-p4: {}/{} configurations consistent with the model",
+        grid.len() - failures,
+        grid.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

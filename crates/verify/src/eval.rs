@@ -1,0 +1,263 @@
+//! Concrete evaluation and conservative bound analysis over IR
+//! expressions.
+//!
+//! Two interpreters share the width rules of P4₁₆ `bit<N>` arithmetic:
+//!
+//! * [`Evaluator::eval`] computes a concrete value given an environment
+//!   of known paths — the phase-table pass runs the generated freshness
+//!   expression for every 8-bit hop count and compares against
+//!   [`unroller_core::phase::PhaseSchedule`].
+//! * [`upper_bound`] computes a sound upper bound on an expression's
+//!   value — the register-safety pass proves every register index
+//!   in-bounds without enumerating environments.
+
+use crate::ir::{BinOp, Expr, Program, UnOp};
+use std::collections::HashMap;
+
+/// The all-ones value of a `bit<w>` (saturating at 64 bits).
+pub fn width_mask(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+fn merge_width(a: Option<u32>, b: Option<u32>) -> Option<u32> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (w, None) | (None, w) => w,
+    }
+}
+
+/// Resolves the width of a path: a local `bit<N>` variable when the
+/// path is a bare name, a header/struct field otherwise.
+fn path_width(path: &[String], prog: &Program, locals: &HashMap<String, u32>) -> Option<u32> {
+    if let [name] = path {
+        if let Some(w) = locals.get(name) {
+            return Some(*w);
+        }
+    }
+    prog.path_width(path)
+}
+
+/// The static width of an expression, when derivable.
+pub fn width_of(e: &Expr, prog: &Program, locals: &HashMap<String, u32>) -> Option<u32> {
+    match e {
+        Expr::Num { width, .. } => *width,
+        Expr::Path(p) => path_width(p, prog, locals),
+        Expr::Cast { bits, .. } => Some(*bits),
+        Expr::Call { .. } => None,
+        Expr::Unary { op: UnOp::Not, .. } => Some(1),
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => width_of(expr, prog, locals),
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::And | BinOp::Or => Some(1),
+            BinOp::BitAnd | BinOp::BitOr | BinOp::Add | BinOp::Sub => {
+                merge_width(width_of(lhs, prog, locals), width_of(rhs, prog, locals))
+            }
+        },
+    }
+}
+
+/// A concrete-evaluation context: the program (for field widths), local
+/// variable widths, and an environment of known path values.
+pub struct Evaluator<'a> {
+    /// The program, for resolving field widths.
+    pub prog: &'a Program,
+    /// Widths of in-scope `bit<N>` locals.
+    pub locals: &'a HashMap<String, u32>,
+    /// Known values, keyed by dotted path (`hdr.unroller.xcnt`).
+    pub env: HashMap<String, u64>,
+}
+
+impl Evaluator<'_> {
+    /// Evaluates `e` to a concrete value, or `None` when it references
+    /// paths outside the environment (or calls).
+    ///
+    /// Arithmetic wraps at the merged operand width, matching P4's
+    /// fixed-width semantics; comparisons and logic produce `bit<1>`.
+    pub fn eval(&self, e: &Expr) -> Option<u64> {
+        match e {
+            Expr::Num { value, .. } => Some(*value),
+            Expr::Path(p) => self.env.get(&p.join(".")).copied(),
+            Expr::Cast { bits, expr } => Some(self.eval(expr)? & width_mask(*bits)),
+            Expr::Call { .. } => None,
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => Some(u64::from(self.eval(expr)? == 0)),
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => {
+                let w = width_of(expr, self.prog, self.locals)?;
+                Some(self.eval(expr)?.wrapping_neg() & width_mask(w))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                let w = merge_width(
+                    width_of(lhs, self.prog, self.locals),
+                    width_of(rhs, self.prog, self.locals),
+                );
+                let wrap = |v: u64| v & w.map_or(u64::MAX, width_mask);
+                Some(match op {
+                    BinOp::Eq => u64::from(l == r),
+                    BinOp::Ne => u64::from(l != r),
+                    BinOp::Lt => u64::from(l < r),
+                    BinOp::Gt => u64::from(l > r),
+                    BinOp::And => u64::from(l != 0 && r != 0),
+                    BinOp::Or => u64::from(l != 0 || r != 0),
+                    BinOp::BitAnd => l & r,
+                    BinOp::BitOr => l | r,
+                    BinOp::Add => wrap(l.wrapping_add(r)),
+                    BinOp::Sub => wrap(l.wrapping_sub(r)),
+                })
+            }
+        }
+    }
+}
+
+/// A sound upper bound on the value `e` can take, or `None` when no
+/// finite bound is derivable (e.g. a call, or a path of unknown width).
+///
+/// Rules: literals bound themselves; a path is bounded by its declared
+/// width; a cast by the smaller of its operand's bound and its target
+/// width; `&` by the smaller operand bound; wrapping `+`/`-`/`|` by the
+/// merged width; comparisons and logic by 1.
+pub fn upper_bound(e: &Expr, prog: &Program, locals: &HashMap<String, u32>) -> Option<u64> {
+    let by_width = |e: &Expr| width_of(e, prog, locals).map(width_mask);
+    match e {
+        Expr::Num { value, .. } => Some(*value),
+        Expr::Path(p) => path_width(p, prog, locals).map(width_mask),
+        Expr::Cast { bits, expr } => {
+            let inner = upper_bound(expr, prog, locals).unwrap_or(u64::MAX);
+            Some(inner.min(width_mask(*bits)))
+        }
+        Expr::Call { .. } => None,
+        Expr::Unary { op: UnOp::Not, .. } => Some(1),
+        Expr::Unary { .. } => by_width(e),
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::And | BinOp::Or => Some(1),
+            BinOp::BitAnd => {
+                let l = upper_bound(lhs, prog, locals);
+                let r = upper_bound(rhs, prog, locals);
+                match (l, r) {
+                    (Some(l), Some(r)) => Some(l.min(r)),
+                    (b, None) | (None, b) => b,
+                }
+            }
+            BinOp::BitOr | BinOp::Add | BinOp::Sub => by_width(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn fixture() -> Program {
+        parse(
+            "header unroller_t {\n\
+             \x20   bit<8> xcnt;\n\
+             \x20   bit<7> swid0;\n\
+             }\n\
+             struct headers_t {\n\
+             \x20   unroller_t unroller;\n\
+             }\n",
+        )
+        .unwrap()
+    }
+
+    fn rhs_of(src: &str) -> Expr {
+        let full = format!("control C(inout headers_t hdr) {{ apply {{ {src} }} }}");
+        let prog = parse(&full).unwrap();
+        match &prog.controls[0].apply[0] {
+            crate::ir::Stmt::Assign { rhs, .. } => rhs.clone(),
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eval_wraps_at_field_width() {
+        let prog = fixture();
+        let locals = HashMap::new();
+        let mut ev = Evaluator {
+            prog: &prog,
+            locals: &locals,
+            env: HashMap::new(),
+        };
+        ev.env.insert("hdr.unroller.xcnt".into(), 0);
+        // 0 - 1 at bit<8> wraps to 255.
+        let e = rhs_of("x = hdr.unroller.xcnt - 1;");
+        assert_eq!(ev.eval(&e), Some(255));
+    }
+
+    #[test]
+    fn eval_power_of_two_freshness_expression() {
+        let prog = fixture();
+        let locals = HashMap::new();
+        let mut ev = Evaluator {
+            prog: &prog,
+            locals: &locals,
+            env: HashMap::new(),
+        };
+        // b = 4 check: one set bit on an even position.
+        let e = rhs_of(
+            "meta.fresh = (bit<1>)((hdr.unroller.xcnt & (hdr.unroller.xcnt - 1)) == 0 \
+             && (hdr.unroller.xcnt & 8w0b01010101) == hdr.unroller.xcnt);",
+        );
+        for (x, want) in [
+            (1u64, 1u64),
+            (2, 0),
+            (4, 1),
+            (16, 1),
+            (64, 1),
+            (12, 0),
+            (128, 0),
+        ] {
+            ev.env.insert("hdr.unroller.xcnt".into(), x);
+            assert_eq!(ev.eval(&e), Some(want), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn bound_of_cast_path() {
+        let prog = fixture();
+        let locals = HashMap::new();
+        // (bit<32>) xcnt is still bounded by xcnt's 8 bits.
+        let e = rhs_of("i = (bit<32>)hdr.unroller.xcnt;");
+        assert_eq!(upper_bound(&e, &prog, &locals), Some(255));
+    }
+
+    #[test]
+    fn bound_uses_locals_and_bitand() {
+        let prog = fixture();
+        let mut locals = HashMap::new();
+        locals.insert("idx".to_string(), 4u32);
+        let e = rhs_of("i = idx & 7;");
+        assert_eq!(upper_bound(&e, &prog, &locals), Some(7));
+        let e = rhs_of("i = idx;");
+        assert_eq!(upper_bound(&e, &prog, &locals), Some(15));
+    }
+
+    #[test]
+    fn bound_of_wrapping_add_is_width_mask() {
+        let prog = fixture();
+        let locals = HashMap::new();
+        let e = rhs_of("x = hdr.unroller.xcnt + 1;");
+        assert_eq!(upper_bound(&e, &prog, &locals), Some(255));
+    }
+
+    #[test]
+    fn unknown_paths_have_no_bound() {
+        let prog = fixture();
+        let locals = HashMap::new();
+        let e = rhs_of("x = mystery;");
+        assert_eq!(upper_bound(&e, &prog, &locals), None);
+    }
+}

@@ -1,0 +1,396 @@
+//! The verifier's intermediate representation of a parsed P4 program.
+//!
+//! Deliberately small: only the constructs the five static passes
+//! reason about. Every node carries a [`Span`] of 1-based source lines
+//! so diagnostics can point at exact locations in the generated text.
+
+/// An inclusive 1-based line range in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First line.
+    pub start: u32,
+    /// Last line.
+    pub end: u32,
+}
+
+impl Span {
+    /// A single-line span.
+    pub fn line(l: u32) -> Self {
+        Span { start: l, end: l }
+    }
+
+    /// The smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.start == self.end {
+            write!(f, "line {}", self.start)
+        } else {
+            write!(f, "lines {}-{}", self.start, self.end)
+        }
+    }
+}
+
+/// A field type: `bit<N>` or a named type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// `bit<N>`
+    Bits(u32),
+    /// A named header/struct type.
+    Named(String),
+}
+
+/// A header or struct field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field type.
+    pub ty: Ty,
+    /// Field name.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `header` or `struct` type declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDecl {
+    /// Type name.
+    pub name: String,
+    /// Fields in declaration (wire) order.
+    pub fields: Vec<Field>,
+    /// Source location of the whole declaration.
+    pub span: Span,
+}
+
+/// One parser state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// State name.
+    pub name: String,
+    /// Arguments of `pkt.extract(...)` calls, in order (dotted paths).
+    pub extracts: Vec<String>,
+    /// Possible next states (select arms in order, then `default`);
+    /// `accept`/`reject` included verbatim.
+    pub transitions: Vec<String>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `parser` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParserDecl {
+    /// Parser name.
+    pub name: String,
+    /// States in declaration order.
+    pub states: Vec<State>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl ParserDecl {
+    /// The headers extracted on any path from `start`, in first-reached
+    /// order (breadth-first over transitions).
+    pub fn extraction_order(&self) -> Vec<String> {
+        let mut order = Vec::new();
+        let mut queue: Vec<&str> = vec!["start"];
+        let mut seen = vec![false; self.states.len()];
+        while let Some(name) = queue.pop() {
+            let Some(idx) = self.states.iter().position(|s| s.name == name) else {
+                continue;
+            };
+            if std::mem::replace(&mut seen[idx], true) {
+                continue;
+            }
+            let st = &self.states[idx];
+            for e in &st.extracts {
+                if !order.contains(e) {
+                    order.push(e.clone());
+                }
+            }
+            for t in &st.transitions {
+                queue.push(t);
+            }
+        }
+        order
+    }
+}
+
+/// A `register<bit<elem_bits>>(size) name;` instantiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Register {
+    /// Element width in bits.
+    pub elem_bits: u32,
+    /// Number of elements.
+    pub size: u64,
+    /// Instance name.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An `action` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action {
+    /// Action name.
+    pub name: String,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `table` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Names listed under `actions = { … }`.
+    pub actions: Vec<String>,
+    /// The default action name, if declared.
+    pub default_action: Option<String>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `control` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Control {
+    /// Control name.
+    pub name: String,
+    /// Registers in declaration order.
+    pub registers: Vec<Register>,
+    /// Actions in declaration order.
+    pub actions: Vec<Action>,
+    /// Tables in declaration order.
+    pub tables: Vec<Table>,
+    /// The `apply { … }` block.
+    pub apply: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Control {
+    /// Looks up a register by name.
+    pub fn register(&self, name: &str) -> Option<&Register> {
+        self.registers.iter().find(|r| r.name == name)
+    }
+
+    /// Looks up an action by name.
+    pub fn action(&self, name: &str) -> Option<&Action> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `bit<N> name;`
+    VarDecl {
+        /// Declared width.
+        bits: u32,
+        /// Variable name.
+        name: String,
+        /// Source location.
+        span: Span,
+    },
+    /// `lhs = rhs;`
+    Assign {
+        /// Assignment target (a dotted path).
+        lhs: Vec<String>,
+        /// Assigned expression.
+        rhs: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `if (cond) { then } else { else }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch statements.
+        then_branch: Vec<Stmt>,
+        /// Else-branch statements.
+        else_branch: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// A call statement: `path(args);` — `target.method(args)` when the
+    /// path is dotted (`reg.read(x, 0)`), a plain call otherwise
+    /// (`mark_to_drop(std)`, `a_report_loop()`).
+    Call {
+        /// Dotted call path; the last segment is the function/method.
+        path: Vec<String>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The statement's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::VarDecl { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Call { span, .. } => *span,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal; `width` is present for `NwV` literals.
+    Num {
+        /// Literal value.
+        value: u64,
+        /// Declared width, if width-prefixed.
+        width: Option<u32>,
+    },
+    /// A dotted path: `hdr.unroller.xcnt`, `meta.hops`, `my_id_h0`.
+    Path(Vec<String>),
+    /// `(bit<N>) expr`
+    Cast {
+        /// Target width.
+        bits: u32,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// A call expression: `hdr.unroller.isValid()`.
+    Call {
+        /// Dotted call path.
+        path: Vec<String>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `op expr` (logical not / negation).
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `lhs op rhs`
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `!`
+    Not,
+    /// `-`
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// `header` declarations.
+    pub headers: Vec<TypeDecl>,
+    /// `struct` declarations.
+    pub structs: Vec<TypeDecl>,
+    /// `parser` declarations.
+    pub parsers: Vec<ParserDecl>,
+    /// `control` declarations.
+    pub controls: Vec<Control>,
+    /// Total line count of the source.
+    pub lines: u32,
+}
+
+impl Program {
+    /// Looks up a header type by name.
+    pub fn header(&self, name: &str) -> Option<&TypeDecl> {
+        self.headers.iter().find(|h| h.name == name)
+    }
+
+    /// Looks up a struct type by name.
+    pub fn struct_(&self, name: &str) -> Option<&TypeDecl> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a control by name.
+    pub fn control(&self, name: &str) -> Option<&Control> {
+        self.controls.iter().find(|c| c.name == name)
+    }
+
+    /// Resolves the bit width of a dotted path such as
+    /// `hdr.unroller.xcnt` or `meta.hops`, walking struct and header
+    /// types. The root `hdr` is conventionally typed `headers_t` and
+    /// `meta` is `metadata_t` (the v1model parameter names `p4gen`
+    /// uses).
+    pub fn path_width(&self, path: &[String]) -> Option<u32> {
+        let root_ty = match path.first().map(String::as_str) {
+            Some("hdr") => "headers_t",
+            Some("meta") => "metadata_t",
+            _ => return None,
+        };
+        let mut ty = root_ty.to_string();
+        for seg in &path[1..] {
+            let decl = self.struct_(&ty).or_else(|| self.header(&ty))?;
+            let field = decl.fields.iter().find(|f| f.name == *seg)?;
+            match &field.ty {
+                Ty::Bits(w) => return Some(*w),
+                Ty::Named(n) => ty = n.clone(),
+            }
+        }
+        None
+    }
+}
+
+/// Walks every statement in a list recursively (depth-first, in source
+/// order), calling `f` on each.
+pub fn walk_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        if let Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } = s
+        {
+            walk_stmts(then_branch, f);
+            walk_stmts(else_branch, f);
+        }
+    }
+}

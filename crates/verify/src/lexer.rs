@@ -1,0 +1,340 @@
+//! Tokenizer for the P4₁₆ subset `p4gen` emits.
+//!
+//! Line-tracking is the point: every token carries the 1-based source
+//! line it starts on, so diagnostics can name exact spans. Comments
+//! (`// …`) and preprocessor lines (`#include …`) are skipped; width
+//! literals (`8w0b01010101`, `16w0x88B5`, `4w12`) are lexed as a single
+//! token because the phase-table pass evaluates them.
+
+use std::fmt;
+
+/// A lexical token of the P4 subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Plain integer literal (decimal or `0x…`/`0b…`).
+    Number(u64),
+    /// Width-prefixed literal `WIDTHwVALUE`, e.g. `8w0b01010101`.
+    WidthLit {
+        /// Declared bit width.
+        width: u32,
+        /// Literal value.
+        value: u64,
+    },
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Number(n) => write!(f, "`{n}`"),
+            Tok::WidthLit { width, value } => write!(f, "`{width}w{value}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::Eq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Bang => write!(f, "`!`"),
+        }
+    }
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexing failure: an unexpected byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The offending character.
+    pub ch: char,
+    /// 1-based line it was found on.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unexpected character `{}` on line {}",
+            self.ch, self.line
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`, skipping whitespace, `//` comments and `#` lines.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(bytes, i);
+                out.push(Token { tok, line });
+                i = next;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                let (tok, len) = match (b, bytes.get(i + 1)) {
+                    (b'=', Some(b'=')) => (Tok::Eq, 2),
+                    (b'!', Some(b'=')) => (Tok::Ne, 2),
+                    (b'&', Some(b'&')) => (Tok::AndAnd, 2),
+                    (b'|', Some(b'|')) => (Tok::OrOr, 2),
+                    (b'{', _) => (Tok::LBrace, 1),
+                    (b'}', _) => (Tok::RBrace, 1),
+                    (b'(', _) => (Tok::LParen, 1),
+                    (b')', _) => (Tok::RParen, 1),
+                    (b'<', _) => (Tok::Lt, 1),
+                    (b'>', _) => (Tok::Gt, 1),
+                    (b';', _) => (Tok::Semi, 1),
+                    (b',', _) => (Tok::Comma, 1),
+                    (b'.', _) => (Tok::Dot, 1),
+                    (b':', _) => (Tok::Colon, 1),
+                    (b'=', _) => (Tok::Assign, 1),
+                    (b'&', _) => (Tok::Amp, 1),
+                    (b'|', _) => (Tok::Pipe, 1),
+                    (b'+', _) => (Tok::Plus, 1),
+                    (b'-', _) => (Tok::Minus, 1),
+                    (b'!', _) => (Tok::Bang, 1),
+                    _ => {
+                        return Err(LexError {
+                            ch: src[i..].chars().next().unwrap_or('?'),
+                            line,
+                        })
+                    }
+                };
+                out.push(Token { tok, line });
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lexes a number starting at `bytes[start]`: decimal, `0x…`, `0b…`, or
+/// a width literal `Nw…`.
+fn lex_number(bytes: &[u8], start: usize) -> (Tok, usize) {
+    let (first, i) = lex_radix_value(bytes, start);
+    // `8w0b01010101`: a decimal immediately followed by `w` and a value.
+    if bytes.get(i) == Some(&b'w') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        let (value, next) = lex_radix_value(bytes, i + 1);
+        return (
+            Tok::WidthLit {
+                width: first.min(u64::from(u32::MAX)) as u32,
+                value,
+            },
+            next,
+        );
+    }
+    (Tok::Number(first), i)
+}
+
+/// Lexes one integer in decimal, `0x` hex or `0b` binary form.
+fn lex_radix_value(bytes: &[u8], start: usize) -> (u64, usize) {
+    let mut i = start;
+    let (radix, digits_start) = if bytes.get(i) == Some(&b'0')
+        && matches!(bytes.get(i + 1), Some(&b'x') | Some(&b'X'))
+    {
+        (16, i + 2)
+    } else if bytes.get(i) == Some(&b'0') && matches!(bytes.get(i + 1), Some(&b'b') | Some(&b'B')) {
+        (2, i + 2)
+    } else {
+        (10, i)
+    };
+    i = digits_start;
+    let mut value: u64 = 0;
+    while i < bytes.len() {
+        let d = match bytes[i] {
+            b @ b'0'..=b'9' => (b - b'0') as u64,
+            b @ b'a'..=b'f' if radix == 16 => (b - b'a' + 10) as u64,
+            b @ b'A'..=b'F' if radix == 16 => (b - b'A' + 10) as u64,
+            _ => break,
+        };
+        if d >= radix {
+            break;
+        }
+        value = value.wrapping_mul(radix).wrapping_add(d);
+        i += 1;
+    }
+    (value, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_declarations_and_lines() {
+        let tokens = lex("header u_t {\n    bit<8> xcnt;\n}\n").unwrap();
+        assert_eq!(tokens[0].tok, Tok::Ident("header".into()));
+        assert_eq!(tokens[0].line, 1);
+        let bit = tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("bit".into()))
+            .unwrap();
+        assert_eq!(bit.line, 2);
+        assert_eq!(tokens.last().unwrap().tok, Tok::RBrace);
+        assert_eq!(tokens.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn lexes_width_literals_and_hex() {
+        assert_eq!(
+            toks("8w0b01010101 16w0x88B5 4w12 0x88B5"),
+            vec![
+                Tok::WidthLit {
+                    width: 8,
+                    value: 0b01010101
+                },
+                Tok::WidthLit {
+                    width: 16,
+                    value: 0x88B5
+                },
+                Tok::WidthLit {
+                    width: 4,
+                    value: 12
+                },
+                Tok::Number(0x88B5),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_preprocessor() {
+        assert_eq!(
+            toks("// nope\n#include <v1model.p4>\nx = 1;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Number(1),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("== != && || & | + - < > ! ."),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Amp,
+                Tok::Pipe,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Bang,
+                Tok::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("reg @ 3").is_err());
+    }
+
+    #[test]
+    fn register_double_gt_is_two_tokens() {
+        let t = toks("register<bit<32>>(1) r;");
+        let gts = t.iter().filter(|t| **t == Tok::Gt).count();
+        assert_eq!(gts, 2);
+    }
+}

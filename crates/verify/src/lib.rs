@@ -1,0 +1,158 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `unroller-verify` — a static verifier for the generated P4 program.
+//!
+//! The dataplane crate emits deployable P4₁₆ ([`generate_p4`]) whose
+//! semantics are supposed to mirror the executable
+//! [`UnrollerPipeline`](unroller_dataplane::pipeline::UnrollerPipeline)
+//! model — but nothing in this environment can compile or run the P4.
+//! This crate closes that gap statically: it parses the generated text
+//! back into a small IR ([`ir`]) and cross-checks it against the model
+//! with five passes ([`passes`]):
+//!
+//! 1. **header-layout** — the `unroller_t` header matches
+//!    [`HeaderLayout::from_params`](unroller_dataplane::header::HeaderLayout)
+//!    field-for-field (names, widths, wire order, total bits).
+//! 2. **parser-deparser-symmetry** — every header the parser extracts
+//!    is emitted by the deparser, in the same order, and nothing else.
+//! 3. **register-safety** — every register read/write index is
+//!    provably within the register's declared size (conservative bound
+//!    analysis over widths, casts and masks).
+//! 4. **phase-table** — the freshness check agrees with
+//!    [`PhaseSchedule`](unroller_core::phase::PhaseSchedule) for every
+//!    8-bit hop count: the bitwise power-of-two expression is evaluated
+//!    exhaustively; LUT registers are checked entry-by-entry against
+//!    the provisioning script (including the `c > 1` chunk LUT).
+//! 5. **resource-accounting** — register bits, table count and header
+//!    bits derived from the IR equal the model's
+//!    [`ResourceReport`](unroller_dataplane::resources::ResourceReport).
+//!
+//! The `verify-p4` binary sweeps the Table 4 parameter grid and exits
+//! non-zero with structured diagnostics on any mismatch.
+//!
+//! Note one deliberate asymmetry: the generator always implements the
+//! paper's `PowerBoundary` schedule in the bitwise path
+//! ([`unroller_dataplane::p4gen::GENERATED_SCHEDULE`]), so verifying a
+//! power-of-two configuration whose parameters request the analysis
+//! schedule (`CumulativeGeometric`) reports a genuine divergence.
+
+pub mod eval;
+pub mod ir;
+pub mod lexer;
+pub mod parser;
+pub mod passes;
+
+pub use passes::{Diagnostic, PASS_NAMES};
+
+use passes::CheckInput;
+use unroller_core::params::UnrollerParams;
+use unroller_dataplane::p4gen::{generate_p4, provisioning_script};
+
+/// Verifies a P4 source string (plus optional provisioning script)
+/// against the model for `params`. Lex/parse failures are reported as
+/// a single `"front-end"` diagnostic rather than an error: a program
+/// the front-end cannot read is a verification failure too.
+pub fn verify_source(
+    src: &str,
+    provisioning: Option<&str>,
+    params: &UnrollerParams,
+) -> Vec<Diagnostic> {
+    let prog = match parser::parse(src) {
+        Ok(prog) => prog,
+        Err(e) => {
+            return vec![Diagnostic {
+                pass: "front-end",
+                span: ir::Span::line(e.line),
+                message: e.message,
+                expected: "a program in the p4gen subset".into(),
+                found: "unparseable source".into(),
+            }]
+        }
+    };
+    passes::run_all(&CheckInput {
+        prog: &prog,
+        provisioning,
+        params,
+    })
+}
+
+/// Generates the P4 program and provisioning script for `params` and
+/// verifies them. An empty result means the generator and the model
+/// agree.
+pub fn verify_params(params: &UnrollerParams) -> Vec<Diagnostic> {
+    let src = generate_p4(params);
+    let prov = provisioning_script(params, 1);
+    verify_source(&src, Some(&prov), params)
+}
+
+/// The Table 4 parameter grid the `verify-p4` binary sweeps — the same
+/// configurations `unroller-experiments` reports resources for:
+/// default, binary base, the paper's 9-bit header, the chunked
+/// configuration, and the non-power-of-two LUT path.
+pub fn table4_grid() -> Vec<UnrollerParams> {
+    vec![
+        UnrollerParams::default(),
+        UnrollerParams::default().with_b(2),
+        UnrollerParams::default().with_z(7).with_th(4),
+        UnrollerParams::default().with_c(2).with_h(2).with_z(8),
+        UnrollerParams::default().with_b(3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table4_config_verifies_clean() {
+        for p in table4_grid() {
+            let diags = verify_params(&p);
+            assert!(diags.is_empty(), "{p}: {diags:#?}");
+        }
+    }
+
+    #[test]
+    fn broader_param_space_verifies_clean() {
+        for spec in [
+            "b=2,c=2,h=2,z=8",
+            "b=3,c=2,h=2,z=12,th=2",
+            "b=6,c=3,h=3,th=3,z=10",
+            "xcnt=ttl,z=7,th=4",
+            "b=5,xcnt=ttl",
+            "b=8,th=8",
+        ] {
+            let p: UnrollerParams = spec.parse().unwrap();
+            let diags = verify_params(&p);
+            assert!(diags.is_empty(), "{spec}: {diags:#?}");
+        }
+    }
+
+    #[test]
+    fn front_end_failure_is_a_diagnostic() {
+        let p = UnrollerParams::default();
+        let diags = verify_source("header ??? {}", None, &p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].pass, "front-end");
+    }
+
+    #[test]
+    fn missing_provisioning_for_lut_base_is_reported() {
+        let p = UnrollerParams::default().with_b(3);
+        let src = unroller_dataplane::p4gen::generate_p4(&p);
+        let diags = verify_source(&src, None, &p);
+        assert!(diags.iter().any(|d| d.pass == "phase-table"), "{diags:#?}");
+    }
+
+    #[test]
+    fn schedule_divergence_is_caught() {
+        // The generator hardwires PowerBoundary into the bitwise check;
+        // asking the model for CumulativeGeometric must surface as a
+        // phase-table divergence, not silence.
+        use unroller_core::phase::PhaseSchedule;
+        let p = UnrollerParams::default().with_schedule(PhaseSchedule::CumulativeGeometric);
+        let src = unroller_dataplane::p4gen::generate_p4(&p);
+        let prov = unroller_dataplane::p4gen::provisioning_script(&p, 1);
+        let diags = verify_source(&src, Some(&prov), &p);
+        assert!(diags.iter().any(|d| d.pass == "phase-table"), "{diags:#?}");
+    }
+}

@@ -1,0 +1,813 @@
+//! Recursive-descent parser for the P4₁₆ subset `p4gen` emits.
+//!
+//! Grammar coverage: `const` declarations (skipped), `header`/`struct`
+//! types, `parser` blocks with `state`/`transition select`, `control`
+//! blocks with `register`/`action`/`table`/`apply`, the v1model package
+//! instantiation (skipped), and the expression language used by the
+//! generated control logic (dotted paths, width literals, casts, the
+//! C-style operator precedence ladder).
+
+use crate::ir::*;
+use crate::lexer::{lex, LexError, Tok, Token};
+use std::fmt;
+
+/// A parse failure with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token (or last line at EOF).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: format!("unexpected character `{}`", e.ch),
+        }
+    }
+}
+
+/// Parses a full program.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = P {
+        toks: &tokens,
+        pos: 0,
+    };
+    let mut prog = Program {
+        lines: src.lines().count() as u32,
+        ..Program::default()
+    };
+    while !p.eof() {
+        let line = p.line();
+        match p.expect_any_ident()?.as_str() {
+            "const" => p.skip_until(&Tok::Semi)?,
+            "header" => {
+                let decl = p.type_decl(line)?;
+                prog.headers.push(decl);
+            }
+            "struct" => {
+                let decl = p.type_decl(line)?;
+                prog.structs.push(decl);
+            }
+            "parser" => {
+                let decl = p.parser_decl(line)?;
+                prog.parsers.push(decl);
+            }
+            "control" => {
+                let decl = p.control_decl(line)?;
+                prog.controls.push(decl);
+            }
+            // Package instantiation: `V1Switch(...) main;`
+            _ => {
+                p.skip_balanced(Tok::LParen, Tok::RParen)?;
+                p.skip_until(&Tok::Semi)?;
+            }
+        }
+    }
+    Ok(prog)
+}
+
+struct P<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl P<'_> {
+    fn eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + off).map(|t| &t.tok)
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Line of the current token (or of the last token at EOF).
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(1, |t| t.line)
+    }
+
+    /// Line of the most recently consumed token.
+    fn prev_line(&self) -> u32 {
+        self.toks
+            .get(self.pos.saturating_sub(1))
+            .map_or(1, |t| t.line)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected {tok}, found {t}"))),
+            None => Err(self.err(format!("expected {tok}, found end of input"))),
+        }
+    }
+
+    fn expect_any_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(t) => Err(self.err(format!("expected identifier, found {t}"))),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let got = self.expect_any_ident()?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(ParseError {
+                line: self.prev_line(),
+                message: format!("expected `{kw}`, found `{got}`"),
+            })
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<u64, ParseError> {
+        match self.peek() {
+            Some(Tok::Number(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(n)
+            }
+            Some(t) => Err(self.err(format!("expected number, found {t}"))),
+            None => Err(self.err("expected number, found end of input")),
+        }
+    }
+
+    fn skip_until(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        while let Some(t) = self.peek() {
+            let done = t == tok;
+            self.pos += 1;
+            if done {
+                return Ok(());
+            }
+        }
+        Err(self.err(format!("expected {tok} before end of input")))
+    }
+
+    fn skip_balanced(&mut self, open: Tok, close: Tok) -> Result<(), ParseError> {
+        self.expect(&open)?;
+        let mut depth = 1u32;
+        while depth > 0 {
+            match self.bump().map(|t| &t.tok) {
+                Some(t) if *t == open => depth += 1,
+                Some(t) if *t == close => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.err(format!("unbalanced {open}"))),
+            }
+        }
+        Ok(())
+    }
+
+    /// `bit < N >` (the leading `bit` already consumed by the caller).
+    fn bit_width(&mut self) -> Result<u32, ParseError> {
+        self.expect(&Tok::Lt)?;
+        let n = self.expect_number()?;
+        self.expect(&Tok::Gt)?;
+        u32::try_from(n).map_err(|_| self.err("bit width out of range"))
+    }
+
+    /// `header`/`struct` body: `name { fields }`.
+    fn type_decl(&mut self, start: u32) -> Result<TypeDecl, ParseError> {
+        let name = self.expect_any_ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            let fline = self.line();
+            let head = self.expect_any_ident()?;
+            let ty = if head == "bit" && self.peek() == Some(&Tok::Lt) {
+                Ty::Bits(self.bit_width()?)
+            } else {
+                Ty::Named(head)
+            };
+            let fname = self.expect_any_ident()?;
+            self.expect(&Tok::Semi)?;
+            fields.push(Field {
+                ty,
+                name: fname,
+                span: Span::line(fline),
+            });
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(TypeDecl {
+            name,
+            fields,
+            span: Span {
+                start,
+                end: self.prev_line(),
+            },
+        })
+    }
+
+    fn parser_decl(&mut self, start: u32) -> Result<ParserDecl, ParseError> {
+        let name = self.expect_any_ident()?;
+        self.skip_balanced(Tok::LParen, Tok::RParen)?;
+        self.expect(&Tok::LBrace)?;
+        let mut states = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            let sline = self.line();
+            self.expect_keyword("state")?;
+            let sname = self.expect_any_ident()?;
+            self.expect(&Tok::LBrace)?;
+            let mut extracts = Vec::new();
+            let mut transitions = Vec::new();
+            loop {
+                if self.peek_ident() == Some("transition") {
+                    self.bump();
+                    self.transition(&mut transitions)?;
+                    self.expect(&Tok::RBrace)?;
+                    break;
+                }
+                if self.peek() == Some(&Tok::RBrace) {
+                    self.bump();
+                    break;
+                }
+                let stmt = self.stmt()?;
+                if let Stmt::Call { path, args, .. } = &stmt {
+                    if path.last().map(String::as_str) == Some("extract") {
+                        if let Some(Expr::Path(arg)) = args.first() {
+                            extracts.push(arg.join("."));
+                        }
+                    }
+                }
+            }
+            states.push(State {
+                name: sname,
+                extracts,
+                transitions,
+                span: Span {
+                    start: sline,
+                    end: self.prev_line(),
+                },
+            });
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(ParserDecl {
+            name,
+            states,
+            span: Span {
+                start,
+                end: self.prev_line(),
+            },
+        })
+    }
+
+    /// After the `transition` keyword: `select (…) { arms }` or a direct
+    /// target.
+    fn transition(&mut self, out: &mut Vec<String>) -> Result<(), ParseError> {
+        if self.peek_ident() == Some("select") && self.peek_at(1) == Some(&Tok::LParen) {
+            self.bump();
+            self.skip_balanced(Tok::LParen, Tok::RParen)?;
+            self.expect(&Tok::LBrace)?;
+            while self.peek() != Some(&Tok::RBrace) {
+                // arm: `label: target;` — the label is an expression or
+                // `default`; skip to the colon.
+                self.skip_until(&Tok::Colon)?;
+                out.push(self.expect_any_ident()?);
+                self.expect(&Tok::Semi)?;
+            }
+            self.expect(&Tok::RBrace)?;
+        } else {
+            out.push(self.expect_any_ident()?);
+            self.expect(&Tok::Semi)?;
+        }
+        Ok(())
+    }
+
+    fn control_decl(&mut self, start: u32) -> Result<Control, ParseError> {
+        let name = self.expect_any_ident()?;
+        self.skip_balanced(Tok::LParen, Tok::RParen)?;
+        self.expect(&Tok::LBrace)?;
+        let mut ctl = Control {
+            name,
+            registers: Vec::new(),
+            actions: Vec::new(),
+            tables: Vec::new(),
+            apply: Vec::new(),
+            span: Span { start, end: start },
+        };
+        while self.peek() != Some(&Tok::RBrace) {
+            let dline = self.line();
+            match self.peek_ident() {
+                Some("register") => {
+                    self.bump();
+                    self.expect(&Tok::Lt)?;
+                    self.expect_keyword("bit")?;
+                    let elem_bits = self.bit_width()?;
+                    self.expect(&Tok::Gt)?;
+                    self.expect(&Tok::LParen)?;
+                    let size = self.expect_number()?;
+                    self.expect(&Tok::RParen)?;
+                    let rname = self.expect_any_ident()?;
+                    self.expect(&Tok::Semi)?;
+                    ctl.registers.push(Register {
+                        elem_bits,
+                        size,
+                        name: rname,
+                        span: Span {
+                            start: dline,
+                            end: self.prev_line(),
+                        },
+                    });
+                }
+                Some("action") => {
+                    self.bump();
+                    let aname = self.expect_any_ident()?;
+                    self.expect(&Tok::LParen)?;
+                    self.expect(&Tok::RParen)?;
+                    let body = self.block()?;
+                    ctl.actions.push(Action {
+                        name: aname,
+                        body,
+                        span: Span {
+                            start: dline,
+                            end: self.prev_line(),
+                        },
+                    });
+                }
+                Some("table") => {
+                    self.bump();
+                    let t = self.table_decl(dline)?;
+                    ctl.tables.push(t);
+                }
+                Some("apply") => {
+                    self.bump();
+                    ctl.apply = self.block()?;
+                }
+                _ => return Err(self.err("expected register/action/table/apply in control")),
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        ctl.span.end = self.prev_line();
+        Ok(ctl)
+    }
+
+    fn table_decl(&mut self, start: u32) -> Result<Table, ParseError> {
+        let name = self.expect_any_ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut actions = Vec::new();
+        let mut default_action = None;
+        while self.peek() != Some(&Tok::RBrace) {
+            match self.expect_any_ident()?.as_str() {
+                "actions" => {
+                    self.expect(&Tok::Assign)?;
+                    self.expect(&Tok::LBrace)?;
+                    while self.peek() != Some(&Tok::RBrace) {
+                        actions.push(self.expect_any_ident()?);
+                        self.expect(&Tok::Semi)?;
+                    }
+                    self.expect(&Tok::RBrace)?;
+                }
+                "default_action" => {
+                    self.expect(&Tok::Assign)?;
+                    let act = self.expect_any_ident()?;
+                    self.expect(&Tok::LParen)?;
+                    self.expect(&Tok::RParen)?;
+                    self.expect(&Tok::Semi)?;
+                    default_action = Some(act);
+                }
+                other => {
+                    return Err(ParseError {
+                        line: self.prev_line(),
+                        message: format!("unsupported table property `{other}`"),
+                    })
+                }
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(Table {
+            name,
+            actions,
+            default_action,
+            span: Span {
+                start,
+                end: self.prev_line(),
+            },
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.line();
+        // `bit<N> name;` — local variable declaration.
+        if self.peek_ident() == Some("bit") && self.peek_at(1) == Some(&Tok::Lt) {
+            self.bump();
+            let bits = self.bit_width()?;
+            let name = self.expect_any_ident()?;
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::VarDecl {
+                bits,
+                name,
+                span: Span {
+                    start,
+                    end: self.prev_line(),
+                },
+            });
+        }
+        if self.peek_ident() == Some("if") {
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            let then_branch = self.block()?;
+            let else_branch = if self.peek_ident() == Some("else") {
+                self.bump();
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span: Span {
+                    start,
+                    end: self.prev_line(),
+                },
+            });
+        }
+        // Path-led statement: assignment or a call.
+        let path = self.path()?;
+        match self.peek() {
+            Some(Tok::Assign) => {
+                self.bump();
+                let rhs = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Assign {
+                    lhs: path,
+                    rhs,
+                    span: Span {
+                        start,
+                        end: self.prev_line(),
+                    },
+                })
+            }
+            // Generic call: `digest<metadata_t>(1, meta);`
+            Some(Tok::Lt)
+                if matches!(self.peek_at(1), Some(Tok::Ident(_)))
+                    && self.peek_at(2) == Some(&Tok::Gt) =>
+            {
+                self.bump();
+                self.bump();
+                self.bump();
+                let args = self.call_args()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Call {
+                    path,
+                    args,
+                    span: Span {
+                        start,
+                        end: self.prev_line(),
+                    },
+                })
+            }
+            Some(Tok::LParen) => {
+                let args = self.call_args()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Call {
+                    path,
+                    args,
+                    span: Span {
+                        start,
+                        end: self.prev_line(),
+                    },
+                })
+            }
+            _ => Err(self.err("expected `=` or `(` after path")),
+        }
+    }
+
+    fn path(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut segs = vec![self.expect_any_ident()?];
+        while self.peek() == Some(&Tok::Dot) {
+            self.bump();
+            segs.push(self.expect_any_ident()?);
+        }
+        Ok(segs)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(args)
+    }
+
+    // --- Expressions: C-style precedence ladder ----------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn binary_ladder(
+        &mut self,
+        ops: &[(Tok, BinOp)],
+        next: fn(&mut Self) -> Result<Expr, ParseError>,
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.peek() == Some(tok) {
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr::Binary {
+                        op: *op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_ladder(&[(Tok::OrOr, BinOp::Or)], Self::and_expr)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_ladder(&[(Tok::AndAnd, BinOp::And)], Self::bitor_expr)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_ladder(&[(Tok::Pipe, BinOp::BitOr)], Self::bitand_expr)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_ladder(&[(Tok::Amp, BinOp::BitAnd)], Self::eq_expr)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_ladder(
+            &[(Tok::Eq, BinOp::Eq), (Tok::Ne, BinOp::Ne)],
+            Self::rel_expr,
+        )
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_ladder(
+            &[(Tok::Lt, BinOp::Lt), (Tok::Gt, BinOp::Gt)],
+            Self::add_expr,
+        )
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_ladder(
+            &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+            Self::unary_expr,
+        )
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            Some(Tok::Minus) => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.unary_expr()?),
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Number(n)) => {
+                let value = *n;
+                self.bump();
+                Ok(Expr::Num { value, width: None })
+            }
+            Some(Tok::WidthLit { width, value }) => {
+                let (width, value) = (*width, *value);
+                self.bump();
+                Ok(Expr::Num {
+                    value,
+                    width: Some(width),
+                })
+            }
+            Some(Tok::LParen) => {
+                // `(bit<N>) expr` cast, or a parenthesized expression.
+                if self.peek_at(1) == Some(&Tok::Ident("bit".into()))
+                    && self.peek_at(2) == Some(&Tok::Lt)
+                {
+                    self.bump();
+                    self.bump();
+                    let bits = self.bit_width()?;
+                    self.expect(&Tok::RParen)?;
+                    let operand = self.unary_expr()?;
+                    return Ok(Expr::Cast {
+                        bits,
+                        expr: Box::new(operand),
+                    });
+                }
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(_)) => {
+                let path = self.path()?;
+                if self.peek() == Some(&Tok::LParen) {
+                    let args = self.call_args()?;
+                    Ok(Expr::Call { path, args })
+                } else {
+                    Ok(Expr::Path(path))
+                }
+            }
+            Some(t) => Err(self.err(format!("expected expression, found {t}"))),
+            None => Err(self.err("expected expression, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_default_generated_program() {
+        let p = unroller_core::params::UnrollerParams::default();
+        let src = unroller_dataplane::p4gen::generate_p4(&p);
+        let prog = parse(&src).expect("default program parses");
+        assert_eq!(prog.headers.len(), 2);
+        assert_eq!(prog.structs.len(), 2);
+        assert_eq!(prog.parsers.len(), 1);
+        // UnrollerIngress, UnrollerDeparser, NoChecksum, NoEgress.
+        assert_eq!(prog.controls.len(), 4);
+        let ingress = prog.control("UnrollerIngress").unwrap();
+        assert_eq!(ingress.registers.len(), 1);
+        assert_eq!(ingress.actions.len(), 2);
+        assert_eq!(ingress.tables.len(), 1);
+        assert!(!ingress.apply.is_empty());
+    }
+
+    #[test]
+    fn parses_every_generator_shape() {
+        use unroller_core::params::UnrollerParams;
+        for spec in [
+            "",
+            "b=2",
+            "b=3",
+            "z=7,th=4",
+            "c=2,h=2,z=8",
+            "c=4,h=1",
+            "xcnt=ttl",
+            "b=3,c=2,h=2,z=12,th=2",
+            "b=6,c=3,h=3,th=3,z=10,xcnt=ttl",
+        ] {
+            let p: UnrollerParams = spec.parse().unwrap();
+            let src = unroller_dataplane::p4gen::generate_p4(&p);
+            parse(&src).unwrap_or_else(|e| panic!("{spec}: {e}"));
+        }
+    }
+
+    #[test]
+    fn extraction_order_follows_transitions() {
+        let p = unroller_core::params::UnrollerParams::default();
+        let src = unroller_dataplane::p4gen::generate_p4(&p);
+        let prog = parse(&src).unwrap();
+        assert_eq!(
+            prog.parsers[0].extraction_order(),
+            vec!["hdr.ethernet".to_string(), "hdr.unroller".to_string()]
+        );
+    }
+
+    #[test]
+    fn path_width_resolves_through_structs() {
+        let p = unroller_core::params::UnrollerParams::default()
+            .with_z(7)
+            .with_th(4);
+        let src = unroller_dataplane::p4gen::generate_p4(&p);
+        let prog = parse(&src).unwrap();
+        let w = |s: &str| prog.path_width(&s.split('.').map(str::to_string).collect::<Vec<_>>());
+        assert_eq!(w("hdr.unroller.xcnt"), Some(8));
+        assert_eq!(w("hdr.unroller.thcnt"), Some(2));
+        assert_eq!(w("hdr.unroller.swid0"), Some(7));
+        assert_eq!(w("meta.hops"), Some(8));
+        assert_eq!(w("meta.fresh"), Some(1));
+        assert_eq!(w("nonsense.path"), None);
+    }
+
+    #[test]
+    fn register_spans_point_at_declarations() {
+        let p = unroller_core::params::UnrollerParams::default().with_b(3);
+        let rendered = unroller_dataplane::p4gen::generate_p4_rendered(&p);
+        let prog = parse(&rendered.text).unwrap();
+        let ingress = prog.control("UnrollerIngress").unwrap();
+        for reg in &ingress.registers {
+            // The independently parsed span must agree with the
+            // generator's own source map.
+            let want = rendered
+                .span_of(unroller_dataplane::p4ast::ItemKind::Register, &reg.name)
+                .unwrap();
+            assert_eq!(reg.span.start, want.start, "register {}", reg.name);
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let src = "header u_t {\n    bit<8 xcnt;\n}\n";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn precedence_groups_bitand_tighter_than_logic() {
+        // a & b == c && d  parses as ((a & (b == c)) && d)? No: C gives
+        // `==` tighter than `&`, so it is ((a & (b == c)) && d).
+        let src = "control C(inout headers_t hdr) { apply { meta.fresh = a & b == c && d; } }";
+        let prog = parse(src).unwrap();
+        let Stmt::Assign { rhs, .. } = &prog.controls[0].apply[0] else {
+            panic!("expected assign");
+        };
+        let Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            ..
+        } = rhs
+        else {
+            panic!("`&&` must bind loosest, got {rhs:?}");
+        };
+        assert!(matches!(
+            **lhs,
+            Expr::Binary {
+                op: BinOp::BitAnd,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,197 @@
+//! Mutation tests: seed one deliberate bug into the generated P4 (or
+//! its provisioning script) and assert that exactly the pass owning
+//! that invariant reports it, with a line span pointing at the
+//! mutation.
+
+use unroller_core::params::UnrollerParams;
+use unroller_dataplane::p4gen::{generate_p4, provisioning_script};
+use unroller_verify::{verify_source, Diagnostic};
+
+/// 1-based line of the first line containing `needle`.
+fn line_of(src: &str, needle: &str) -> u32 {
+    src.lines()
+        .position(|l| l.contains(needle))
+        .unwrap_or_else(|| panic!("`{needle}` not found in:\n{src}")) as u32
+        + 1
+}
+
+/// Replaces the first occurrence of `old`, panicking if absent.
+fn mutate(src: &str, old: &str, new: &str) -> String {
+    assert!(src.contains(old), "mutation target `{old}` missing:\n{src}");
+    src.replacen(old, new, 1)
+}
+
+/// The diagnostics whose pass name is `pass`.
+fn of_pass<'a>(diags: &'a [Diagnostic], pass: &str) -> Vec<&'a Diagnostic> {
+    diags.iter().filter(|d| d.pass == pass).collect()
+}
+
+fn assert_only_pass(diags: &[Diagnostic], pass: &str) {
+    assert!(
+        !diags.is_empty() && diags.iter().all(|d| d.pass == pass),
+        "expected only `{pass}` findings, got {diags:#?}"
+    );
+}
+
+#[test]
+fn header_layout_catches_renamed_slot_field() {
+    let p = UnrollerParams::default();
+    let src = generate_p4(&p);
+    let bad = mutate(&src, "bit<32> swid0;", "bit<32> swid_zero;");
+    let diags = verify_source(&bad, Some(&provisioning_script(&p, 1)), &p);
+    assert_only_pass(&diags, "header-layout");
+    let want = line_of(&bad, "swid_zero");
+    assert_eq!(diags[0].span.start, want, "span must point at the field");
+    assert!(diags[0].found.contains("swid_zero"), "{:#?}", diags[0]);
+}
+
+#[test]
+fn header_layout_catches_wrong_field_width() {
+    // A narrowed slot also desynchronizes the per-packet overhead, so
+    // resource accounting legitimately fires alongside the layout pass.
+    let p = UnrollerParams::default();
+    let src = generate_p4(&p);
+    let bad = mutate(&src, "bit<32> swid0;", "bit<16> swid0;");
+    let diags = verify_source(&bad, Some(&provisioning_script(&p, 1)), &p);
+    let layout = of_pass(&diags, "header-layout");
+    assert!(!layout.is_empty(), "{diags:#?}");
+    assert_eq!(layout[0].span.start, line_of(&bad, "bit<16> swid0;"));
+    assert!(layout[0].expected.contains("bit<32>"), "{:#?}", layout[0]);
+}
+
+#[test]
+fn symmetry_catches_dropped_emit() {
+    let p = UnrollerParams::default();
+    let src = generate_p4(&p);
+    let bad = mutate(&src, "        pkt.emit(hdr.unroller);\n", "");
+    let diags = verify_source(&bad, Some(&provisioning_script(&p, 1)), &p);
+    assert_only_pass(&diags, "parser-deparser-symmetry");
+    let dep_line = line_of(&bad, "control UnrollerDeparser");
+    let d = &diags[0];
+    assert!(
+        d.span.start <= dep_line && dep_line <= d.span.end,
+        "span {} must cover the deparser (line {dep_line})",
+        d.span
+    );
+    assert!(d.message.contains("hdr.unroller"), "{d:#?}");
+}
+
+#[test]
+fn symmetry_catches_swapped_emit_order() {
+    let p = UnrollerParams::default();
+    let src = generate_p4(&p);
+    let bad = mutate(
+        &src,
+        "        pkt.emit(hdr.ethernet);\n        pkt.emit(hdr.unroller);",
+        "        pkt.emit(hdr.unroller);\n        pkt.emit(hdr.ethernet);",
+    );
+    let diags = verify_source(&bad, Some(&provisioning_script(&p, 1)), &p);
+    assert_only_pass(&diags, "parser-deparser-symmetry");
+    assert_eq!(
+        diags[0].span.start,
+        line_of(&bad, "pkt.emit(hdr.unroller);")
+    );
+}
+
+#[test]
+fn register_safety_catches_unbounded_index() {
+    let p = UnrollerParams::default();
+    let src = generate_p4(&p);
+    // Index the 1-element pre-hashed register by the 8-bit hop counter.
+    let bad = mutate(
+        &src,
+        "reg_prehashed_h0.read(my_id_h0, 0);",
+        "reg_prehashed_h0.read(my_id_h0, (bit<32>)hdr.unroller.xcnt);",
+    );
+    let diags = verify_source(&bad, Some(&provisioning_script(&p, 1)), &p);
+    assert_only_pass(&diags, "register-safety");
+    let d = &diags[0];
+    assert_eq!(d.span.start, line_of(&bad, "reg_prehashed_h0.read"));
+    assert!(d.found.contains("255"), "bound should be 255: {d:#?}");
+    assert!(d.expected.contains("< 1"), "size is 1: {d:#?}");
+}
+
+#[test]
+fn phase_table_catches_corrupted_bitwise_mask() {
+    // b = 4: the mask selects even bit positions; setting an odd one
+    // wrongly accepts hop count 2 as a phase start.
+    let p = UnrollerParams::default();
+    let src = generate_p4(&p);
+    let bad = mutate(&src, "8w0b01010101", "8w0b01010111");
+    let diags = verify_source(&bad, Some(&provisioning_script(&p, 1)), &p);
+    assert_only_pass(&diags, "phase-table");
+    assert_eq!(diags[0].span.start, line_of(&bad, "meta.fresh ="));
+    assert!(
+        diags[0].message.contains("hop count 2"),
+        "first divergence is x = 2: {:#?}",
+        diags[0]
+    );
+}
+
+#[test]
+fn phase_table_catches_corrupted_lut_provisioning() {
+    // b = 3 uses the 256-entry LUT; flip one provisioned phase start.
+    let p = UnrollerParams::default().with_b(3);
+    let src = generate_p4(&p);
+    let prov = provisioning_script(&p, 1);
+    // x = 9 = 3² is a phase start under PowerBoundary.
+    let bad_prov = mutate(
+        &prov,
+        "register_write reg_phase_start 9 1",
+        "register_write reg_phase_start 9 0",
+    );
+    let diags = verify_source(&src, Some(&bad_prov), &p);
+    assert_only_pass(&diags, "phase-table");
+    let d = &diags[0];
+    assert!(d.message.contains("reg_phase_start[9]"), "{d:#?}");
+    assert_eq!(d.span.start, line_of(&src, "reg_phase_start;"));
+    assert_eq!((d.expected.as_str(), d.found.as_str()), ("1", "0"));
+}
+
+#[test]
+fn phase_table_catches_chunk_lut_divergence() {
+    let p = UnrollerParams::default().with_c(2).with_h(2).with_z(8);
+    let src = generate_p4(&p);
+    let prov = provisioning_script(&p, 1);
+    let line = prov
+        .lines()
+        .find(|l| l.starts_with("register_write reg_chunk 11 "))
+        .expect("chunk LUT provisioning line");
+    let val: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+    let bad_prov = mutate(
+        &prov,
+        line,
+        &format!("register_write reg_chunk 11 {}", val + 1),
+    );
+    let diags = verify_source(&src, Some(&bad_prov), &p);
+    assert_only_pass(&diags, "phase-table");
+    assert!(
+        diags[0].message.contains("reg_chunk[11]"),
+        "{:#?}",
+        diags[0]
+    );
+}
+
+#[test]
+fn resource_accounting_catches_oversized_register() {
+    let p = UnrollerParams::default();
+    let src = generate_p4(&p);
+    let bad = mutate(
+        &src,
+        "register<bit<32>>(1) reg_prehashed_h0;",
+        "register<bit<32>>(2) reg_prehashed_h0;",
+    );
+    let diags = verify_source(&bad, Some(&provisioning_script(&p, 1)), &p);
+    assert_only_pass(&diags, "resource-accounting");
+    let d = &diags[0];
+    let reg_line = line_of(&bad, "reg_prehashed_h0;");
+    assert!(
+        d.span.start <= reg_line && reg_line <= d.span.end,
+        "span {} must cover the register (line {reg_line})",
+        d.span
+    );
+    assert_eq!(
+        (d.expected.as_str(), d.found.as_str()),
+        ("32 bits", "64 bits")
+    );
+}

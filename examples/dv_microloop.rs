@@ -24,7 +24,10 @@ fn main() {
     let dst = 5;
 
     let mut dv = DistanceVector::new(g.clone(), false);
-    println!("distance-vector converged; node 0 -> node {dst} distance {}", dv.distance(0, dst));
+    println!(
+        "distance-vector converged; node 0 -> node {dst} distance {}",
+        dv.distance(0, dst)
+    );
 
     println!("\n=== link 4-5 fails ===");
     dv.fail_link(4, 5);

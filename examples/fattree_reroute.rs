@@ -42,7 +42,12 @@ fn main() {
 
     // --- Reaction 1: drop and report. ---------------------------------
     let det = Unroller::from_params(UnrollerParams::default()).unwrap();
-    let mut sim = Simulator::new(fabric.graph.clone(), ids.clone(), det.clone(), SimConfig::default());
+    let mut sim = Simulator::new(
+        fabric.graph.clone(),
+        ids.clone(),
+        det.clone(),
+        SimConfig::default(),
+    );
     sim.inject_cycle(&loop_pair, dst);
     for i in 0..10 {
         sim.send_packet(i * 1_000, src, dst);

@@ -31,7 +31,12 @@ fn main() {
         Unroller::from_params(UnrollerParams::default()).unwrap(),
         64,
     );
-    let mut sim = Simulator::new(topo.graph.clone(), ids.clone(), detector, SimConfig::default());
+    let mut sim = Simulator::new(
+        topo.graph.clone(),
+        ids.clone(),
+        detector,
+        SimConfig::default(),
+    );
 
     // Misconfiguration: a loop intersecting a real path.
     let scenario = sample_scenario(&topo.graph, 12, 300, &mut rng).expect("loops exist");
@@ -99,5 +104,7 @@ fn main() {
         sources.len(),
     );
     assert_eq!(sim.stats.delivered - before, sources.len() as u64);
-    println!("\nend-to-end: detect (data plane) -> localize (tagged packet) -> heal (controller) ✓");
+    println!(
+        "\nend-to-end: detect (data plane) -> localize (tagged packet) -> heal (controller) ✓"
+    );
 }

@@ -26,8 +26,7 @@ fn main() {
     // Sample a realistic misconfiguration: a loop intersecting a real
     // shortest path.
     let mut rng = unroller::core::test_rng(7);
-    let scenario =
-        sample_scenario(&topo.graph, 20, 200, &mut rng).expect("GEANT contains loops");
+    let scenario = sample_scenario(&topo.graph, 20, 200, &mut rng).expect("GEANT contains loops");
     println!(
         "injected loop: path {:?} enters a {}-switch cycle {:?} after {} hops",
         scenario.path,
@@ -68,12 +67,7 @@ fn main() {
     }
     // Dump the first packet's full life from the event trace.
     println!("\npacket 0 trace:");
-    for line in sim
-        .trace
-        .dump()
-        .lines()
-        .filter(|l| l.contains("pkt    0"))
-    {
+    for line in sim.trace.dump().lines().filter(|l| l.contains("pkt    0")) {
         println!("  {line}");
     }
 

@@ -23,10 +23,11 @@
 //! `EXPERIMENTS.md` for paper-vs-measured results.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use unroller_baselines as baselines;
-pub use unroller_core as core;
 pub use unroller_control as control;
+pub use unroller_core as core;
 pub use unroller_dataplane as dataplane;
 pub use unroller_experiments as experiments;
 pub use unroller_sim as sim;

@@ -126,7 +126,10 @@ fn dv_transient_loops_are_caught_by_unroller_in_the_dataplane() {
         }
     }
     assert!(saw_loop_round, "the scenario must produce transient loops");
-    assert!(dv.loop_toward(dst).is_none(), "converged state is loop-free");
+    assert!(
+        dv.loop_toward(dst).is_none(),
+        "converged state is loop-free"
+    );
 }
 
 #[test]

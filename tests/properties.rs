@@ -17,12 +17,12 @@ use unroller::dataplane::pipeline::UnrollerPipeline;
 /// detection finishes quickly).
 fn params_strategy() -> impl Strategy<Value = UnrollerParams> {
     (
-        2u32..=6,              // b
-        1u32..=32,             // z
-        1u32..=4,              // c
-        1u32..=4,              // h
-        1u32..=4,              // th
-        prop::bool::ANY,       // schedule
+        2u32..=6,        // b
+        1u32..=32,       // z
+        1u32..=4,        // c
+        1u32..=4,        // h
+        1u32..=4,        // th
+        prop::bool::ANY, // schedule
     )
         .prop_map(|(b, z, c, h, th, power)| UnrollerParams {
             b,

@@ -1,0 +1,252 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), integer-range and tuple
+//! strategies, [`any`], `prop::bool::ANY`, `prop::collection::vec`,
+//! `prop_map`, and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: inputs
+//! are drawn from a deterministic RNG seeded from the test's module
+//! path + name (reproducible across runs, no persistence files), and
+//! failing cases are *not* shrunk — the failure message reports the
+//! assertion that fired instead of a minimal counterexample.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use strategy::{any, Any, Arbitrary, Just, Map, Strategy, VecStrategy};
+
+/// Failure channel for a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by [`prop_assume!`]; it does not count
+    /// toward the case budget.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic per-test RNG: the same test always replays the same
+/// input sequence.
+pub fn deterministic_rng(test_path: &str) -> StdRng {
+    // FNV-1a over the fully qualified test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Strategy namespace mirror (`prop::bool::ANY`,
+/// `prop::collection::vec`, …).
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniform `true` / `false`.
+        pub const ANY: crate::Any<bool> = crate::Any::new();
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        /// A `Vec` whose elements come from `element` and whose length
+        /// comes from `size` (a fixed `usize` or a `Range<usize>`).
+        pub fn vec<S: crate::Strategy, L: crate::strategy::VecLen>(
+            element: S,
+            size: L,
+        ) -> crate::VecStrategy<S, L> {
+            crate::VecStrategy { element, size }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Mirrors proptest's grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..100, flag in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $( $arg:pat in $strat:expr ),* $(,)? ) $body:block )*) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let mut __rng =
+                $crate::deterministic_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            // Rejections (prop_assume!) retry with fresh inputs, up to a
+            // generous cap so a never-satisfiable assumption still
+            // terminates.
+            while __accepted < __cfg.cases && __attempts < __cfg.cases.saturating_mul(16) {
+                __attempts += 1;
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )*
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed on case {}: {}",
+                            stringify!($name), __accepted + 1, msg
+                        );
+                    }
+                }
+            }
+            assert!(
+                __accepted >= __cfg.cases.min(1),
+                "property `{}` rejected every generated input",
+                stringify!($name)
+            );
+        }
+    )* };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u32..10, y in 1usize..=3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps(params in (1u32..4, 1u32..4).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..16).contains(&params));
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(any::<u8>(), 0..7), w in prop::collection::vec(any::<u32>(), 4)) {
+            prop_assert!(v.len() < 7);
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn assume_filters(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "x={} should be even", x);
+        }
+
+        #[test]
+        fn mut_patterns_work(mut v in prop::collection::vec(any::<u8>(), 3)) {
+            v.push(1);
+            prop_assert_eq!(v.len(), 4);
+        }
+
+        #[test]
+        fn options_and_bools(o in any::<Option<(u64, u64)>>(), b in prop::bool::ANY) {
+            if let Some((x, _)) = o {
+                let _ = x;
+            }
+            prop_assert!(u8::from(b) <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_differs_per_test() {
+        use rand::RngCore;
+        let a = crate::deterministic_rng("mod::a").next_u64();
+        let b = crate::deterministic_rng("mod::b").next_u64();
+        assert_ne!(a, b);
+        let a2 = crate::deterministic_rng("mod::a").next_u64();
+        assert_eq!(a, a2);
+    }
+}

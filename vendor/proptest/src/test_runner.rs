@@ -1,0 +1,22 @@
+//! Test-runner configuration ([`Config`], exported to the prelude as
+//! `ProptestConfig`).
+
+/// How many accepted cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases to execute.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}

@@ -1,0 +1,129 @@
+//! Distributions behind [`Rng::gen`](crate::Rng::gen) and
+//! [`Rng::gen_range`](crate::Rng::gen_range).
+
+use crate::{uniform_below, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution producing values of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over all values for
+/// integers and `bool`, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u32() >> 8) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types that can be sampled uniformly from a bounded range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `lo..=hi` (inclusive; requires `lo <= hi`).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                // Width as u64: every implementing type fits.
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_below(rng, span + 1);
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi);
+        let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleRange<T> {
+    /// Draws a single sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + SteppedDown> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range on empty range");
+        T::sample_inclusive(rng, self.start, self.end.step_down())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        f64::sample_inclusive(rng, self.start, self.end)
+    }
+}
+
+/// Integer predecessor, used to turn `lo..hi` into `lo..=hi-1`.
+pub trait SteppedDown {
+    /// The value one step below `self`.
+    fn step_down(self) -> Self;
+}
+
+macro_rules! impl_stepped_down {
+    ($($t:ty),*) => {$(
+        impl SteppedDown for $t {
+            fn step_down(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_stepped_down!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

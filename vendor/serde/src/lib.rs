@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace serializes anything yet — the `#[derive(Serialize,
+//! Deserialize)]` annotations exist so downstream users keep a stable
+//! interface once the real `serde` is swapped back in. This stub keeps
+//! those annotations compiling: the traits are empty markers and the
+//! derive macros emit empty impls.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for serializable types (no-op stand-in).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op stand-in).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
