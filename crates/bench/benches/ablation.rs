@@ -1,4 +1,4 @@
-//! Ablation benchmarks for the design choices DESIGN.md §7 calls out:
+//! Ablation benchmarks for the design choices DESIGN.md §8 calls out:
 //! phase-schedule cost, hash-family cost, and the LUT vs bitwise phase
 //! check.
 

@@ -101,6 +101,15 @@ impl Controller {
         loops
     }
 
+    /// Total resolved reports ingested (sum of per-loop report counts,
+    /// excluding unresolved ones). The `unroller-engine` aggregator
+    /// exposes this in its run report so deduplication is auditable:
+    /// `total_reports` counts what reached the controller, while the
+    /// engine separately counts the duplicates it suppressed.
+    pub fn total_reports(&self) -> u64 {
+        self.loops.values().map(|l| l.report_count as u64).sum()
+    }
+
     /// Heals the network: recomputes every forwarding table from the
     /// healthy topology, clearing the misconfiguration. (A finer-grained
     /// controller would patch only the affected destination columns;
@@ -151,5 +160,16 @@ mod tests {
         ctl.ingest(&[50, 51]);
         ctl.ingest(&[52, 53, 54]);
         assert_eq!(ctl.localized_loops().len(), 2);
+    }
+
+    #[test]
+    fn total_reports_counts_resolved_ingests_only() {
+        let mut ctl = Controller::new(&[1, 2, 3]);
+        assert_eq!(ctl.total_reports(), 0);
+        ctl.ingest(&[1, 2]);
+        ctl.ingest(&[2, 1]); // same loop, second report
+        ctl.ingest(&[1, 99]); // unresolved: not counted
+        assert_eq!(ctl.total_reports(), 2);
+        assert_eq!(ctl.unresolved_reports, 1);
     }
 }

@@ -281,6 +281,35 @@ mod tests {
     }
 
     #[test]
+    fn detector_types_are_send_and_sync() {
+        // The unroller-engine runtime clones one detector per worker
+        // shard and moves it across threads; that contract is
+        // compile-time checked here so it can never silently regress.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Unroller>();
+        assert_send_sync::<UnrollerState>();
+        assert_send_sync::<Verdict>();
+        assert_send_sync::<HashFamily>();
+    }
+
+    #[test]
+    fn params_detector_builds_the_same_detector() {
+        let params = UnrollerParams::default().with_z(12).with_h(2);
+        let via_params = params.detector().unwrap();
+        let direct = Unroller::from_params(params).unwrap();
+        // Same configuration and identical hashing behaviour.
+        assert_eq!(via_params.params(), direct.params());
+        for id in [0u32, 7, 0xdead_beef] {
+            for func in 0..2 {
+                assert_eq!(
+                    via_params.hashes().hash(func, id),
+                    direct.hashes().hash(func, id)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn self_loop_detected_in_two_hops() {
         let d = det(UnrollerParams::default());
         assert_eq!(drive(&d, &[42, 42]), Some(2));

@@ -210,6 +210,17 @@ impl UnrollerParams {
         let xcnt = if self.xcnt_in_header { 8 } else { 0 };
         xcnt + self.c * self.h * self.z + self.thcnt_bits()
     }
+
+    /// Builds the [`crate::Unroller`] detector this configuration
+    /// describes (with the default hash family). Every caller that
+    /// replicates detection state — one detector per worker shard in
+    /// the `unroller-engine` runtime, one per switch in the simulator —
+    /// goes through here, so replicas are guaranteed to share hash
+    /// seeds and therefore behave identically, as a controller-managed
+    /// deployment requires.
+    pub fn detector(&self) -> Result<crate::Unroller, ParamError> {
+        crate::Unroller::from_params(*self)
+    }
 }
 
 impl fmt::Display for UnrollerParams {

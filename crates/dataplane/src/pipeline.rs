@@ -226,6 +226,23 @@ impl UnrollerPipeline {
         Verdict::Continue
     }
 
+    /// Processes a batch of shim headers through this switch's control
+    /// block, appending one [`Verdict`] per header to `verdicts` (in
+    /// batch order). This is the entry point the `unroller-engine`
+    /// runtime drives: a software switch amortizes per-packet dispatch
+    /// over a batch exactly like DPDK-style burst processing, and the
+    /// register file is read-only per packet, so a batch needs no
+    /// intra-batch synchronization.
+    ///
+    /// Equivalent to calling [`UnrollerPipeline::process_header`] on
+    /// each header in order (the equivalence test below checks this).
+    pub fn process_batch(&self, batch: &mut [WireHeader], verdicts: &mut Vec<Verdict>) {
+        verdicts.reserve(batch.len());
+        for hdr in batch.iter_mut() {
+            verdicts.push(self.process_header(hdr));
+        }
+    }
+
     /// Processing for the TTL-inferred hop-count configuration (paper
     /// footnote 3: "in cases where the hop number can be inferred from
     /// the TTL we can avoid storing Xcnt"): the shim carries no `Xcnt`
@@ -408,6 +425,52 @@ mod tests {
         hdr2.swids[0] = 1; // smaller than switch ID 5
         pipe.process_header(&mut hdr2);
         assert_eq!(hdr2.swids[0], 1, "min must survive while saturated");
+    }
+
+    #[test]
+    fn process_batch_matches_per_header_processing() {
+        // The batched entry point must be observationally identical to
+        // calling process_header per packet, across parameter space.
+        let mut rng = unroller_core::test_rng(77);
+        for params in [
+            UnrollerParams::default(),
+            UnrollerParams::default().with_c(2).with_h(2).with_z(12),
+            UnrollerParams::default().with_b(3).with_th(2),
+        ] {
+            let layout = HeaderLayout::from_params(&params);
+            let pipe = UnrollerPipeline::new(42, params).unwrap();
+            // Headers at assorted journey stages, including revisits.
+            let mut batch: Vec<WireHeader> = (0..64)
+                .map(|_| {
+                    let mut hdr = WireHeader::initial(&layout);
+                    hdr.xcnt = rng.gen_range(0..200);
+                    for slot in hdr.swids.iter_mut() {
+                        *slot = rng.gen::<u32>() & params.z_mask();
+                    }
+                    hdr
+                })
+                .collect();
+            let mut singles = batch.clone();
+            let mut verdicts = Vec::new();
+            pipe.process_batch(&mut batch, &mut verdicts);
+            assert_eq!(verdicts.len(), singles.len());
+            for (i, hdr) in singles.iter_mut().enumerate() {
+                assert_eq!(pipe.process_header(hdr), verdicts[i], "verdict {i}");
+                assert_eq!(*hdr, batch[i], "header {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn process_batch_appends_without_clearing() {
+        let params = UnrollerParams::default();
+        let layout = HeaderLayout::from_params(&params);
+        let pipe = UnrollerPipeline::new(9, params).unwrap();
+        let mut batch = vec![WireHeader::initial(&layout); 3];
+        let mut verdicts = vec![Verdict::LoopReported]; // pre-existing entry
+        pipe.process_batch(&mut batch, &mut verdicts);
+        assert_eq!(verdicts.len(), 4, "appends after existing entries");
+        assert!(verdicts[1..].iter().all(|v| !v.reported()));
     }
 
     #[test]

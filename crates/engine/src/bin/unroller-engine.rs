@@ -1,0 +1,291 @@
+//! `unroller-engine` — run the sharded engine over synthetic routed
+//! traffic with a routing loop injected mid-stream.
+//!
+//! Single-run mode processes the stream at a fixed shard count and
+//! prints the full JSON report; `--scaling 1,2,4` replays the same
+//! (same-seed) stream at each shard count and writes the scaling
+//! report to `results/engine_scaling.json`.
+
+use std::time::Duration;
+use unroller_engine::{
+    run_scaling, Engine, EngineConfig, FullPolicy, LoopInjection, ReplaySource, TrafficSource,
+};
+use unroller_sim::{NullDetector, SimConfig, Simulator};
+use unroller_topology::ids::assign_sequential_ids;
+use unroller_topology::{generators, Graph, NodeId};
+
+struct Options {
+    shards: usize,
+    scaling: Option<Vec<usize>>,
+    packets: u64,
+    batch: usize,
+    ring: usize,
+    topology: String,
+    flows: usize,
+    loop_at: Option<u64>, // None = --no-loop
+    ttl: u32,
+    policy: FullPolicy,
+    seed: u64,
+    out: Option<String>,
+    snapshot_ms: Option<u64>,
+    expect_loop: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            shards: 2,
+            scaling: None,
+            packets: 200_000,
+            batch: 64,
+            ring: 1024,
+            topology: "ring:32".to_string(),
+            flows: 64,
+            loop_at: Some(0), // placeholder; resolved after parsing
+            ttl: 64,
+            policy: FullPolicy::Drop,
+            seed: 1,
+            out: None,
+            snapshot_ms: None,
+            expect_loop: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    println!(
+        "usage: unroller-engine [options]\n\
+         \n\
+         Runs the sharded Unroller engine over synthetic traffic routed\n\
+         through a simulated topology, with a routing loop injected\n\
+         mid-stream (detected in-band by the per-switch pipelines).\n\
+         \n\
+         options:\n\
+           --shards N        worker shards for a single run (default 2)\n\
+           --scaling LIST    comma-separated shard counts (e.g. 1,2,4);\n\
+                             runs each and writes a scaling report\n\
+           --packets N       total packets to stream (default 200000)\n\
+           --batch N         max packets per processing batch (default 64)\n\
+           --ring N          per-shard ring capacity (default 1024)\n\
+           --topology SPEC   ring:N | grid:WxH | fat-tree:K | wan:N |\n\
+                             random:N[:EXTRA[:SEED]] (default ring:32)\n\
+           --flows N         concurrent flows (default 64)\n\
+           --loop-at N       packet index where the loop appears\n\
+                             (default packets/4)\n\
+           --no-loop         do not inject a loop\n\
+           --ttl N           per-packet hop budget (default 64)\n\
+           --policy P        drop | block on full rings (default drop)\n\
+           --seed N          traffic seed (default 1)\n\
+           --out PATH        write the JSON report here (scaling mode\n\
+                             defaults to results/engine_scaling.json)\n\
+           --snapshot-ms N   print live metric snapshots to stderr\n\
+           --expect-loop     exit 1 unless a loop was detected\n\
+           --help            this text"
+    );
+    std::process::exit(0);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut explicit_loop_at = None;
+    let mut no_loop = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("unroller-engine: {name} requires an argument");
+                std::process::exit(2);
+            })
+        };
+        fn num<T: std::str::FromStr>(name: &str, v: String) -> T {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("unroller-engine: invalid value for {name}: {v}");
+                std::process::exit(2);
+            })
+        }
+        match arg.as_str() {
+            "--shards" => opts.shards = num("--shards", value("--shards")),
+            "--scaling" => {
+                let list = value("--scaling");
+                let counts: Vec<usize> = list
+                    .split(',')
+                    .map(|p| num("--scaling", p.trim().to_string()))
+                    .collect();
+                if counts.is_empty() || counts.contains(&0) {
+                    eprintln!("unroller-engine: --scaling needs positive shard counts");
+                    std::process::exit(2);
+                }
+                opts.scaling = Some(counts);
+            }
+            "--packets" => opts.packets = num("--packets", value("--packets")),
+            "--batch" => opts.batch = num("--batch", value("--batch")),
+            "--ring" => opts.ring = num("--ring", value("--ring")),
+            "--topology" => opts.topology = value("--topology"),
+            "--flows" => opts.flows = num("--flows", value("--flows")),
+            "--loop-at" => explicit_loop_at = Some(num("--loop-at", value("--loop-at"))),
+            "--no-loop" => no_loop = true,
+            "--ttl" => opts.ttl = num("--ttl", value("--ttl")),
+            "--policy" => {
+                opts.policy = match value("--policy").as_str() {
+                    "drop" => FullPolicy::Drop,
+                    "block" => FullPolicy::Block,
+                    other => {
+                        eprintln!("unroller-engine: unknown policy `{other}` (drop|block)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => opts.seed = num("--seed", value("--seed")),
+            "--out" => opts.out = Some(value("--out")),
+            "--snapshot-ms" => {
+                opts.snapshot_ms = Some(num("--snapshot-ms", value("--snapshot-ms")))
+            }
+            "--expect-loop" => opts.expect_loop = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unroller-engine: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts.loop_at = if no_loop {
+        None
+    } else {
+        Some(explicit_loop_at.unwrap_or(opts.packets / 4))
+    };
+    opts
+}
+
+/// Picks a 2-switch forwarding cycle to inject: the first link whose
+/// endpoints both differ from the chosen destination.
+fn pick_injection(graph: &Graph, dst: NodeId, at_packet: u64) -> LoopInjection {
+    for u in 0..graph.node_count() {
+        if u == dst {
+            continue;
+        }
+        for &v in graph.neighbors(u) {
+            if v != dst {
+                return LoopInjection {
+                    cycle: vec![u, v],
+                    dst,
+                    at_packet,
+                };
+            }
+        }
+    }
+    panic!("topology has no link avoiding node {dst}");
+}
+
+fn write_report(path: &str, contents: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                eprintln!("unroller-engine: cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            });
+        }
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("unroller-engine: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let opts = parse_args();
+
+    let graph = generators::from_spec(&opts.topology).unwrap_or_else(|| {
+        eprintln!(
+            "unroller-engine: bad topology spec `{}` (try --help)",
+            opts.topology
+        );
+        std::process::exit(2);
+    });
+    let n = graph.node_count();
+    let ids = assign_sequential_ids(n, 100);
+    // Destination in the "middle" of the ID space; the injected cycle
+    // avoids it by construction.
+    let dst = n / 2;
+    let injection = opts.loop_at.map(|at| pick_injection(&graph, dst, at));
+
+    let cfg = EngineConfig {
+        shards: opts.shards,
+        batch_size: opts.batch,
+        ring_capacity: opts.ring,
+        max_hops: opts.ttl,
+        full_policy: opts.policy,
+        snapshot_every: opts.snapshot_ms.map(Duration::from_millis),
+        ..EngineConfig::default()
+    };
+
+    // Each run gets a fresh simulator (injection mutates its tables)
+    // and an identically-seeded source, so every shard count processes
+    // the same traffic.
+    let make_source = |flows: usize, packets: u64, seed: u64| -> Box<dyn TrafficSource> {
+        let mut sim = Simulator::new(
+            graph.clone(),
+            ids.clone(),
+            NullDetector,
+            SimConfig::default(),
+        );
+        Box::new(ReplaySource::from_sim(
+            &mut sim,
+            flows,
+            packets,
+            injection.as_ref(),
+            seed,
+        ))
+    };
+
+    if let Some(shard_counts) = &opts.scaling {
+        let report = run_scaling(&cfg, &ids, shard_counts, || {
+            make_source(opts.flows, opts.packets, opts.seed)
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("unroller-engine: {e}");
+            std::process::exit(2);
+        });
+        let caps = report.capacity_speedups();
+        for (run, cap) in report.runs.iter().zip(&caps) {
+            eprintln!(
+                "shards={:<2} wall_pps={:>12.0} capacity_pps={:>12.0} speedup={cap:.2}x \
+                 drops={} loops={}",
+                run.shards,
+                run.report.wall_pps(),
+                run.report.aggregate_capacity_pps(),
+                run.report.dropped_full(),
+                run.report.aggregator.unique_flows,
+            );
+        }
+        let out = opts
+            .out
+            .clone()
+            .unwrap_or_else(|| "results/engine_scaling.json".to_string());
+        write_report(&out, &report.to_json().render_pretty());
+        if opts.expect_loop && !report.runs.iter().all(|r| r.report.loop_detected()) {
+            eprintln!("unroller-engine: expected a loop detection in every run");
+            std::process::exit(1);
+        }
+    } else {
+        let engine = Engine::new(cfg, &ids).unwrap_or_else(|e| {
+            eprintln!("unroller-engine: {e}");
+            std::process::exit(2);
+        });
+        let mut source = make_source(opts.flows, opts.packets, opts.seed);
+        let report = engine.run(source.as_mut());
+        let rendered = report.to_json().render_pretty();
+        println!("{rendered}");
+        if let Some(out) = &opts.out {
+            write_report(out, &rendered);
+        }
+        if !report.accounted() {
+            eprintln!("unroller-engine: internal accounting mismatch");
+            std::process::exit(1);
+        }
+        if opts.expect_loop && !report.loop_detected() {
+            eprintln!("unroller-engine: expected a loop detection");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Flow identity and deterministic RSS-style shard mapping.
+//!
+//! The engine partitions traffic by *flow*, not by packet: every packet
+//! of a 5-tuple lands on the same worker shard, so all per-flow work
+//! (the packet's journey through the per-switch pipelines, loop-event
+//! emission) happens on one thread with no cross-shard coordination.
+//! This is the software analogue of NIC receive-side scaling (RSS),
+//! with one deliberate difference: instead of a Toeplitz hash keyed by
+//! a per-NIC secret, the engine uses a fixed-constant SplitMix64 mix so
+//! the flow → shard mapping is *reproducible across runs and hosts* —
+//! scaling experiments must be replayable from a seed alone.
+
+/// A transport 5-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// IPv4 source address.
+    pub src_ip: u32,
+    /// IPv4 destination address.
+    pub dst_ip: u32,
+    /// Transport source port.
+    pub src_port: u16,
+    /// Transport destination port.
+    pub dst_port: u16,
+    /// IP protocol number (6 = TCP, 17 = UDP, …).
+    pub proto: u8,
+}
+
+/// SplitMix64 finalizer — the same avalanche mix `unroller-core`'s
+/// hash family uses, applied here to flow tuples.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FlowKey {
+    /// A synthetic flow key for generated traffic: host-style addresses
+    /// derived from endpoint indices, a per-flow source port so distinct
+    /// flows between the same endpoints still spread across shards.
+    pub fn synthetic(src: u32, dst: u32, flow_index: u32) -> Self {
+        FlowKey {
+            src_ip: 0x0a00_0000 | (src & 0x00ff_ffff),
+            dst_ip: 0x0a00_0000 | (dst & 0x00ff_ffff),
+            src_port: 1024u16.wrapping_add(flow_index as u16),
+            dst_port: 443,
+            proto: 6,
+        }
+    }
+
+    /// The 64-bit RSS hash of this tuple. Deterministic (fixed seed
+    /// constant) and symmetric in nothing — direction matters, exactly
+    /// as hardware RSS behaves for unidirectional queues.
+    #[inline]
+    pub fn rss_hash(&self) -> u64 {
+        let w0 = ((self.src_ip as u64) << 32) | self.dst_ip as u64;
+        let w1 = ((self.src_port as u64) << 48)
+            | ((self.dst_port as u64) << 32)
+            | ((self.proto as u64) << 24);
+        mix64(mix64(w0 ^ 0x756e_726f_6c6c_6572) ^ w1)
+    }
+
+    /// Maps this flow onto one of `shards` workers using a
+    /// multiply-shift fold of the hash's high bits (no modulo bias).
+    /// Deterministic: the same tuple always yields the same shard for a
+    /// fixed shard count — the flow-affinity invariant every piece of
+    /// per-shard state relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    #[inline]
+    pub fn shard(&self, shards: usize) -> usize {
+        assert!(shards >= 1, "at least one shard");
+        let h = self.rss_hash() >> 32; // top 32 bits, uniformly mixed
+        ((h * shards as u64) >> 32) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn random_key(rng: &mut impl Rng) -> FlowKey {
+        FlowKey {
+            src_ip: rng.gen(),
+            dst_ip: rng.gen(),
+            src_port: rng.gen(),
+            dst_port: rng.gen(),
+            proto: rng.gen(),
+        }
+    }
+
+    #[test]
+    fn shard_is_deterministic() {
+        let mut rng = unroller_core::test_rng(5);
+        for _ in 0..1000 {
+            let k = random_key(&mut rng);
+            for shards in [1usize, 2, 3, 4, 8, 16] {
+                assert_eq!(k.shard(shards), k.shard(shards));
+                assert!(k.shard(shards) < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        let mut rng = unroller_core::test_rng(6);
+        for _ in 0..100 {
+            assert_eq!(random_key(&mut rng).shard(1), 0);
+        }
+    }
+
+    #[test]
+    fn tuple_fields_all_matter() {
+        let base = FlowKey {
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+            proto: 6,
+        };
+        let variants = [
+            FlowKey { src_ip: 9, ..base },
+            FlowKey { dst_ip: 9, ..base },
+            FlowKey {
+                src_port: 9,
+                ..base
+            },
+            FlowKey {
+                dst_port: 9,
+                ..base
+            },
+            FlowKey { proto: 17, ..base },
+        ];
+        for v in variants {
+            assert_ne!(v.rss_hash(), base.rss_hash(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut rng = unroller_core::test_rng(7);
+        for shards in [2usize, 4, 8] {
+            let mut counts = vec![0u32; shards];
+            let flows = 8192;
+            for _ in 0..flows {
+                counts[random_key(&mut rng).shard(shards)] += 1;
+            }
+            let mean = flows as f64 / shards as f64;
+            for (i, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as f64) < 2.0 * mean && (c as f64) > mean / 2.0,
+                    "shard {i} of {shards} holds {c} flows (mean {mean})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_keys_differ_per_flow_index() {
+        let a = FlowKey::synthetic(1, 2, 0);
+        let b = FlowKey::synthetic(1, 2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a.rss_hash(), b.rss_hash());
+    }
+}

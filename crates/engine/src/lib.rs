@@ -1,0 +1,58 @@
+//! # unroller-engine
+//!
+//! A sharded, multi-threaded packet-processing runtime that drives the
+//! Unroller ingress pipeline (`unroller-dataplane`) over batched packet
+//! streams — the software-switch deployment story for the paper's
+//! in-band loop detector.
+//!
+//! Flows are RSS-hashed onto worker shards ([`flow`]), each shard pulls
+//! batches off a bounded SPSC ring with explicit backpressure
+//! accounting ([`ring`]), walks packets through its private clone of
+//! the per-switch pipelines ([`worker`]), and funnels loop events to an
+//! aggregator that dedupes per flow and hands localized reports to the
+//! `unroller-control` controller ([`aggregate`]). A metrics layer
+//! ([`metrics`]) keeps per-shard counters and latency histograms, and
+//! [`scaling`] packages multi-shard-count experiments into the JSON
+//! report (`results/engine_scaling.json`) the repo's evaluation
+//! tracks.
+//!
+//! ```
+//! use unroller_engine::{Engine, EngineConfig, FullPolicy, SyntheticSource};
+//!
+//! let ids: Vec<u32> = (0..32).map(|i| 100 + i).collect();
+//! let engine = Engine::new(
+//!     EngineConfig { shards: 2, full_policy: FullPolicy::Block, ..Default::default() },
+//!     &ids,
+//! )
+//! .unwrap();
+//! // 8 flows over 32 virtual nodes; every 4th flow starts looping at
+//! // packet 100 of 1000.
+//! let mut source = SyntheticSource::new(32, 8, 1_000, 4, 100, 7);
+//! let report = engine.run(&mut source);
+//! assert!(report.loop_detected());
+//! assert!(report.accounted());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod engine;
+pub mod flow;
+pub mod json;
+pub mod metrics;
+pub mod packet;
+pub mod ring;
+pub mod scaling;
+pub mod source;
+pub mod worker;
+
+pub use aggregate::{AggregatorReport, ControllerSink, EventSink, LoopEvent};
+pub use engine::{Engine, EngineConfig, EngineError, EngineReport};
+pub use flow::FlowKey;
+pub use json::Json;
+pub use metrics::{Histogram, HistogramSnapshot, ShardMetrics, ShardSnapshot};
+pub use packet::{EnginePacket, PathSpec};
+pub use ring::{FullPolicy, RingCounters, RingCountersSnapshot};
+pub use scaling::{run_scaling, ScalingReport, ScalingRun};
+pub use source::{LoopInjection, ReplaySource, SyntheticSource, TrafficSource};

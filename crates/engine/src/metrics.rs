@@ -1,0 +1,365 @@
+//! Live engine metrics: lock-free counters, fixed-bucket histograms,
+//! and per-thread CPU-time measurement.
+//!
+//! Every hot-path update is a relaxed atomic add on shard-owned
+//! structures — workers never take a lock and never contend with the
+//! snapshot reader. Histograms use power-of-two buckets (65 of them
+//! cover the full `u64` range), so recording is a `leading_zeros` and
+//! one atomic increment; good enough to read batch-size and latency
+//! shape without per-sample allocation.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one per power of two, plus the zero
+/// bucket (`value 0` → bucket 0, `value v > 0` → `64 - v.leading_zeros()`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket (power-of-two) histogram with atomic counters.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy for reporting (relaxed reads; exact
+    /// once the recording thread has finished).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`buckets[k]` holds values in
+    /// `[2^(k-1), 2^k)`; bucket 0 holds zeros).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty — see
+    /// [`SimStats::mean_latency`](unroller_sim::SimStats::mean_latency)
+    /// for why empty aggregates must not produce NaN).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (0 ≤ q ≤ 1),
+    /// e.g. `quantile_bound(0.99)` for a p99 estimate. Power-of-two
+    /// buckets make this exact only to within 2×, which is all the
+    /// engine claims.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return if k == 0 { 0 } else { 1u64 << k };
+            }
+        }
+        self.max
+    }
+
+    /// Serializes the summary (not the raw buckets) for reports.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("count", Json::UInt(self.count));
+        obj.set("mean", Json::Float(self.mean()));
+        obj.set("p50_bound", Json::UInt(self.quantile_bound(0.50)));
+        obj.set("p99_bound", Json::UInt(self.quantile_bound(0.99)));
+        obj.set("max", Json::UInt(self.max));
+        obj
+    }
+}
+
+/// Per-shard metrics block, shared between the worker (writer) and the
+/// snapshot/report reader. All fields are independently atomic; the
+/// worker owns the only hot-path reference.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Packets fully processed (delivered + ttl_dropped + loop_events +
+    /// route_errors).
+    pub packets: AtomicU64,
+    /// Switch-hops executed across all packets.
+    pub hops: AtomicU64,
+    /// Packets that reached their destination.
+    pub delivered: AtomicU64,
+    /// Packets dropped on TTL expiry (still looping, undetected).
+    pub ttl_dropped: AtomicU64,
+    /// Loop events emitted toward the aggregator.
+    pub loop_events: AtomicU64,
+    /// Batches pulled off this shard's ring.
+    pub batches: AtomicU64,
+    /// Packets whose path referenced an unknown switch.
+    pub route_errors: AtomicU64,
+    /// Batch-size distribution.
+    pub batch_sizes: Histogram,
+    /// Nanoseconds spent blocked waiting on the ring, per batch.
+    pub wait_ns: Histogram,
+    /// Nanoseconds spent processing, per batch.
+    pub proc_ns: Histogram,
+    /// Thread CPU time consumed by this shard's worker (utime+stime),
+    /// written once at worker exit; 0 until then or if unavailable.
+    pub cpu_ns: AtomicU64,
+}
+
+/// A point-in-time copy of one shard's metrics.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSnapshot {
+    /// Packets fully processed.
+    pub packets: u64,
+    /// Switch-hops executed.
+    pub hops: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// TTL drops.
+    pub ttl_dropped: u64,
+    /// Loop events emitted.
+    pub loop_events: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Unknown-switch path errors.
+    pub route_errors: u64,
+    /// Batch-size distribution.
+    pub batch_sizes: HistogramSnapshot,
+    /// Per-batch ring-wait latency (ns).
+    pub wait_ns: HistogramSnapshot,
+    /// Per-batch processing latency (ns).
+    pub proc_ns: HistogramSnapshot,
+    /// Worker thread CPU time (ns); 0 if not yet recorded.
+    pub cpu_ns: u64,
+}
+
+impl ShardMetrics {
+    /// Copies every counter and histogram.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            packets: self.packets.load(Ordering::Relaxed),
+            hops: self.hops.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            ttl_dropped: self.ttl_dropped.load(Ordering::Relaxed),
+            loop_events: self.loop_events.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            route_errors: self.route_errors.load(Ordering::Relaxed),
+            batch_sizes: self.batch_sizes.snapshot(),
+            wait_ns: self.wait_ns.snapshot(),
+            proc_ns: self.proc_ns.snapshot(),
+            cpu_ns: self.cpu_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ShardSnapshot {
+    /// This shard's *capacity* in packets per second of CPU time: what
+    /// the shard would sustain given a dedicated core. Falls back to the
+    /// measured per-batch processing time when thread CPU time is
+    /// unavailable. 0.0 when nothing was processed.
+    pub fn capacity_pps(&self) -> f64 {
+        let busy_ns = if self.cpu_ns > 0 {
+            self.cpu_ns
+        } else {
+            self.proc_ns.sum
+        };
+        if busy_ns == 0 || self.packets == 0 {
+            return 0.0;
+        }
+        self.packets as f64 * 1e9 / busy_ns as f64
+    }
+
+    /// Serializes this shard's row of the report.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("packets", Json::UInt(self.packets));
+        obj.set("hops", Json::UInt(self.hops));
+        obj.set("delivered", Json::UInt(self.delivered));
+        obj.set("ttl_dropped", Json::UInt(self.ttl_dropped));
+        obj.set("loop_events", Json::UInt(self.loop_events));
+        obj.set("batches", Json::UInt(self.batches));
+        obj.set("route_errors", Json::UInt(self.route_errors));
+        obj.set("cpu_ns", Json::UInt(self.cpu_ns));
+        obj.set("capacity_pps", Json::Float(self.capacity_pps()));
+        obj.set("batch_size", self.batch_sizes.to_json());
+        obj.set("wait_ns", self.wait_ns.to_json());
+        obj.set("proc_ns", self.proc_ns.to_json());
+        obj
+    }
+}
+
+/// CPU time consumed by the *calling thread*, in nanoseconds. `None`
+/// off Linux or if procfs is unreadable. This is what makes
+/// single-machine scaling runs honest: wall clock conflates shards
+/// with time-sharing when shards outnumber cores, whereas per-thread
+/// CPU time measures each shard's actual cost.
+///
+/// Prefers `/proc/thread-self/schedstat` (nanosecond scheduler
+/// accounting; immune to the tick-sampling bias that undercounts
+/// threads which sleep between batches) and falls back to the
+/// utime+stime ticks of `/proc/thread-self/stat`.
+pub fn thread_cpu_ns() -> Option<u64> {
+    if let Some(ns) = read_schedstat_ns() {
+        return Some(ns);
+    }
+    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
+    // Fields 14 (utime) and 15 (stime), 1-indexed, counted after the
+    // parenthesized comm field (which may itself contain spaces).
+    let rest = stat.rsplit_once(')')?.1;
+    let mut fields = rest.split_ascii_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    // USER_HZ is 100 on every Linux configuration this targets:
+    // 10 ms per tick.
+    Some((utime + stime) * 10_000_000)
+}
+
+/// First field of `/proc/thread-self/schedstat`: nanoseconds this
+/// thread has spent on a CPU (requires `CONFIG_SCHED_INFO`, present on
+/// all mainstream kernels).
+fn read_schedstat_ns() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    stat.split_ascii_whitespace().next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1030);
+        assert_eq!(snap.max, 1024);
+        assert_eq!(snap.buckets[0], 1); // the zero
+        assert_eq!(snap.buckets[1], 1); // 1
+        assert_eq!(snap.buckets[2], 2); // 2, 3
+        assert_eq!(snap.buckets[11], 1); // 1024
+    }
+
+    #[test]
+    fn histogram_extremes_do_not_panic() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[64], 1);
+        assert_eq!(snap.max, u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero_not_nan() {
+        let snap = Histogram::default().snapshot();
+        assert_eq!(snap.mean(), 0.0);
+        assert!(!snap.mean().is_nan());
+        assert_eq!(snap.quantile_bound(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_bound_is_within_a_factor_of_two() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile_bound(0.50);
+        assert!((500..=1024).contains(&p50), "p50 bound {p50}");
+        let p99 = snap.quantile_bound(0.99);
+        assert!((990..=2048).contains(&p99), "p99 bound {p99}");
+    }
+
+    #[test]
+    fn shard_snapshot_capacity_prefers_cpu_time() {
+        let m = ShardMetrics::default();
+        m.packets.store(1_000, Ordering::Relaxed);
+        m.proc_ns.record(2_000_000_000); // 2 s of measured proc time
+        let from_proc = m.snapshot().capacity_pps();
+        assert!((from_proc - 500.0).abs() < 1.0, "{from_proc}");
+        m.cpu_ns.store(1_000_000_000, Ordering::Relaxed); // 1 s CPU
+        let from_cpu = m.snapshot().capacity_pps();
+        assert!((from_cpu - 1_000.0).abs() < 1.0, "{from_cpu}");
+    }
+
+    #[test]
+    fn empty_shard_capacity_is_zero() {
+        assert_eq!(ShardMetrics::default().snapshot().capacity_pps(), 0.0);
+    }
+
+    #[test]
+    fn thread_cpu_time_is_monotone_on_linux() {
+        let Some(before) = thread_cpu_ns() else {
+            return; // not on Linux: nothing to check
+        };
+        // Burn a little CPU so the counter can only move forward.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_add(i.wrapping_mul(0x9e37_79b9));
+        }
+        std::hint::black_box(acc);
+        let after = thread_cpu_ns().unwrap();
+        assert!(after >= before, "{after} < {before}");
+    }
+
+    #[test]
+    fn snapshot_json_has_the_report_fields() {
+        let m = ShardMetrics::default();
+        m.packets.store(5, Ordering::Relaxed);
+        let rendered = m.snapshot().to_json().render();
+        for key in ["packets", "capacity_pps", "batch_size", "proc_ns"] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+    }
+}

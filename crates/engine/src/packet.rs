@@ -1,0 +1,149 @@
+//! Engine packets and the paths they follow.
+//!
+//! The engine replays *routed paths* rather than re-running a
+//! discrete-event simulation per packet: the traffic source resolves
+//! each flow's path once (from a [`Simulator`](unroller_sim::Simulator)
+//! routing table or a synthetic generator) into a [`PathSpec`], and
+//! workers walk that spec hop by hop through the per-switch pipelines.
+//! A looping route is stored in finite form — a finite prefix plus a
+//! repeating cycle — so a trapped packet can circulate indefinitely
+//! (until the detector fires or the TTL expires) without the spec
+//! itself being infinite.
+
+use crate::flow::FlowKey;
+use std::sync::Arc;
+use unroller_topology::NodeId;
+
+/// A flow's forwarding path: `pre` hops followed by the `cycle` hops
+/// repeating forever. A loop-free path has an empty cycle. The hop
+/// lists are `Arc`-shared — thousands of packets of one flow reference
+/// one allocation, and cloning a packet across the dispatch ring is two
+/// refcount bumps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSpec {
+    /// Hops before the cycle (the full path when loop-free).
+    pub pre: Arc<[NodeId]>,
+    /// The repeating hop cycle (empty when loop-free).
+    pub cycle: Arc<[NodeId]>,
+}
+
+impl PathSpec {
+    /// A loop-free path.
+    pub fn linear(hops: Vec<NodeId>) -> Self {
+        PathSpec {
+            pre: hops.into(),
+            cycle: Arc::from([]),
+        }
+    }
+
+    /// A path that enters a loop after `pre`.
+    pub fn looping(pre: Vec<NodeId>, cycle: Vec<NodeId>) -> Self {
+        assert!(!cycle.is_empty(), "a looping path needs a cycle");
+        PathSpec {
+            pre: pre.into(),
+            cycle: cycle.into(),
+        }
+    }
+
+    /// Parses the output of [`Simulator::route`]: the route vector ends
+    /// at the first repeated node's *second* occurrence when the
+    /// forwarding state loops, so a trailing repeat is folded into a
+    /// cycle. A route without a trailing repeat is loop-free.
+    ///
+    /// [`Simulator::route`]: unroller_sim::Simulator::route
+    pub fn from_route(route: &[NodeId]) -> Self {
+        if let Some((&last, body)) = route.split_last() {
+            if let Some(j) = body.iter().position(|&n| n == last) {
+                return PathSpec::looping(route[..j].to_vec(), body[j..].to_vec());
+            }
+        }
+        PathSpec::linear(route.to_vec())
+    }
+
+    /// The node at hop `i` (0-based), or `None` when a loop-free path
+    /// has ended (the packet was delivered at the last `pre` hop).
+    #[inline]
+    pub fn hop(&self, i: usize) -> Option<NodeId> {
+        if i < self.pre.len() {
+            return Some(self.pre[i]);
+        }
+        if self.cycle.is_empty() {
+            return None;
+        }
+        Some(self.cycle[(i - self.pre.len()) % self.cycle.len()])
+    }
+
+    /// Whether this path traps packets in a loop.
+    pub fn loops(&self) -> bool {
+        !self.cycle.is_empty()
+    }
+}
+
+/// One packet moving through the engine.
+#[derive(Debug, Clone)]
+pub struct EnginePacket {
+    /// The packet's flow (determines its shard).
+    pub flow: FlowKey,
+    /// Per-flow sequence number.
+    pub seq: u64,
+    /// The path this packet will follow.
+    pub path: PathSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_path_ends() {
+        let p = PathSpec::linear(vec![0, 1, 2]);
+        assert!(!p.loops());
+        assert_eq!(p.hop(0), Some(0));
+        assert_eq!(p.hop(2), Some(2));
+        assert_eq!(p.hop(3), None);
+    }
+
+    #[test]
+    fn looping_path_circulates() {
+        let p = PathSpec::looping(vec![0], vec![1, 2, 3]);
+        assert!(p.loops());
+        let hops: Vec<_> = (0..8).map(|i| p.hop(i).unwrap()).collect();
+        assert_eq!(hops, vec![0, 1, 2, 3, 1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn from_route_parses_trailing_repeat_as_cycle() {
+        // Simulator::route() output for a 1↔2 ping-pong entered from 0:
+        // [0, 1, 2, 1] — ends at 1's second occurrence.
+        let p = PathSpec::from_route(&[0, 1, 2, 1]);
+        assert_eq!(&*p.pre, &[0]);
+        assert_eq!(&*p.cycle, &[1, 2]);
+        let hops: Vec<_> = (0..6).map(|i| p.hop(i).unwrap()).collect();
+        assert_eq!(hops, vec![0, 1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn from_route_self_loop() {
+        // Route [3, 3]: node 3 forwards to itself.
+        let p = PathSpec::from_route(&[3, 3]);
+        assert_eq!(&*p.pre, &[] as &[NodeId]);
+        assert_eq!(&*p.cycle, &[3]);
+        assert_eq!(p.hop(5), Some(3));
+    }
+
+    #[test]
+    fn from_route_without_repeat_is_linear() {
+        let p = PathSpec::from_route(&[4, 5, 6]);
+        assert!(!p.loops());
+        assert_eq!(&*p.pre, &[4, 5, 6]);
+        let empty = PathSpec::from_route(&[]);
+        assert_eq!(empty.hop(0), None);
+    }
+
+    #[test]
+    fn shared_paths_are_cheap_to_clone() {
+        let p = PathSpec::looping(vec![0; 1000], vec![1, 2]);
+        let q = p.clone();
+        assert!(Arc::ptr_eq(&p.pre, &q.pre), "clone shares the allocation");
+    }
+}

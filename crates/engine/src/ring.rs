@@ -1,0 +1,236 @@
+//! Bounded SPSC rings with explicit backpressure accounting.
+//!
+//! Each worker shard is fed by exactly one ring: the dispatcher is the
+//! single producer, the shard worker the single consumer. The ring is
+//! *bounded*, so a slow shard pushes back on the dispatcher instead of
+//! ballooning memory, and every enqueue-full outcome is **counted** —
+//! a packet is either enqueued, or recorded as dropped/stalled, never
+//! silently lost. That accounting is what lets the scaling report
+//! state drop rates instead of implying zero by omission.
+//!
+//! The implementation wraps [`std::sync::mpsc::sync_channel`] (used
+//! strictly SPSC). The consumer side blocks on an OS primitive while
+//! idle — workers consume no CPU when starved, which keeps the
+//! per-shard CPU-time capacity metric honest.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::Arc;
+
+/// What the producer does when the ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FullPolicy {
+    /// Count the packet as dropped and move on (a line-rate NIC queue).
+    #[default]
+    Drop,
+    /// Count a stall, then block until the consumer frees a slot
+    /// (lossless mode for scaling measurements).
+    Block,
+}
+
+/// Shared enqueue-side counters, readable while the engine runs.
+#[derive(Debug, Default)]
+pub struct RingCounters {
+    /// Packets successfully enqueued.
+    pub enqueued: AtomicU64,
+    /// Packets dropped because the ring was full ([`FullPolicy::Drop`]).
+    pub dropped_full: AtomicU64,
+    /// Enqueue attempts that found the ring full and had to block
+    /// ([`FullPolicy::Block`]).
+    pub stalls: AtomicU64,
+}
+
+/// A relaxed-read snapshot of [`RingCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingCountersSnapshot {
+    /// Packets successfully enqueued.
+    pub enqueued: u64,
+    /// Packets dropped on a full ring.
+    pub dropped_full: u64,
+    /// Enqueues that stalled on a full ring.
+    pub stalls: u64,
+}
+
+impl RingCounters {
+    /// Reads all counters (relaxed; exact once the producer is done).
+    pub fn snapshot(&self) -> RingCountersSnapshot {
+        RingCountersSnapshot {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            dropped_full: self.dropped_full.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The producer half of a ring (held by the dispatcher).
+#[derive(Debug)]
+pub struct RingProducer<T> {
+    tx: SyncSender<T>,
+    counters: Arc<RingCounters>,
+    policy: FullPolicy,
+}
+
+/// The consumer half of a ring (held by one worker shard).
+#[derive(Debug)]
+pub struct RingConsumer<T> {
+    rx: Receiver<T>,
+}
+
+/// Creates a bounded ring of the given capacity. The third return
+/// value is the shared counter block (also reachable from the
+/// producer), handed out separately so metrics snapshots can read it
+/// after the producer has been dropped to close the ring.
+pub fn ring<T>(
+    capacity: usize,
+    policy: FullPolicy,
+) -> (RingProducer<T>, RingConsumer<T>, Arc<RingCounters>) {
+    assert!(capacity >= 1, "ring capacity must be at least 1");
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+    let counters = Arc::new(RingCounters::default());
+    (
+        RingProducer {
+            tx,
+            counters: counters.clone(),
+            policy,
+        },
+        RingConsumer { rx },
+        counters,
+    )
+}
+
+impl<T> RingProducer<T> {
+    /// Offers one item. Returns `true` if it was enqueued, `false` if
+    /// it was dropped (full ring under [`FullPolicy::Drop`], or the
+    /// consumer is gone). Every `false` is visible in the counters.
+    pub fn push(&self, item: T) -> bool {
+        match self.tx.try_send(item) {
+            Ok(()) => {
+                self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(item)) => match self.policy {
+                FullPolicy::Drop => {
+                    self.counters.dropped_full.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+                FullPolicy::Block => {
+                    self.counters.stalls.fetch_add(1, Ordering::Relaxed);
+                    if self.tx.send(item).is_ok() {
+                        self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
+                        true
+                    } else {
+                        self.counters.dropped_full.fetch_add(1, Ordering::Relaxed);
+                        false
+                    }
+                }
+            },
+            Err(TrySendError::Disconnected(_)) => {
+                self.counters.dropped_full.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+}
+
+impl<T> RingConsumer<T> {
+    /// Receives a batch of up to `max` items: blocks for the first,
+    /// then drains whatever else is immediately available. Returns
+    /// `false` once the ring is closed (producer dropped) *and* empty.
+    pub fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> bool {
+        debug_assert!(max >= 1);
+        match self.rx.recv() {
+            Ok(item) => {
+                out.push(item);
+                while out.len() < max {
+                    match self.rx.try_recv() {
+                        Ok(item) => out.push(item),
+                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                    }
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_order() {
+        let (p, c, counters) = ring(8, FullPolicy::Drop);
+        for i in 0..5 {
+            assert!(p.push(i));
+        }
+        let mut out = Vec::new();
+        assert!(c.recv_batch(&mut out, 16));
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(counters.snapshot().enqueued, 5);
+    }
+
+    #[test]
+    fn full_ring_drops_are_counted_never_silent() {
+        let (p, _c, counters) = ring(2, FullPolicy::Drop);
+        assert!(p.push(1));
+        assert!(p.push(2));
+        assert!(!p.push(3), "third push exceeds capacity");
+        assert!(!p.push(4));
+        let snap = counters.snapshot();
+        assert_eq!(snap.enqueued, 2);
+        assert_eq!(snap.dropped_full, 2);
+        assert_eq!(snap.enqueued + snap.dropped_full, 4, "all pushes accounted");
+    }
+
+    #[test]
+    fn block_policy_waits_for_the_consumer_and_counts_the_stall() {
+        let (p, c, counters) = ring(1, FullPolicy::Block);
+        assert!(p.push(10));
+        let waiter = std::thread::spawn(move || {
+            // Fills the ring, then must block until the consumer drains.
+            assert!(p.push(20));
+            assert!(p.push(30));
+        });
+        let mut out = Vec::new();
+        while out.len() < 3 {
+            assert!(c.recv_batch(&mut out, 4));
+        }
+        waiter.join().unwrap();
+        assert_eq!(out, vec![10, 20, 30]);
+        let snap = counters.snapshot();
+        assert_eq!(snap.enqueued, 3);
+        assert_eq!(snap.dropped_full, 0);
+        assert!(snap.stalls >= 1, "at least one push found the ring full");
+    }
+
+    #[test]
+    fn closed_ring_terminates_consumer() {
+        let (p, c, _) = ring(4, FullPolicy::Drop);
+        p.push(1);
+        drop(p);
+        let mut out = Vec::new();
+        assert!(c.recv_batch(&mut out, 4), "drains the remaining item");
+        assert_eq!(out, vec![1]);
+        assert!(!c.recv_batch(&mut out, 4), "then reports closure");
+    }
+
+    #[test]
+    fn push_after_consumer_gone_is_counted_drop() {
+        let (p, c, counters) = ring(4, FullPolicy::Block);
+        drop(c);
+        assert!(!p.push(1));
+        assert_eq!(counters.snapshot().dropped_full, 1);
+    }
+
+    #[test]
+    fn recv_batch_respects_max() {
+        let (p, c, _) = ring(16, FullPolicy::Drop);
+        for i in 0..10 {
+            p.push(i);
+        }
+        let mut out = Vec::new();
+        assert!(c.recv_batch(&mut out, 4));
+        assert_eq!(out.len(), 4);
+    }
+}

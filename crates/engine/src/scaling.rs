@@ -1,0 +1,182 @@
+//! Shard-scaling experiments: the same traffic replayed across
+//! 1..=N shard configurations, with speedups reported against the
+//! single-shard baseline.
+//!
+//! Two throughput columns appear in the report, deliberately:
+//!
+//! * `wall_pps` — processed packets over wall-clock time. Meaningful
+//!   when the host has at least as many free cores as shards.
+//! * `capacity_pps` — Σ over shards of packets per second of *thread
+//!   CPU time*. This is the scaling signal that survives core-starved
+//!   hosts (CI containers pinned to one core time-share the shards:
+//!   wall time stays flat while per-shard CPU cost does not lie).
+//!
+//! The report carries the host's `cpus` so a reader can tell which
+//! column is authoritative for a given run.
+
+use crate::engine::{Engine, EngineConfig, EngineError, EngineReport};
+use crate::json::Json;
+use crate::source::TrafficSource;
+use unroller_core::SwitchId;
+
+/// One shard-count's outcome.
+#[derive(Debug, Clone)]
+pub struct ScalingRun {
+    /// Shard count of this run.
+    pub shards: usize,
+    /// The full engine report.
+    pub report: EngineReport,
+}
+
+/// The complete scaling experiment.
+#[derive(Debug, Clone, Default)]
+pub struct ScalingReport {
+    /// Runs in the order executed (ascending shard counts).
+    pub runs: Vec<ScalingRun>,
+    /// Host cores (copied from the first run).
+    pub cpus: usize,
+}
+
+impl ScalingReport {
+    /// Capacity speedup of each run relative to the first (baseline)
+    /// run; 0.0 placeholders when the baseline measured nothing.
+    pub fn capacity_speedups(&self) -> Vec<f64> {
+        let base = self
+            .runs
+            .first()
+            .map(|r| r.report.aggregate_capacity_pps())
+            .unwrap_or(0.0);
+        self.runs
+            .iter()
+            .map(|r| {
+                if base > 0.0 {
+                    r.report.aggregate_capacity_pps() / base
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Wall-clock speedups relative to the first run.
+    pub fn wall_speedups(&self) -> Vec<f64> {
+        let base = self
+            .runs
+            .first()
+            .map(|r| r.report.wall_pps())
+            .unwrap_or(0.0);
+        self.runs
+            .iter()
+            .map(|r| {
+                if base > 0.0 {
+                    r.report.wall_pps() / base
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Serializes the experiment for `results/engine_scaling.json`.
+    pub fn to_json(&self) -> Json {
+        let capacity_speedups = self.capacity_speedups();
+        let wall_speedups = self.wall_speedups();
+        let mut obj = Json::object();
+        obj.set("cpus", Json::UInt(self.cpus as u64));
+        obj.set(
+            "shard_counts",
+            Json::Array(
+                self.runs
+                    .iter()
+                    .map(|r| Json::UInt(r.shards as u64))
+                    .collect(),
+            ),
+        );
+        obj.set(
+            "capacity_speedups",
+            Json::Array(capacity_speedups.iter().map(|&s| Json::Float(s)).collect()),
+        );
+        obj.set(
+            "wall_speedups",
+            Json::Array(wall_speedups.iter().map(|&s| Json::Float(s)).collect()),
+        );
+        obj.set(
+            "runs",
+            Json::Array(self.runs.iter().map(|r| r.report.to_json()).collect()),
+        );
+        obj
+    }
+}
+
+/// Runs the engine once per shard count in `shard_counts`. The factory
+/// must return an identically-seeded fresh source per call so every
+/// configuration processes the same traffic.
+pub fn run_scaling(
+    cfg: &EngineConfig,
+    ids: &[SwitchId],
+    shard_counts: &[usize],
+    mut make_source: impl FnMut() -> Box<dyn TrafficSource>,
+) -> Result<ScalingReport, EngineError> {
+    let mut runs = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let engine = Engine::new(
+            EngineConfig {
+                shards,
+                ..cfg.clone()
+            },
+            ids,
+        )?;
+        let mut source = make_source();
+        let report = engine.run(source.as_mut());
+        runs.push(ScalingRun { shards, report });
+    }
+    let cpus = runs.first().map(|r| r.report.cpus).unwrap_or(1);
+    Ok(ScalingReport { runs, cpus })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::FullPolicy;
+    use crate::source::SyntheticSource;
+
+    #[test]
+    fn scaling_runs_identical_traffic_per_shard_count() {
+        let cfg = EngineConfig {
+            full_policy: FullPolicy::Block,
+            ..EngineConfig::default()
+        };
+        let ids: Vec<SwitchId> = (0..32).map(|i| 500 + i).collect();
+        let report = run_scaling(&cfg, &ids, &[1, 2, 4], || {
+            Box::new(SyntheticSource::new(32, 16, 1_000, 4, 200, 21))
+        })
+        .unwrap();
+        assert_eq!(report.runs.len(), 3);
+        for run in &report.runs {
+            assert_eq!(run.report.offered, 1_000, "same traffic each run");
+            assert!(run.report.accounted());
+            assert!(run.report.loop_detected());
+            assert_eq!(
+                run.report.aggregator.unique_flows, 4,
+                "sharding must not change what is detected"
+            );
+        }
+        assert_eq!(report.capacity_speedups()[0], 1.0);
+        assert_eq!(report.wall_speedups().len(), 3);
+        let rendered = report.to_json().render();
+        assert!(rendered.contains("\"shard_counts\":[1,2,4]"));
+    }
+
+    #[test]
+    fn bad_config_surfaces_the_error() {
+        let cfg = EngineConfig {
+            batch_size: 0,
+            ..EngineConfig::default()
+        };
+        let err = run_scaling(&cfg, &[1, 2], &[1], || {
+            Box::new(SyntheticSource::new(16, 2, 10, 0, 0, 1))
+        })
+        .unwrap_err();
+        assert_eq!(err, EngineError::ZeroBatch);
+    }
+}

@@ -1,0 +1,343 @@
+//! Traffic sources: where engine packets come from.
+//!
+//! Two implementations cover the CLI's needs: a purely synthetic
+//! generator (virtual nodes, no topology required) and a
+//! simulator-replay adapter that resolves flows through a
+//! [`Simulator`]'s real forwarding tables — including any injected
+//! routing loops — and replays the routed paths as packet streams.
+
+use crate::flow::FlowKey;
+use crate::packet::{EnginePacket, PathSpec};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use unroller_core::InPacketDetector;
+use unroller_sim::Simulator;
+use unroller_topology::NodeId;
+
+/// A bounded stream of engine packets. `fill` appends up to `max`
+/// packets to `out` and returns how many it produced; 0 means the
+/// source is exhausted and the engine should drain and stop.
+pub trait TrafficSource {
+    /// Produces the next burst of packets.
+    fn fill(&mut self, max: usize, out: &mut Vec<EnginePacket>) -> usize;
+}
+
+struct FlowStream {
+    key: FlowKey,
+    healthy: PathSpec,
+    poisoned: Option<PathSpec>,
+    seq: u64,
+}
+
+/// Replays packets along paths a source resolved up front, round-robin
+/// across flows, flipping every flow from its healthy path to its
+/// poisoned one at a configurable point in the stream — the moment the
+/// routing loop "happens" mid-run.
+pub struct ReplaySource {
+    flows: Vec<FlowStream>,
+    emitted: u64,
+    total: u64,
+    loop_at: Option<u64>,
+    next_flow: usize,
+}
+
+/// A routing-loop injection for [`ReplaySource::from_sim`].
+#[derive(Debug, Clone)]
+pub struct LoopInjection {
+    /// The forwarding cycle to install (node indices; length ≥ 2, every
+    /// consecutive pair adjacent in the topology).
+    pub cycle: Vec<NodeId>,
+    /// The destination whose forwarding entries get poisoned.
+    pub dst: NodeId,
+    /// The global packet index at which the poisoned tables take
+    /// effect.
+    pub at_packet: u64,
+}
+
+impl ReplaySource {
+    /// Builds a replay source from explicit per-flow paths (used by
+    /// tests and the synthetic path below).
+    pub fn from_paths(
+        flows: Vec<(FlowKey, PathSpec, Option<PathSpec>)>,
+        total: u64,
+        loop_at: Option<u64>,
+    ) -> Self {
+        assert!(!flows.is_empty(), "at least one flow");
+        ReplaySource {
+            flows: flows
+                .into_iter()
+                .map(|(key, healthy, poisoned)| FlowStream {
+                    key,
+                    healthy,
+                    poisoned,
+                    seq: 0,
+                })
+                .collect(),
+            emitted: 0,
+            total,
+            loop_at,
+            next_flow: 0,
+        }
+    }
+
+    /// Resolves `flow_count` flows through the simulator's forwarding
+    /// tables. Endpoint pairs are drawn with `seed`; each flow's healthy
+    /// path is recorded first, then (if `inject` is given) the cycle is
+    /// installed via [`Simulator::inject_cycle`] and every flow's
+    /// post-injection route is recorded as its poisoned path — flows the
+    /// loop doesn't touch keep routing cleanly, exactly as in a real
+    /// misconfiguration.
+    ///
+    /// The simulator is left with the poisoned tables installed (call
+    /// [`Simulator::recompute_all_routes`] to heal it afterwards).
+    pub fn from_sim<D: InPacketDetector>(
+        sim: &mut Simulator<D>,
+        flow_count: usize,
+        total: u64,
+        inject: Option<&LoopInjection>,
+        seed: u64,
+    ) -> Self {
+        assert!(flow_count >= 1, "at least one flow");
+        let n = sim.graph().node_count();
+        assert!(n >= 2, "topology needs at least two nodes");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x656e67);
+        let nodes: Vec<NodeId> = (0..n).collect();
+
+        // Endpoints first: half the flows (at least one, when injecting)
+        // are pinned to the poisoned destination so the loop actually
+        // sees traffic; the rest are random pairs. Flow 0 additionally
+        // starts *on* the cycle, guaranteeing at least one flow is
+        // trapped regardless of where shortest paths happen to run.
+        let mut endpoints = Vec::with_capacity(flow_count);
+        for f in 0..flow_count {
+            let dst = match inject {
+                Some(inj) if f % 2 == 0 => inj.dst,
+                _ => *nodes.choose(&mut rng).expect("non-empty"),
+            };
+            let src = match inject {
+                Some(inj) if f == 0 => {
+                    assert!(
+                        !inj.cycle.contains(&inj.dst),
+                        "the poisoned destination cannot sit on the cycle"
+                    );
+                    inj.cycle[0]
+                }
+                _ => loop {
+                    let s = *nodes.choose(&mut rng).expect("non-empty");
+                    if s != dst {
+                        break s;
+                    }
+                },
+            };
+            endpoints.push((src, dst));
+        }
+
+        let healthy: Vec<PathSpec> = endpoints
+            .iter()
+            .map(|&(src, dst)| PathSpec::from_route(&sim.route(src, dst)))
+            .collect();
+
+        let poisoned: Vec<Option<PathSpec>> = if let Some(inj) = inject {
+            sim.inject_cycle(&inj.cycle, inj.dst);
+            endpoints
+                .iter()
+                .map(|&(src, dst)| Some(PathSpec::from_route(&sim.route(src, dst))))
+                .collect()
+        } else {
+            vec![None; flow_count]
+        };
+
+        let flows = endpoints
+            .iter()
+            .zip(healthy)
+            .zip(poisoned)
+            .enumerate()
+            .map(|(f, ((&(src, dst), h), p))| {
+                (FlowKey::synthetic(src as u32, dst as u32, f as u32), h, p)
+            })
+            .collect();
+        ReplaySource::from_paths(flows, total, inject.map(|i| i.at_packet))
+    }
+
+    /// Whether any flow's active path (post-injection) loops.
+    pub fn any_looping_flow(&self) -> bool {
+        self.flows
+            .iter()
+            .any(|f| f.poisoned.as_ref().map(|p| p.loops()).unwrap_or(false))
+    }
+}
+
+impl TrafficSource for ReplaySource {
+    fn fill(&mut self, max: usize, out: &mut Vec<EnginePacket>) -> usize {
+        let mut produced = 0;
+        let flow_count = self.flows.len();
+        while produced < max && self.emitted < self.total {
+            let poisoned_now = self.loop_at.map(|at| self.emitted >= at).unwrap_or(false);
+            let flow = &mut self.flows[self.next_flow];
+            self.next_flow = (self.next_flow + 1) % flow_count;
+            let path = match (&flow.poisoned, poisoned_now) {
+                (Some(p), true) => p.clone(),
+                _ => flow.healthy.clone(),
+            };
+            out.push(EnginePacket {
+                flow: flow.key,
+                seq: flow.seq,
+                path,
+            });
+            flow.seq += 1;
+            self.emitted += 1;
+            produced += 1;
+        }
+        produced
+    }
+}
+
+/// A topology-free synthetic source: random loop-free walks over a
+/// virtual node space, with a chosen subset of flows switching to a
+/// looping path partway through the stream. Useful for benchmarking the
+/// engine itself without simulator routing in the picture.
+pub struct SyntheticSource {
+    inner: ReplaySource,
+}
+
+impl SyntheticSource {
+    /// `nodes` virtual switches, `flow_count` flows of which every
+    /// `loop_every`-th (1-based; 0 disables) becomes looping at packet
+    /// index `loop_at`.
+    pub fn new(
+        nodes: usize,
+        flow_count: usize,
+        total: u64,
+        loop_every: usize,
+        loop_at: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(nodes >= 4, "virtual node space too small");
+        assert!(flow_count >= 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x73796e);
+        let all: Vec<NodeId> = (0..nodes).collect();
+        let flows = (0..flow_count)
+            .map(|f| {
+                let len = rng.gen_range(3..=12.min(nodes));
+                let mut pool = all.clone();
+                pool.shuffle(&mut rng);
+                let walk: Vec<NodeId> = pool[..len].to_vec();
+                let healthy = PathSpec::linear(walk.clone());
+                let poisoned = if loop_every > 0 && (f + 1) % loop_every == 0 {
+                    // Loop between the last two hops of the walk.
+                    let cut = walk.len() - 2;
+                    Some(PathSpec::looping(
+                        walk[..cut].to_vec(),
+                        walk[cut..].to_vec(),
+                    ))
+                } else {
+                    None
+                };
+                let key =
+                    FlowKey::synthetic(walk[0] as u32, *walk.last().unwrap() as u32, f as u32);
+                (key, healthy, poisoned)
+            })
+            .collect();
+        SyntheticSource {
+            inner: ReplaySource::from_paths(flows, total, Some(loop_at)),
+        }
+    }
+}
+
+impl TrafficSource for SyntheticSource {
+    fn fill(&mut self, max: usize, out: &mut Vec<EnginePacket>) -> usize {
+        self.inner.fill(max, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unroller_sim::{NullDetector, SimConfig};
+    use unroller_topology::generators::ring;
+    use unroller_topology::ids::assign_sequential_ids;
+
+    fn sim() -> Simulator<NullDetector> {
+        let g = ring(8);
+        let ids = assign_sequential_ids(8, 100);
+        Simulator::new(g, ids, NullDetector, SimConfig::default())
+    }
+
+    #[test]
+    fn replay_emits_exactly_total_packets() {
+        let mut sim = sim();
+        let mut src = ReplaySource::from_sim(&mut sim, 4, 100, None, 1);
+        let mut out = Vec::new();
+        let mut got = 0;
+        loop {
+            let n = src.fill(7, &mut out);
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        assert_eq!(got, 100);
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|p| !p.path.loops()), "no injection");
+    }
+
+    #[test]
+    fn sequences_are_per_flow_and_contiguous() {
+        let mut sim = sim();
+        let mut src = ReplaySource::from_sim(&mut sim, 3, 30, None, 2);
+        let mut out = Vec::new();
+        while src.fill(8, &mut out) > 0 {}
+        let mut per_flow: std::collections::HashMap<FlowKey, Vec<u64>> = Default::default();
+        for p in &out {
+            per_flow.entry(p.flow).or_default().push(p.seq);
+        }
+        assert_eq!(per_flow.len(), 3);
+        for seqs in per_flow.values() {
+            let expect: Vec<u64> = (0..seqs.len() as u64).collect();
+            assert_eq!(seqs, &expect, "per-flow sequence numbers");
+        }
+    }
+
+    #[test]
+    fn injection_switches_flows_to_looping_paths() {
+        let mut sim = sim();
+        let inj = LoopInjection {
+            cycle: vec![1, 2],
+            dst: 4,
+            at_packet: 20,
+        };
+        let mut src = ReplaySource::from_sim(&mut sim, 4, 80, Some(&inj), 3);
+        assert!(src.any_looping_flow(), "some flow must cross the cycle");
+        let mut out = Vec::new();
+        while src.fill(16, &mut out) > 0 {}
+        assert_eq!(out.len(), 80);
+        let early_loops = out[..20].iter().filter(|p| p.path.loops()).count();
+        let late_loops = out[20..].iter().filter(|p| p.path.loops()).count();
+        assert_eq!(early_loops, 0, "healthy until the injection point");
+        assert!(late_loops > 0, "poisoned paths after the injection point");
+    }
+
+    #[test]
+    fn from_sim_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sim = sim();
+            let mut src = ReplaySource::from_sim(&mut sim, 5, 50, None, seed);
+            let mut out = Vec::new();
+            while src.fill(9, &mut out) > 0 {}
+            out.iter().map(|p| (p.flow, p.seq)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds pick different flows");
+    }
+
+    #[test]
+    fn synthetic_source_marks_looping_flows() {
+        let mut src = SyntheticSource::new(64, 10, 200, 2, 50, 11);
+        let mut out = Vec::new();
+        while src.fill(32, &mut out) > 0 {}
+        assert_eq!(out.len(), 200);
+        assert!(out[..50].iter().all(|p| !p.path.loops()));
+        assert!(out[50..].iter().any(|p| p.path.loops()));
+    }
+}

@@ -1,0 +1,280 @@
+//! The shard worker: one thread, one ring, one private copy of every
+//! switch pipeline.
+//!
+//! A worker owns a full clone of the per-switch
+//! [`UnrollerPipeline`]s, indexed by node — register files are
+//! read-only per packet and small, so cloning them per shard buys
+//! completely lock-free packet processing: the hot loop touches only
+//! shard-owned state and its (atomic, uncontended) metrics block.
+//! Flow affinity is what makes this sound: a flow's packets all arrive
+//! on this one shard, so nothing about a packet's journey is ever
+//! visible to another thread.
+
+use crate::aggregate::LoopEvent;
+use crate::metrics::{thread_cpu_ns, ShardMetrics};
+use crate::packet::EnginePacket;
+use crate::ring::RingConsumer;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::Instant;
+use unroller_core::SwitchId;
+use unroller_dataplane::{HeaderLayout, UnrollerPipeline, WireHeader};
+
+/// Cap on §3.5 membership collection: a real switch would bound the
+/// report it punts to the controller; 64 IDs covers any loop a sane
+/// TTL lets live.
+const MEMBERSHIP_CAP: usize = 64;
+
+/// One shard's processing loop.
+pub struct ShardWorker {
+    /// Shard index (for event attribution).
+    pub shard: usize,
+    /// Per-node pipelines, indexed by `NodeId` (`pipelines[node]`).
+    pub pipelines: Vec<UnrollerPipeline>,
+    /// Switch IDs, indexed the same way.
+    pub ids: Arc<[SwitchId]>,
+    /// The shim layout shared by all pipelines.
+    pub layout: HeaderLayout,
+    /// Hop budget per packet (the TTL).
+    pub max_hops: u32,
+    /// Batch ceiling per ring pull.
+    pub batch_size: usize,
+    /// This shard's metrics block.
+    pub metrics: Arc<ShardMetrics>,
+    /// Loop events out (MPSC toward the aggregator).
+    pub events: Sender<LoopEvent>,
+    /// Packets in (SPSC from the dispatcher).
+    pub consumer: RingConsumer<EnginePacket>,
+}
+
+impl ShardWorker {
+    /// Runs until the dispatcher closes the ring. Consumes the worker.
+    pub fn run(self) {
+        let cpu_start = thread_cpu_ns();
+        let mut batch: Vec<EnginePacket> = Vec::with_capacity(self.batch_size);
+        // One scratch header reused across every packet: walking a path
+        // allocates nothing.
+        let mut scratch = WireHeader::initial(&self.layout);
+        loop {
+            batch.clear();
+            let wait_start = Instant::now();
+            if !self.consumer.recv_batch(&mut batch, self.batch_size) {
+                break;
+            }
+            let proc_start = Instant::now();
+            self.metrics
+                .wait_ns
+                .record((proc_start - wait_start).as_nanos() as u64);
+            self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+            self.metrics.batch_sizes.record(batch.len() as u64);
+            for packet in &batch {
+                self.process(packet, &mut scratch);
+            }
+            self.metrics
+                .packets
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.metrics
+                .proc_ns
+                .record(proc_start.elapsed().as_nanos() as u64);
+        }
+        if let (Some(start), Some(end)) = (cpu_start, thread_cpu_ns()) {
+            self.metrics
+                .cpu_ns
+                .store(end.saturating_sub(start), Ordering::Relaxed);
+        }
+    }
+
+    /// Walks one packet along its path through the per-switch
+    /// pipelines.
+    fn process(&self, packet: &EnginePacket, scratch: &mut WireHeader) {
+        scratch.xcnt = 0;
+        scratch.thcnt = 0;
+        scratch.swids.fill(0);
+
+        let mut hop = 0u32;
+        loop {
+            let Some(node) = packet.path.hop(hop as usize) else {
+                // Path ended: delivered.
+                self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
+                self.metrics.delivered.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            let Some(pipeline) = self.pipelines.get(node) else {
+                self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
+                self.metrics.route_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            hop += 1;
+            if pipeline.process_header(scratch).reported() {
+                self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
+                self.report_loop(packet, node, hop);
+                return;
+            }
+            if hop >= self.max_hops {
+                self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
+                self.metrics.ttl_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// §3.5 membership collection: from the trigger switch, keep
+    /// following the (known, looping) path recording switch IDs until
+    /// the trigger reappears — the recorded set is the loop.
+    fn report_loop(&self, packet: &EnginePacket, trigger_node: usize, hop: u32) {
+        let trigger = self.ids[trigger_node];
+        let mut members = vec![trigger];
+        let mut complete = false;
+        let mut i = hop as usize; // path index of the hop *after* the trigger
+        while members.len() < MEMBERSHIP_CAP {
+            let Some(node) = packet.path.hop(i) else {
+                break;
+            };
+            let Some(&id) = self.ids.get(node) else {
+                break;
+            };
+            if id == trigger {
+                complete = true;
+                break;
+            }
+            members.push(id);
+            i += 1;
+        }
+        self.metrics.loop_events.fetch_add(1, Ordering::Relaxed);
+        // A send can only fail post-aggregator-teardown, which join
+        // ordering rules out; ignore rather than panic a worker.
+        let _ = self.events.send(LoopEvent {
+            flow: packet.flow,
+            seq: packet.seq,
+            shard: self.shard,
+            trigger,
+            hop,
+            members,
+            complete,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKey;
+    use crate::packet::PathSpec;
+    use crate::ring::{ring, FullPolicy};
+    use unroller_core::UnrollerParams;
+
+    fn worker_fixture(
+        nodes: usize,
+        max_hops: u32,
+    ) -> (
+        ShardWorker,
+        crate::ring::RingProducer<EnginePacket>,
+        std::sync::mpsc::Receiver<LoopEvent>,
+    ) {
+        let params = UnrollerParams::default();
+        let ids: Arc<[SwitchId]> = (0..nodes as u32).map(|i| 100 + i).collect();
+        let pipelines = ids
+            .iter()
+            .map(|&id| UnrollerPipeline::new(id, params).unwrap())
+            .collect();
+        let (producer, consumer, _) = ring(64, FullPolicy::Block);
+        let (ev_tx, ev_rx) = std::sync::mpsc::channel();
+        let worker = ShardWorker {
+            shard: 0,
+            pipelines,
+            ids,
+            layout: HeaderLayout::from_params(&params),
+            max_hops,
+            batch_size: 8,
+            metrics: Arc::new(ShardMetrics::default()),
+            events: ev_tx,
+            consumer,
+        };
+        (worker, producer, ev_rx)
+    }
+
+    fn packet(seq: u64, path: PathSpec) -> EnginePacket {
+        EnginePacket {
+            flow: FlowKey::synthetic(0, 1, 0),
+            seq,
+            path,
+        }
+    }
+
+    #[test]
+    fn delivers_loop_free_packets() {
+        let (worker, producer, ev_rx) = worker_fixture(6, 64);
+        let metrics = worker.metrics.clone();
+        for seq in 0..10 {
+            producer.push(packet(seq, PathSpec::linear(vec![0, 1, 2, 3])));
+        }
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.packets, 10);
+        assert_eq!(snap.delivered, 10);
+        assert_eq!(snap.loop_events, 0);
+        assert_eq!(snap.hops, 40);
+        assert!(snap.batches >= 2);
+        assert!(ev_rx.try_recv().is_err(), "no events for clean traffic");
+    }
+
+    #[test]
+    fn detects_loop_and_collects_membership() {
+        let (worker, producer, ev_rx) = worker_fixture(6, 64);
+        let metrics = worker.metrics.clone();
+        // 0 → [1, 2, 3] cycling: IDs 101, 102, 103 form the loop.
+        producer.push(packet(0, PathSpec::looping(vec![0], vec![1, 2, 3])));
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.loop_events, 1);
+        assert_eq!(snap.delivered, 0);
+        assert_eq!(snap.ttl_dropped, 0, "detector beats the TTL");
+        let event = ev_rx.recv().unwrap();
+        assert!(event.complete, "membership closed the cycle");
+        let mut members = event.members.clone();
+        members.sort_unstable();
+        assert_eq!(members, vec![101, 102, 103]);
+        assert_eq!(event.hop as u64, snap.hops);
+    }
+
+    #[test]
+    fn ttl_caps_undetectable_walks() {
+        // max_hops below the detection bound (a ping-pong is detected
+        // on hop 3, the loop-closing revisit): the TTL fires first.
+        let (worker, producer, _ev_rx) = worker_fixture(4, 2);
+        let metrics = worker.metrics.clone();
+        producer.push(packet(0, PathSpec::looping(vec![], vec![0, 1])));
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.ttl_dropped, 1);
+        assert_eq!(snap.loop_events, 0);
+        assert_eq!(snap.hops, 2);
+    }
+
+    #[test]
+    fn unknown_nodes_count_route_errors() {
+        let (worker, producer, _ev_rx) = worker_fixture(3, 64);
+        let metrics = worker.metrics.clone();
+        producer.push(packet(0, PathSpec::linear(vec![0, 99])));
+        drop(producer);
+        worker.run();
+        assert_eq!(metrics.snapshot().route_errors, 1);
+    }
+
+    #[test]
+    fn cpu_time_recorded_on_linux() {
+        let (worker, producer, _ev_rx) = worker_fixture(4, 64);
+        let metrics = worker.metrics.clone();
+        producer.push(packet(0, PathSpec::linear(vec![0, 1])));
+        drop(producer);
+        worker.run();
+        if thread_cpu_ns().is_some() {
+            // Stored (possibly 0 ticks for so little work, but stored).
+            let _ = metrics.snapshot().cpu_ns;
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end engine tests: simulator-routed traffic with a routing
+//! loop injected mid-stream, processed by a multi-shard engine, with
+//! the resulting membership reports localized by the controller — the
+//! full detect → report → localize chain at engine scale.
+
+use unroller_control::Controller;
+use unroller_engine::{
+    aggregate::deliver, ControllerSink, Engine, EngineConfig, FullPolicy, LoopInjection,
+    ReplaySource,
+};
+use unroller_sim::{NullDetector, SimConfig, Simulator};
+use unroller_topology::generators::ring;
+use unroller_topology::ids::assign_sequential_ids;
+
+const NODES: usize = 16;
+
+fn sim() -> Simulator<NullDetector> {
+    let graph = ring(NODES);
+    let ids = assign_sequential_ids(NODES, 100);
+    Simulator::new(graph, ids, NullDetector, SimConfig::default())
+}
+
+#[test]
+fn multi_shard_engine_detects_injected_loop_end_to_end() {
+    let mut sim = sim();
+    let injection = LoopInjection {
+        cycle: vec![2, 3],
+        dst: 8,
+        at_packet: 2_000,
+    };
+    let mut source = ReplaySource::from_sim(&mut sim, 24, 10_000, Some(&injection), 5);
+    assert!(source.any_looping_flow());
+
+    let ids = sim.ids().to_vec();
+    let engine = Engine::new(
+        EngineConfig {
+            shards: 2,
+            full_policy: FullPolicy::Block,
+            ..EngineConfig::default()
+        },
+        &ids,
+    )
+    .unwrap();
+    let report = engine.run(&mut source);
+
+    // Every packet accounted for, spread over both shards.
+    assert_eq!(report.offered, 10_000);
+    assert!(report.accounted(), "{report:?}");
+    assert!(
+        report.shard_snapshots.iter().all(|s| s.packets > 0),
+        "24 flows must reach both shards"
+    );
+
+    // The loop is detected: flows trapped by the poisoned tables stop
+    // being delivered and raise (deduplicated) loop events instead.
+    assert!(report.loop_detected());
+    assert!(report.aggregator.duplicates_suppressed > 0);
+    let delivered: u64 = report.shard_snapshots.iter().map(|s| s.delivered).sum();
+    assert!(delivered > 0, "untouched flows still deliver");
+
+    // Membership reports localize to exactly the injected cycle.
+    let mut sink = ControllerSink::new(Controller::new(&ids));
+    deliver(&report.aggregator.events, &mut sink);
+    let loops = sink.controller.localized_loops();
+    assert_eq!(loops.len(), 1, "one distinct loop: {loops:?}");
+    let mut nodes = loops[0].nodes.clone();
+    nodes.sort_unstable();
+    assert_eq!(nodes, vec![2, 3], "localized to the injected cycle");
+    assert!(sink.controller.total_reports() >= 1);
+    assert_eq!(sink.controller.unresolved_reports, 0);
+
+    // Healing the simulator restores delivery for the poisoned flows.
+    sink.controller.heal(&mut sim);
+    let healed = sim.route(2, 8);
+    assert_eq!(*healed.last().unwrap(), 8, "route reaches dst after heal");
+}
+
+#[test]
+fn shard_counts_agree_on_what_is_detected() {
+    // Detection is a per-flow property; the shard count is an
+    // execution detail and must not change the outcome.
+    let run = |shards: usize| {
+        let mut sim = sim();
+        let injection = LoopInjection {
+            cycle: vec![5, 6],
+            dst: 12,
+            at_packet: 1_000,
+        };
+        let mut source = ReplaySource::from_sim(&mut sim, 16, 6_000, Some(&injection), 9);
+        let engine = Engine::new(
+            EngineConfig {
+                shards,
+                full_policy: FullPolicy::Block,
+                ..EngineConfig::default()
+            },
+            sim.ids(),
+        )
+        .unwrap();
+        let report = engine.run(&mut source);
+        let mut flows: Vec<_> = report
+            .aggregator
+            .events
+            .iter()
+            .map(|e| (e.flow.rss_hash(), e.seq))
+            .collect();
+        flows.sort_unstable();
+        flows
+    };
+    let single = run(1);
+    assert!(!single.is_empty());
+    assert_eq!(single, run(2), "1 vs 2 shards");
+    assert_eq!(single, run(4), "1 vs 4 shards");
+}
+
+#[test]
+fn no_injection_means_no_reports() {
+    let mut sim = sim();
+    let mut source = ReplaySource::from_sim(&mut sim, 8, 3_000, None, 2);
+    let engine = Engine::new(
+        EngineConfig {
+            shards: 2,
+            full_policy: FullPolicy::Block,
+            ..EngineConfig::default()
+        },
+        sim.ids(),
+    )
+    .unwrap();
+    let report = engine.run(&mut source);
+    assert!(!report.loop_detected());
+    assert_eq!(report.aggregator.events_received, 0);
+    let delivered: u64 = report.shard_snapshots.iter().map(|s| s.delivered).sum();
+    assert_eq!(delivered, 3_000, "clean traffic all delivers");
+    assert!(report.accounted());
+}
+
+#[test]
+fn drop_policy_backpressure_is_fully_accounted() {
+    let mut sim = sim();
+    let injection = LoopInjection {
+        cycle: vec![2, 3],
+        dst: 8,
+        at_packet: 500,
+    };
+    let mut source = ReplaySource::from_sim(&mut sim, 16, 8_000, Some(&injection), 7);
+    let engine = Engine::new(
+        EngineConfig {
+            shards: 2,
+            ring_capacity: 2,
+            batch_size: 1,
+            full_policy: FullPolicy::Drop,
+            ..EngineConfig::default()
+        },
+        sim.ids(),
+    )
+    .unwrap();
+    let report = engine.run(&mut source);
+    assert!(report.accounted(), "drops counted, never silent");
+    assert_eq!(report.processed() + report.dropped_full(), 8_000);
+    // The JSON export carries the backpressure counters.
+    let rendered = report.to_json().render();
+    assert!(rendered.contains("dropped_full"));
+    assert!(rendered.contains("stalls"));
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the RSS flow-sharding invariants:
+//!
+//! * determinism — the same 5-tuple always maps to the same shard;
+//! * range — the shard index is always in bounds;
+//! * affinity under growth — remapping only happens when the shard
+//!   count changes, never between identical calls;
+//! * balance — across many random flows every shard's load stays
+//!   within 2× of the uniform share.
+
+use proptest::prelude::*;
+use rand::Rng;
+use unroller_engine::FlowKey;
+
+fn flow_strategy() -> impl Strategy<Value = FlowKey> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+    )
+        .prop_map(|(src_ip, dst_ip, src_port, dst_port, proto)| FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The flow-affinity invariant the whole engine rests on: one
+    /// tuple, one shard, every time.
+    #[test]
+    fn same_tuple_same_shard(flow in flow_strategy(), shards in 1usize..=64) {
+        let first = flow.shard(shards);
+        prop_assert!(first < shards);
+        for _ in 0..8 {
+            prop_assert_eq!(flow.shard(shards), first);
+        }
+        // The hash itself is stable too (the shard is derived from it).
+        prop_assert_eq!(flow.rss_hash(), flow.rss_hash());
+    }
+
+    /// Packets of one flow never straddle shards even when computed
+    /// from independently-constructed (equal) keys.
+    #[test]
+    fn equal_keys_agree(flow in flow_strategy(), shards in 1usize..=16) {
+        let copy = FlowKey { ..flow };
+        prop_assert_eq!(copy.shard(shards), flow.shard(shards));
+    }
+
+    /// Distribution: for a batch of random flows, every shard receives
+    /// within a factor of two of the uniform share.
+    #[test]
+    fn load_within_two_of_uniform(seed in any::<u64>(), shards in 2usize..=8) {
+        let mut rng = unroller_core::test_rng(seed);
+        let flows = 4096usize;
+        let mut counts = vec![0u64; shards];
+        for _ in 0..flows {
+            let flow = FlowKey {
+                src_ip: rng.gen(),
+                dst_ip: rng.gen(),
+                src_port: rng.gen(),
+                dst_port: rng.gen(),
+                proto: rng.gen(),
+            };
+            counts[flow.shard(shards)] += 1;
+        }
+        let mean = flows as f64 / shards as f64;
+        for (shard, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                (count as f64) < 2.0 * mean && (count as f64) > mean / 2.0,
+                "shard {} of {} got {} flows (uniform share {})",
+                shard, shards, count, mean
+            );
+        }
+    }
+}

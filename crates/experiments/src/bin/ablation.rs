@@ -1,4 +1,4 @@
-//! Ablation studies for the design choices DESIGN.md §7 calls out:
+//! Ablation studies for the design choices DESIGN.md §8 calls out:
 //! phase resets (§3.5), the two phase schedules, the threshold
 //! trade-off, hash families, and the check-before-reset ordering.
 

@@ -16,7 +16,7 @@
 //! | Figure 6 (FP vs `z`)          | [`false_positives`] | `fig6` |
 //! | Figure 7 (vs `L`, `Th`)       | [`sweeps::fig7`]    | `fig7` |
 //! | Theorem bounds                | `unroller_core::bounds` | `bounds` |
-//! | Ablations (DESIGN.md §7)      | [`ablation`]        | `ablation` |
+//! | Ablations (DESIGN.md §8)      | [`ablation`]        | `ablation` |
 //!
 //! Binaries default to fast run counts; pass `--paper` for the
 //! published 3M runs per data point (see [`cli`]).

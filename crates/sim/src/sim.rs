@@ -119,7 +119,10 @@ pub struct SimStats {
 }
 
 impl SimStats {
-    /// Mean delivery latency (ns) over delivered packets.
+    /// Mean delivery latency (ns) over delivered packets, or `0.0` when
+    /// nothing was delivered (never `NaN` — report consumers divide and
+    /// serialize this value, and a `0/0 = NaN` here would poison every
+    /// downstream aggregate).
     pub fn mean_latency(&self) -> f64 {
         if self.delivery_latencies.is_empty() {
             return 0.0;
@@ -265,6 +268,14 @@ impl<D: InPacketDetector> Simulator<D> {
     /// The topology.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The provisioned switch identifiers (`ids()[node]` is `node`'s
+    /// switch ID). The `unroller-engine` traffic adapter uses this to
+    /// translate replayed node paths into the switch-ID streams its
+    /// per-shard pipelines process.
+    pub fn ids(&self) -> &[SwitchId] {
+        &self.ids
     }
 
     /// Current simulated time.
@@ -593,6 +604,35 @@ mod tests {
         assert!(stats.reports.is_empty());
         // Timing: 4 links + 4 switch traversals after the first arrival.
         assert_eq!(sim.now(), 4 * 1_500);
+    }
+
+    #[test]
+    fn mean_latency_with_zero_delivered_is_zero_not_nan() {
+        // Regression: a run where every packet is dropped (here: all
+        // trapped in a loop with no detector) must report a mean
+        // latency of 0.0, not 0/0 = NaN.
+        let fresh = SimStats::default();
+        assert_eq!(fresh.mean_latency(), 0.0);
+        assert!(!fresh.mean_latency().is_nan());
+
+        let g = line(5);
+        let ids = assign_sequential_ids(5, 100);
+        let mut sim = Simulator::new(g, ids, NullDetector, SimConfig::default());
+        sim.inject_cycle(&[1, 2], 4);
+        sim.send_packet(0, 0, 4);
+        let stats = sim.run();
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.mean_latency(), 0.0);
+        assert!(!stats.mean_latency().is_nan());
+        assert_eq!(stats.max_latency(), 0);
+    }
+
+    #[test]
+    fn ids_accessor_exposes_provisioned_ids() {
+        let g = line(3);
+        let ids = assign_sequential_ids(3, 7);
+        let sim = Simulator::new(g, ids.clone(), NullDetector, SimConfig::default());
+        assert_eq!(sim.ids(), &ids[..]);
     }
 
     #[test]

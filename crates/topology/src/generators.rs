@@ -208,9 +208,87 @@ pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
     g
 }
 
+/// Builds a topology from a CLI-friendly spec string:
+///
+/// * `ring:N` — an `N`-node ring;
+/// * `grid:WxH` — a `W × H` grid;
+/// * `fat-tree:K` — a `K`-ary fat tree (pod count `K`);
+/// * `wan:N` — a WAN-like graph of `N` nodes (diameter 8, seeded);
+/// * `random:N[:EXTRA[:SEED]]` — random connected graph with `EXTRA`
+///   non-tree edges.
+///
+/// Returns `None` for a malformed spec. This is the shared parser
+/// behind the `unroller-engine` CLI's `--topology` flag.
+pub fn from_spec(spec: &str) -> Option<Graph> {
+    let (kind, rest) = spec.split_once(':')?;
+    match kind {
+        "ring" => {
+            let n: usize = rest.parse().ok()?;
+            (n >= 3).then(|| ring(n))
+        }
+        "grid" => {
+            let (w, h) = rest.split_once('x')?;
+            let (w, h): (usize, usize) = (w.parse().ok()?, h.parse().ok()?);
+            (w >= 1 && h >= 1).then(|| grid(w, h))
+        }
+        "fat-tree" => {
+            let k: usize = rest.parse().ok()?;
+            (k >= 2 && k.is_multiple_of(2)).then(|| fat_tree(k).graph)
+        }
+        "wan" => {
+            let n: usize = rest.parse().ok()?;
+            (n >= 16).then(|| wan_like(n, 8, n / 4, 1))
+        }
+        "random" => {
+            let mut parts = rest.split(':');
+            let n: usize = parts.next()?.parse().ok()?;
+            let extra: usize = match parts.next() {
+                Some(p) => p.parse().ok()?,
+                None => n / 4,
+            };
+            let seed: u64 = match parts.next() {
+                Some(p) => p.parse().ok()?,
+                None => 1,
+            };
+            (n >= 2).then(|| random_connected(n, extra, seed))
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_spec_builds_every_kind() {
+        assert_eq!(from_spec("ring:8").unwrap().node_count(), 8);
+        assert_eq!(from_spec("grid:4x3").unwrap().node_count(), 12);
+        assert_eq!(from_spec("fat-tree:4").unwrap().node_count(), 20);
+        let wan = from_spec("wan:32").unwrap();
+        assert_eq!(wan.node_count(), 32);
+        assert!(wan.is_connected());
+        let rnd = from_spec("random:10:3:7").unwrap();
+        assert_eq!(rnd.node_count(), 10);
+        assert!(rnd.is_connected());
+    }
+
+    #[test]
+    fn from_spec_rejects_malformed() {
+        for bad in [
+            "",
+            "ring",
+            "ring:2",
+            "ring:x",
+            "grid:4",
+            "grid:0x3",
+            "fat-tree:3",
+            "mesh:4",
+            "random:",
+        ] {
+            assert!(from_spec(bad).is_none(), "{bad:?} should not parse");
+        }
+    }
 
     #[test]
     fn fat_tree_4_matches_table5_row() {

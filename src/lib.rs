@@ -16,6 +16,10 @@
 //!   control block and resource accounting.
 //! * [`sim`] — a deterministic discrete-event packet-level network
 //!   simulator with routing-loop injection.
+//! * [`engine`] — a sharded multi-threaded runtime driving the dataplane
+//!   pipelines over batched packet streams (RSS flow sharding, bounded
+//!   rings with backpressure accounting, live metrics, loop-event
+//!   aggregation into the controller).
 //! * [`experiments`] — runners reproducing every table and figure of the
 //!   paper's evaluation.
 //!
@@ -29,6 +33,7 @@ pub use unroller_baselines as baselines;
 pub use unroller_control as control;
 pub use unroller_core as core;
 pub use unroller_dataplane as dataplane;
+pub use unroller_engine as engine;
 pub use unroller_experiments as experiments;
 pub use unroller_sim as sim;
 pub use unroller_topology as topology;
