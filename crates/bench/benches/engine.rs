@@ -75,7 +75,7 @@ fn bench_engine_shards(c: &mut Criterion) {
             b.iter(|| {
                 // Every 8th of 32 flows loops from packet 5000 on.
                 let mut source = SyntheticSource::new(64, 32, PACKETS, 8, 5_000, 17);
-                black_box(engine.run(&mut source).processed())
+                black_box(engine.run(&mut source).expect("fault-free run").processed())
             })
         });
     }

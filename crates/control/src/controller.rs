@@ -7,7 +7,7 @@
 //! the same loop, and repairs routing (recomputes shortest-path
 //! forwarding, clearing whatever misconfiguration caused the loop).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use unroller_core::{InPacketDetector, SwitchId};
 use unroller_sim::Simulator;
 use unroller_topology::NodeId;
@@ -28,6 +28,12 @@ pub struct Controller {
     id_to_node: HashMap<SwitchId, NodeId>,
     /// Localized loops keyed by their sorted node set.
     loops: HashMap<Vec<NodeId>, LocalizedLoop>,
+    /// Loops (sorted node sets) already repaired — the idempotence
+    /// record that keeps re-delivered reports from re-healing.
+    healed: HashSet<Vec<NodeId>>,
+    /// Loops (sorted node sets) healing gave up on; their flows are to
+    /// be dropped at ingress (degraded mode).
+    quarantined: HashSet<Vec<NodeId>>,
     /// Reports whose IDs could not all be resolved (e.g. corrupted or
     /// collected under hash collisions).
     pub unresolved_reports: u32,
@@ -44,6 +50,8 @@ impl Controller {
                 .map(|(node, &id)| (id, node))
                 .collect(),
             loops: HashMap::new(),
+            healed: HashSet::new(),
+            quarantined: HashSet::new(),
             unresolved_reports: 0,
         }
     }
@@ -111,11 +119,50 @@ impl Controller {
     }
 
     /// Heals the network: recomputes every forwarding table from the
-    /// healthy topology, clearing the misconfiguration. (A finer-grained
-    /// controller would patch only the affected destination columns;
-    /// recomputation is the simple, always-correct policy.)
-    pub fn heal<D: InPacketDetector>(&self, sim: &mut Simulator<D>) {
+    /// healthy topology, clearing the misconfiguration, and marks every
+    /// localized loop healed (idempotent: a second call is a no-op
+    /// beyond the recompute). A finer-grained controller would patch
+    /// only the affected destination columns; recomputation is the
+    /// simple, always-correct policy. For healing that can *fail* —
+    /// retries, backoff, quarantine — see
+    /// [`Controller::heal_all`](crate::heal).
+    pub fn heal<D: InPacketDetector>(&mut self, sim: &mut Simulator<D>) {
         sim.recompute_all_routes();
+        for key in self.loops.keys() {
+            self.healed.insert(key.clone());
+        }
+    }
+
+    /// Whether this loop (any rotation; sorted internally) has already
+    /// been repaired.
+    pub fn is_healed(&self, nodes: &[NodeId]) -> bool {
+        let mut key = nodes.to_vec();
+        key.sort_unstable();
+        self.healed.contains(&key)
+    }
+
+    /// Whether this loop has been quarantined (healing gave up).
+    pub fn is_quarantined(&self, nodes: &[NodeId]) -> bool {
+        let mut key = nodes.to_vec();
+        key.sort_unstable();
+        self.quarantined.contains(&key)
+    }
+
+    /// Records a loop as repaired (`key` must be sorted).
+    pub(crate) fn mark_healed(&mut self, key: Vec<NodeId>) {
+        self.healed.insert(key);
+    }
+
+    /// Records a loop as given up on (`key` must be sorted).
+    pub(crate) fn mark_quarantined(&mut self, key: Vec<NodeId>) {
+        self.quarantined.insert(key);
+    }
+
+    /// Every quarantined loop's sorted node set, in deterministic order.
+    pub fn quarantined_loops(&self) -> Vec<Vec<NodeId>> {
+        let mut loops: Vec<Vec<NodeId>> = self.quarantined.iter().cloned().collect();
+        loops.sort();
+        loops
     }
 }
 

@@ -173,12 +173,16 @@ impl DistanceVector {
                     break;
                 }
                 if mark[cur] == 1 {
-                    // Found a cycle: extract it from the walk.
-                    let at = walk.iter().position(|&w| w == cur).expect("on walk");
-                    for &w in &walk {
-                        mark[w] = 2;
+                    // Found a cycle: mark 1 means `cur` was pushed on
+                    // this very walk, so the lookup cannot miss; a
+                    // defensive miss just ends the walk loop-free.
+                    if let Some(at) = walk.iter().position(|&w| w == cur) {
+                        for &w in &walk {
+                            mark[w] = 2;
+                        }
+                        return Some(walk[at..].to_vec());
                     }
-                    return Some(walk[at..].to_vec());
+                    break;
                 }
                 mark[cur] = 1;
                 walk.push(cur);

@@ -8,6 +8,10 @@
 //! * [`controller`] — the report sink: maps collected IDs back to
 //!   topology nodes, de-duplicates loops, and heals forwarding state
 //!   ([`controller::Controller`]).
+//! * [`heal`] — hardened healing: bounded retry with exponential
+//!   (virtual-time) backoff and timeout, idempotent re-heal, and
+//!   degraded-mode quarantine when repair keeps failing
+//!   ([`heal::HealPolicy`], [`Controller::heal_all`]).
 //! * [`distvec`] — a RIP-style distance-vector routing substrate whose
 //!   count-to-infinity transients produce the *natural* micro-loops the
 //!   paper's introduction motivates with
@@ -37,8 +41,10 @@
 
 pub mod controller;
 pub mod distvec;
+pub mod heal;
 pub mod localize;
 
 pub use controller::{Controller, LocalizedLoop};
 pub use distvec::{DistanceVector, INFINITY};
+pub use heal::{FlakyHealer, HealExecutor, HealPolicy, HealReport, SimHealer};
 pub use localize::{LocalizeState, LocalizingDetector};

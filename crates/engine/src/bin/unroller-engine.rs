@@ -1,14 +1,22 @@
 //! `unroller-engine` — run the sharded engine over synthetic routed
 //! traffic with a routing loop injected mid-stream.
 //!
-//! Single-run mode processes the stream at a fixed shard count and
-//! prints the full JSON report; `--scaling 1,2,4` replays the same
-//! (same-seed) stream at each shard count and writes the scaling
-//! report to `results/engine_scaling.json`.
+//! Single-run mode processes the stream at a fixed shard count, hands
+//! the deduplicated loop reports to the controller for localization and
+//! (fault-tolerant) healing, and prints the full JSON report;
+//! `--scaling 1,2,4` replays the same (same-seed) stream at each shard
+//! count and writes the scaling report to
+//! `results/engine_scaling.json`; `--fault-sweep 0,0.5,1,2,4` replays
+//! it under the `--faults` plan scaled by each multiplier and writes
+//! detection recall and heal latency per fault level to
+//! `results/engine_faults.json`.
 
+use std::collections::HashSet;
 use std::time::Duration;
+use unroller_control::{Controller, FlakyHealer, HealPolicy, HealReport, SimHealer};
 use unroller_engine::{
-    run_scaling, Engine, EngineConfig, FullPolicy, LoopInjection, ReplaySource, TrafficSource,
+    aggregate::deliver, run_scaling, ControllerSink, Engine, EngineConfig, EngineReport, FaultPlan,
+    FlowKey, FullPolicy, Json, LoopInjection, ReplaySource,
 };
 use unroller_sim::{NullDetector, SimConfig, Simulator};
 use unroller_topology::ids::assign_sequential_ids;
@@ -17,6 +25,7 @@ use unroller_topology::{generators, Graph, NodeId};
 struct Options {
     shards: usize,
     scaling: Option<Vec<usize>>,
+    fault_sweep: Option<Vec<f64>>,
     packets: u64,
     batch: usize,
     ring: usize,
@@ -29,6 +38,9 @@ struct Options {
     out: Option<String>,
     snapshot_ms: Option<u64>,
     expect_loop: bool,
+    faults: FaultPlan,
+    shed: bool,
+    watchdog_ms: Option<u64>,
 }
 
 impl Default for Options {
@@ -36,6 +48,7 @@ impl Default for Options {
         Options {
             shards: 2,
             scaling: None,
+            fault_sweep: None,
             packets: 200_000,
             batch: 64,
             ring: 1024,
@@ -48,6 +61,9 @@ impl Default for Options {
             out: None,
             snapshot_ms: None,
             expect_loop: false,
+            faults: FaultPlan::default(),
+            shed: false,
+            watchdog_ms: None,
         }
     }
 }
@@ -77,9 +93,23 @@ fn usage() -> ! {
            --policy P        drop | block on full rings (default drop)\n\
            --seed N          traffic seed (default 1)\n\
            --out PATH        write the JSON report here (scaling mode\n\
-                             defaults to results/engine_scaling.json)\n\
+                             defaults to results/engine_scaling.json,\n\
+                             fault sweeps to results/engine_faults.json)\n\
            --snapshot-ms N   print live metric snapshots to stderr\n\
            --expect-loop     exit 1 unless a loop was detected\n\
+           --faults SPEC     seeded fault plan, comma-separated k=v:\n\
+                             seed=N panic=R bitflip=R stall=R[:MS]\n\
+                             evdrop=R evdup=R healfail=R restarts=N\n\
+                             (rates in [0,1]; e.g.\n\
+                             seed=7,panic=0.001,bitflip=0.01,healfail=0.5)\n\
+           --shed            shed lowest-priority flows at ingress when\n\
+                             a shard's ring saturates (counted)\n\
+           --watchdog-ms N   poll shard progress every N ms and kick\n\
+                             stalled shards\n\
+           --fault-sweep L   comma-separated rate multipliers (e.g.\n\
+                             0,0.5,1,2,4) applied to the --faults plan;\n\
+                             replays the stream per level and writes\n\
+                             recall + heal latency per fault rate\n\
            --help            this text"
     );
     std::process::exit(0);
@@ -117,6 +147,18 @@ fn parse_args() -> Options {
                 }
                 opts.scaling = Some(counts);
             }
+            "--fault-sweep" => {
+                let list = value("--fault-sweep");
+                let mults: Vec<f64> = list
+                    .split(',')
+                    .map(|p| num("--fault-sweep", p.trim().to_string()))
+                    .collect();
+                if mults.is_empty() || mults.iter().any(|&m| m < 0.0) {
+                    eprintln!("unroller-engine: --fault-sweep needs non-negative multipliers");
+                    std::process::exit(2);
+                }
+                opts.fault_sweep = Some(mults);
+            }
             "--packets" => opts.packets = num("--packets", value("--packets")),
             "--batch" => opts.batch = num("--batch", value("--batch")),
             "--ring" => opts.ring = num("--ring", value("--ring")),
@@ -141,6 +183,17 @@ fn parse_args() -> Options {
                 opts.snapshot_ms = Some(num("--snapshot-ms", value("--snapshot-ms")))
             }
             "--expect-loop" => opts.expect_loop = true,
+            "--faults" => {
+                let spec = value("--faults");
+                opts.faults = FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("unroller-engine: bad --faults spec: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--shed" => opts.shed = true,
+            "--watchdog-ms" => {
+                opts.watchdog_ms = Some(num("--watchdog-ms", value("--watchdog-ms")))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unroller-engine: unknown argument `{other}` (try --help)");
@@ -192,6 +245,50 @@ fn write_report(path: &str, contents: &str) {
     eprintln!("wrote {path}");
 }
 
+/// Fraction of ground-truth looping flows the run detected; 1.0 when
+/// nothing loops (there was nothing to miss).
+fn detection_recall(report: &EngineReport, looping: &[FlowKey]) -> (f64, usize) {
+    if looping.is_empty() {
+        return (1.0, 0);
+    }
+    let detected: HashSet<FlowKey> = report.aggregator.events.iter().map(|e| e.flow).collect();
+    let hits = looping.iter().filter(|f| detected.contains(f)).count();
+    (hits as f64 / looping.len() as f64, hits)
+}
+
+fn heal_json(heal: &HealReport) -> Json {
+    let mut obj = Json::object();
+    obj.set("healed", Json::UInt(heal.healed.len() as u64));
+    obj.set("quarantined", Json::UInt(heal.quarantined.len() as u64));
+    obj.set("attempts", Json::UInt(heal.attempts));
+    obj.set("retries", Json::UInt(heal.retries));
+    obj.set("backoff_ns", Json::UInt(heal.backoff_ns));
+    obj.set("timeouts", Json::UInt(heal.timeouts));
+    obj.set("already_healed", Json::UInt(heal.already_healed));
+    obj
+}
+
+/// Runs the controller phase over a finished engine run: localize the
+/// reported memberships, then heal through the (possibly fault-injected)
+/// executor. Returns the sink and the heal outcome.
+fn localize_and_heal(
+    report: &EngineReport,
+    ids: &[u32],
+    sim: &mut Simulator<NullDetector>,
+    plan: &FaultPlan,
+) -> (ControllerSink, HealReport) {
+    let mut sink = ControllerSink::new(Controller::new(ids));
+    deliver(&report.aggregator.events, &mut sink);
+    let mut healer = plan.healer();
+    let mut sim_healer = SimHealer(sim);
+    let mut flaky = FlakyHealer {
+        inner: &mut sim_healer,
+        fails: move || healer.attempt_fails(),
+    };
+    let heal = sink.controller.heal_all(HealPolicy::default(), &mut flaky);
+    (sink, heal)
+}
+
 fn main() {
     let opts = parse_args();
 
@@ -216,36 +313,39 @@ fn main() {
         max_hops: opts.ttl,
         full_policy: opts.policy,
         snapshot_every: opts.snapshot_ms.map(Duration::from_millis),
+        faults: opts.faults.clone(),
+        shed: opts.shed,
+        watchdog: opts.watchdog_ms.map(Duration::from_millis),
         ..EngineConfig::default()
     };
 
     // Each run gets a fresh simulator (injection mutates its tables)
-    // and an identically-seeded source, so every shard count processes
-    // the same traffic.
-    let make_source = |flows: usize, packets: u64, seed: u64| -> Box<dyn TrafficSource> {
+    // and an identically-seeded source, so every configuration
+    // processes the same traffic. The simulator is returned alongside
+    // the source because the post-run heal phase repairs *it*.
+    let build = || -> (Simulator<NullDetector>, ReplaySource) {
         let mut sim = Simulator::new(
             graph.clone(),
             ids.clone(),
             NullDetector,
             SimConfig::default(),
         );
-        Box::new(ReplaySource::from_sim(
+        let source = ReplaySource::from_sim(
             &mut sim,
-            flows,
-            packets,
+            opts.flows,
+            opts.packets,
             injection.as_ref(),
-            seed,
-        ))
+            opts.seed,
+        );
+        (sim, source)
     };
 
     if let Some(shard_counts) = &opts.scaling {
-        let report = run_scaling(&cfg, &ids, shard_counts, || {
-            make_source(opts.flows, opts.packets, opts.seed)
-        })
-        .unwrap_or_else(|e| {
-            eprintln!("unroller-engine: {e}");
-            std::process::exit(2);
-        });
+        let report =
+            run_scaling(&cfg, &ids, shard_counts, || Box::new(build().1)).unwrap_or_else(|e| {
+                eprintln!("unroller-engine: {e}");
+                std::process::exit(2);
+            });
         let caps = report.capacity_speedups();
         for (run, cap) in report.runs.iter().zip(&caps) {
             eprintln!(
@@ -267,14 +367,97 @@ fn main() {
             eprintln!("unroller-engine: expected a loop detection in every run");
             std::process::exit(1);
         }
+    } else if let Some(multipliers) = &opts.fault_sweep {
+        if !opts.faults.active() {
+            eprintln!("unroller-engine: --fault-sweep needs an active --faults plan to scale");
+            std::process::exit(2);
+        }
+        let mut runs = Vec::with_capacity(multipliers.len());
+        for &mult in multipliers {
+            let plan = opts.faults.scaled(mult);
+            let run_cfg = EngineConfig {
+                faults: plan.clone(),
+                ..cfg.clone()
+            };
+            let engine = Engine::new(run_cfg, &ids).unwrap_or_else(|e| {
+                eprintln!("unroller-engine: {e}");
+                std::process::exit(2);
+            });
+            let (mut sim, mut source) = build();
+            let looping = source.looping_flow_keys();
+            let report = engine.run(&mut source).unwrap_or_else(|e| {
+                eprintln!("unroller-engine: run at multiplier {mult} failed: {e}");
+                std::process::exit(1);
+            });
+            let (recall, hits) = detection_recall(&report, &looping);
+            let (_, heal) = localize_and_heal(&report, &ids, &mut sim, &plan);
+            eprintln!(
+                "mult={mult:<4} recall={recall:.3} restarts={} panic_lost={} bitflips={} \
+                 heal_attempts={} heal_backoff_ns={} quarantined={} accounted={}",
+                report.restarts(),
+                report.panic_lost(),
+                report
+                    .shard_snapshots
+                    .iter()
+                    .map(|s| s.bitflips_injected)
+                    .sum::<u64>(),
+                heal.attempts,
+                heal.backoff_ns,
+                heal.quarantined.len(),
+                report.accounted(),
+            );
+            let mut row = Json::object();
+            row.set("multiplier", Json::Float(mult));
+            row.set("fault_plan", plan.to_json());
+            row.set("looping_flows", Json::UInt(looping.len() as u64));
+            row.set("detected_looping_flows", Json::UInt(hits as u64));
+            row.set("recall", Json::Float(recall));
+            row.set("restarts", Json::UInt(report.restarts()));
+            row.set("panic_lost", Json::UInt(report.panic_lost()));
+            row.set("shed", Json::UInt(report.shed()));
+            row.set("accounted", Json::Bool(report.accounted()));
+            row.set("wall_ns", Json::UInt(report.wall_ns));
+            row.set("heal", heal_json(&heal));
+            row.set("report", report.to_json());
+            runs.push(row);
+        }
+        let mut sweep = Json::object();
+        sweep.set("base_plan", opts.faults.to_json());
+        sweep.set(
+            "multipliers",
+            Json::Array(multipliers.iter().map(|&m| Json::Float(m)).collect()),
+        );
+        sweep.set("runs", Json::Array(runs));
+        let out = opts
+            .out
+            .clone()
+            .unwrap_or_else(|| "results/engine_faults.json".to_string());
+        write_report(&out, &sweep.render_pretty());
     } else {
         let engine = Engine::new(cfg, &ids).unwrap_or_else(|e| {
             eprintln!("unroller-engine: {e}");
             std::process::exit(2);
         });
-        let mut source = make_source(opts.flows, opts.packets, opts.seed);
-        let report = engine.run(source.as_mut());
-        let rendered = report.to_json().render_pretty();
+        let (mut sim, mut source) = build();
+        let looping = source.looping_flow_keys();
+        let report = engine.run(&mut source).unwrap_or_else(|e| {
+            eprintln!("unroller-engine: {e}");
+            std::process::exit(1);
+        });
+        let (recall, _) = detection_recall(&report, &looping);
+        let (sink, heal) = localize_and_heal(&report, &ids, &mut sim, &opts.faults);
+        let mut rendered = report.to_json();
+        rendered.set("recall", Json::Float(recall));
+        let mut controller = Json::object();
+        controller.set(
+            "localized_loops",
+            Json::UInt(sink.controller.localized_loops().len() as u64),
+        );
+        controller.set("total_reports", Json::UInt(sink.controller.total_reports()));
+        controller.set("incomplete_reports", Json::UInt(sink.incomplete));
+        controller.set("heal", heal_json(&heal));
+        rendered.set("controller", controller);
+        let rendered = rendered.render_pretty();
         println!("{rendered}");
         if let Some(out) = &opts.out {
             write_report(out, &rendered);

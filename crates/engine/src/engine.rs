@@ -18,15 +18,24 @@
 //! * **No hot-path locks** — workers own their pipelines and metrics;
 //!   the only cross-thread traffic is ring hand-off and the (rare)
 //!   loop-event channel.
+//! * **Total accounting, even under faults** — every offered packet is
+//!   enqueued, dropped at a full ring, shed under overload, or
+//!   quarantined at ingress; every enqueued packet is processed or
+//!   counted lost to a (supervised) worker panic. [`EngineReport::accounted`]
+//!   checks the full identity and holds with an active
+//!   [`FaultPlan`](crate::faults::FaultPlan).
 
 use crate::aggregate::{aggregate, AggregatorReport, LoopEvent};
+use crate::faults::{EventFaults, FaultPlan};
 use crate::flow::FlowKey;
 use crate::json::Json;
 use crate::metrics::{ShardMetrics, ShardSnapshot};
 use crate::packet::EnginePacket;
 use crate::ring::{ring, FullPolicy, RingCounters, RingCountersSnapshot};
 use crate::source::TrafficSource;
+use crate::supervise::{run_watchdog, Shedder, WatchShard, WatchdogReport};
 use crate::worker::ShardWorker;
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -53,6 +62,19 @@ pub struct EngineConfig {
     /// When set, a monitor thread prints a JSON metrics snapshot to
     /// stderr at this interval while the run is live.
     pub snapshot_every: Option<Duration>,
+    /// Fault-injection plan; [`FaultPlan::default`] (all rates zero)
+    /// runs fault-free with zero hot-path overhead.
+    pub faults: FaultPlan,
+    /// Enables ingress overload shedding: saturated rings shed the
+    /// lowest-priority flows (counted) instead of degrading everyone.
+    pub shed: bool,
+    /// When set, a watchdog thread polls shard progress at this
+    /// interval and kicks shards that stop consuming a non-empty ring.
+    pub watchdog: Option<Duration>,
+    /// Flows quarantined at ingress (dropped before sharding, counted)
+    /// — the controller's degraded-mode answer to a loop it failed to
+    /// heal.
+    pub quarantine: Vec<FlowKey>,
 }
 
 impl Default for EngineConfig {
@@ -65,11 +87,16 @@ impl Default for EngineConfig {
             params: UnrollerParams::default(),
             full_policy: FullPolicy::Drop,
             snapshot_every: None,
+            faults: FaultPlan::default(),
+            shed: false,
+            watchdog: None,
+            quarantine: Vec::new(),
         }
     }
 }
 
-/// Configuration errors caught before any thread spawns.
+/// Engine errors: configuration problems caught before any thread
+/// spawns, plus the one runtime failure the engine cannot absorb.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// `shards` was 0.
@@ -84,6 +111,12 @@ pub enum EngineError {
     NoSwitches,
     /// The detector parameters failed validation.
     BadParams(ParamError),
+    /// The aggregator thread panicked; carries the panic payload's
+    /// message. Workers are supervised and restartable, but a dead
+    /// aggregator means loop events were lost unobserved — the run's
+    /// detection claims are void, so this surfaces as an error instead
+    /// of a report.
+    AggregatorPanicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -95,11 +128,26 @@ impl fmt::Display for EngineError {
             EngineError::ZeroTtl => write!(f, "max hops must be >= 1"),
             EngineError::NoSwitches => write!(f, "at least one switch ID required"),
             EngineError::BadParams(e) => write!(f, "invalid detector parameters: {e}"),
+            EngineError::AggregatorPanicked(msg) => {
+                write!(f, "loop-event aggregator panicked: {msg}")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// Extracts a human-readable message from a panic payload (the
+/// `Box<dyn Any>` that `JoinHandle::join` returns on the `Err` path).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The complete result of one engine run.
 #[derive(Debug, Clone)]
@@ -114,6 +162,12 @@ pub struct EngineReport {
     pub aggregator: AggregatorReport,
     /// Packets the source offered to the dispatcher.
     pub offered: u64,
+    /// Packets dropped at ingress because their flow was quarantined.
+    pub quarantined: u64,
+    /// What the watchdog observed (all-zero when it was disabled).
+    pub watchdog: WatchdogReport,
+    /// The fault plan the run executed (inactive by default).
+    pub faults: FaultPlan,
     /// Wall-clock duration of the run.
     pub wall_ns: u64,
     /// Host cores available — read this before comparing shard counts:
@@ -131,6 +185,21 @@ impl EngineReport {
     /// Packets dropped at ring enqueue (backpressure).
     pub fn dropped_full(&self) -> u64 {
         self.ring_snapshots.iter().map(|r| r.dropped_full).sum()
+    }
+
+    /// Packets shed at ingress under overload.
+    pub fn shed(&self) -> u64 {
+        self.ring_snapshots.iter().map(|r| r.shed).sum()
+    }
+
+    /// Packets lost to supervised worker panics.
+    pub fn panic_lost(&self) -> u64 {
+        self.shard_snapshots.iter().map(|s| s.panic_lost).sum()
+    }
+
+    /// Worker restarts performed by the supervisor.
+    pub fn restarts(&self) -> u64 {
+        self.shard_snapshots.iter().map(|s| s.restarts).sum()
     }
 
     /// Wall-clock throughput: processed packets per second of run time.
@@ -155,11 +224,15 @@ impl EngineReport {
         self.aggregator.unique_flows > 0
     }
 
-    /// Every offered packet is accounted for: enqueued + dropped at the
-    /// ring, and everything enqueued was processed.
+    /// Every offered packet is accounted for — enqueued, dropped at
+    /// the ring, shed under overload, or quarantined at ingress — and
+    /// everything enqueued was processed or counted lost to a
+    /// supervised panic. Holds under an active fault plan; that is the
+    /// point.
     pub fn accounted(&self) -> bool {
         let enqueued: u64 = self.ring_snapshots.iter().map(|r| r.enqueued).sum();
-        self.offered == enqueued + self.dropped_full() && enqueued == self.processed()
+        self.offered == enqueued + self.dropped_full() + self.shed() + self.quarantined
+            && enqueued == self.processed() + self.panic_lost()
     }
 
     /// Serializes the full report.
@@ -170,6 +243,10 @@ impl EngineReport {
         obj.set("offered", Json::UInt(self.offered));
         obj.set("processed", Json::UInt(self.processed()));
         obj.set("dropped_full", Json::UInt(self.dropped_full()));
+        obj.set("shed", Json::UInt(self.shed()));
+        obj.set("quarantined", Json::UInt(self.quarantined));
+        obj.set("panic_lost", Json::UInt(self.panic_lost()));
+        obj.set("restarts", Json::UInt(self.restarts()));
         obj.set("wall_ns", Json::UInt(self.wall_ns));
         obj.set("wall_pps", Json::Float(self.wall_pps()));
         obj.set(
@@ -178,6 +255,14 @@ impl EngineReport {
         );
         obj.set("loop_detected", Json::Bool(self.loop_detected()));
         obj.set("accounted", Json::Bool(self.accounted()));
+        if self.faults.active() {
+            obj.set("fault_plan", self.faults.to_json());
+        }
+        let mut watchdog = Json::object();
+        watchdog.set("polls", Json::UInt(self.watchdog.polls));
+        watchdog.set("stalls_detected", Json::UInt(self.watchdog.stalls_detected));
+        watchdog.set("kicks", Json::UInt(self.watchdog.kicks));
+        obj.set("watchdog", watchdog);
         obj.set(
             "rings",
             Json::Array(
@@ -188,6 +273,7 @@ impl EngineReport {
                         o.set("enqueued", Json::UInt(r.enqueued));
                         o.set("dropped_full", Json::UInt(r.dropped_full));
                         o.set("stalls", Json::UInt(r.stalls));
+                        o.set("shed", Json::UInt(r.shed));
                         o
                     })
                     .collect(),
@@ -209,7 +295,7 @@ impl EngineReport {
 pub struct Engine {
     cfg: EngineConfig,
     ids: Arc<[SwitchId]>,
-    pipelines: Vec<UnrollerPipeline>,
+    pipelines: Arc<Vec<UnrollerPipeline>>,
     layout: HeaderLayout,
 }
 
@@ -240,7 +326,7 @@ impl Engine {
         Ok(Engine {
             layout: HeaderLayout::from_params(&cfg.params),
             ids: ids.into(),
-            pipelines,
+            pipelines: Arc::new(pipelines),
             cfg,
         })
     }
@@ -252,10 +338,17 @@ impl Engine {
 
     /// Drives the source to exhaustion through the sharded pipeline and
     /// returns the full report. The dispatcher runs on the calling
-    /// thread; workers, the aggregator, and the optional metrics
-    /// monitor run on scoped threads that are all joined before this
-    /// returns.
-    pub fn run(&self, source: &mut dyn TrafficSource) -> EngineReport {
+    /// thread; workers, the aggregator, the watchdog, and the optional
+    /// metrics monitor run on scoped threads that are all joined before
+    /// this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::AggregatorPanicked`] if the aggregator thread
+    /// died: worker panics are supervised in place, but an aggregator
+    /// loss silently voids every detection claim, so it is the one
+    /// runtime failure reported as an error rather than absorbed.
+    pub fn run(&self, source: &mut dyn TrafficSource) -> Result<EngineReport, EngineError> {
         let shards = self.cfg.shards;
         let mut producers = Vec::with_capacity(shards);
         let mut consumers = Vec::with_capacity(shards);
@@ -269,13 +362,20 @@ impl Engine {
         let metrics: Vec<Arc<ShardMetrics>> = (0..shards)
             .map(|_| Arc::new(ShardMetrics::default()))
             .collect();
+        let kicks: Vec<Arc<AtomicBool>> = (0..shards)
+            .map(|_| Arc::new(AtomicBool::new(false)))
+            .collect();
         let (ev_tx, ev_rx) = std::sync::mpsc::channel::<LoopEvent>();
+        let plan = &self.cfg.faults;
+        let quarantine: HashSet<FlowKey> = self.cfg.quarantine.iter().copied().collect();
 
         let start = Instant::now();
         let mut offered = 0u64;
+        let mut quarantined = 0u64;
         let done = AtomicBool::new(false);
+        let watchdog_stop = AtomicBool::new(false);
 
-        let aggregator = std::thread::scope(|scope| {
+        let joined = std::thread::scope(|scope| {
             for (shard, consumer) in consumers.into_iter().enumerate() {
                 let worker = ShardWorker {
                     shard,
@@ -287,6 +387,13 @@ impl Engine {
                     metrics: metrics[shard].clone(),
                     events: ev_tx.clone(),
                     consumer,
+                    faults: plan.active().then(|| plan.for_shard(shard)),
+                    event_faults: if plan.active() {
+                        plan.event_faults(shard)
+                    } else {
+                        EventFaults::inactive()
+                    },
+                    kick: kicks[shard].clone(),
                 };
                 scope.spawn(move || worker.run());
             }
@@ -294,6 +401,18 @@ impl Engine {
             // aggregator terminate once every worker has exited.
             drop(ev_tx);
             let agg_handle = scope.spawn(|| aggregate(ev_rx));
+
+            let watchdog_handle = self.cfg.watchdog.map(|interval| {
+                let watch: Vec<WatchShard> = (0..shards)
+                    .map(|shard| WatchShard {
+                        metrics: metrics[shard].clone(),
+                        counters: ring_counters[shard].clone(),
+                        kick: kicks[shard].clone(),
+                    })
+                    .collect();
+                let stop = &watchdog_stop;
+                scope.spawn(move || run_watchdog(&watch, interval, stop))
+            });
 
             if let Some(every) = self.cfg.snapshot_every {
                 let metrics = &metrics;
@@ -331,7 +450,9 @@ impl Engine {
             }
 
             // The dispatcher: pull bursts from the source, RSS each
-            // packet onto its shard's ring.
+            // packet onto its shard's ring — minus quarantined flows
+            // (dropped at ingress) and, under overload, shed ones.
+            let mut shedder = Shedder::new(shards, self.cfg.shed);
             let mut burst: Vec<EnginePacket> = Vec::with_capacity(self.cfg.batch_size * shards);
             loop {
                 burst.clear();
@@ -340,30 +461,49 @@ impl Engine {
                 }
                 offered += burst.len() as u64;
                 for packet in burst.drain(..) {
+                    if quarantine.contains(&packet.flow) {
+                        quarantined += 1;
+                        continue;
+                    }
                     let shard = packet.flow.shard(shards);
-                    producers[shard].push(packet);
+                    if shedder.should_shed(shard, &packet.flow) {
+                        producers[shard].record_shed();
+                        continue;
+                    }
+                    let outcome = producers[shard].offer(packet);
+                    shedder.observe(shard, outcome);
                 }
             }
             // Closing the rings ends the workers; their event senders
             // drop as they exit, which ends the aggregator.
             drop(producers);
-            let report = agg_handle.join().expect("aggregator panicked");
+            let aggregator = agg_handle.join();
             done.store(true, Ordering::Relaxed);
-            report
+            watchdog_stop.store(true, Ordering::Relaxed);
+            let watchdog = watchdog_handle
+                .map(|h| h.join().expect("watchdog thread cannot panic"))
+                .unwrap_or_default();
+            (aggregator, watchdog)
         });
         let wall_ns = start.elapsed().as_nanos() as u64;
+        let (aggregator, watchdog) = joined;
+        let aggregator = aggregator
+            .map_err(|payload| EngineError::AggregatorPanicked(panic_message(payload)))?;
 
-        EngineReport {
+        Ok(EngineReport {
             shards,
             shard_snapshots: metrics.iter().map(|m| m.snapshot()).collect(),
             ring_snapshots: ring_counters.iter().map(|r| r.snapshot()).collect(),
             aggregator,
             offered,
+            quarantined,
+            watchdog,
+            faults: self.cfg.faults.clone(),
             wall_ns,
             cpus: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
-        }
+        })
     }
 }
 
@@ -435,7 +575,7 @@ mod tests {
         )
         .unwrap();
         let mut source = SyntheticSource::new(64, 32, 2_000, 0, 0, 9);
-        let report = engine.run(&mut source);
+        let report = engine.run(&mut source).expect("fault-free run");
         assert_eq!(report.offered, 2_000);
         assert_eq!(report.processed(), 2_000);
         assert!(report.accounted(), "{report:?}");
@@ -462,7 +602,7 @@ mod tests {
         .unwrap();
         // Every 4th of 16 flows loops from packet 500 of 4000.
         let mut source = SyntheticSource::new(64, 16, 4_000, 4, 500, 10);
-        let report = engine.run(&mut source);
+        let report = engine.run(&mut source).expect("fault-free run");
         assert!(report.loop_detected());
         assert!(report.accounted());
         assert_eq!(report.aggregator.unique_flows, 4);
@@ -478,7 +618,7 @@ mod tests {
     fn run_report_serializes() {
         let engine = Engine::new(EngineConfig::default(), &ids(16)).unwrap();
         let mut source = SyntheticSource::new(16, 4, 100, 0, 0, 3);
-        let report = engine.run(&mut source);
+        let report = engine.run(&mut source).expect("fault-free run");
         let rendered = report.to_json().render_pretty();
         for key in [
             "wall_pps",
@@ -486,6 +626,9 @@ mod tests {
             "dropped_full",
             "cpus",
             "shard_metrics",
+            "shed",
+            "quarantined",
+            "watchdog",
         ] {
             assert!(rendered.contains(key), "missing {key}");
         }
@@ -505,8 +648,65 @@ mod tests {
         )
         .unwrap();
         let mut source = SyntheticSource::new(64, 32, 5_000, 0, 0, 4);
-        let report = engine.run(&mut source);
+        let report = engine.run(&mut source).expect("fault-free run");
         assert!(report.accounted(), "drops must be counted, never silent");
         assert_eq!(report.processed() + report.dropped_full(), 5_000);
+    }
+
+    #[test]
+    fn quarantined_flows_are_dropped_at_ingress_and_accounted() {
+        // Quarantine a flow the source actually emits (keys derive from
+        // the flow's random walk endpoints, so probe the source for one).
+        let looping = SyntheticSource::new(64, 8, 2_000, 1, 0, 11).looping_flow_keys()[0];
+        let clean_run = |quarantine: Vec<FlowKey>| {
+            let engine = Engine::new(
+                EngineConfig {
+                    shards: 2,
+                    full_policy: FullPolicy::Block,
+                    quarantine,
+                    ..EngineConfig::default()
+                },
+                &ids(64),
+            )
+            .unwrap();
+            let mut source = SyntheticSource::new(64, 8, 2_000, 1, 0, 11);
+            engine.run(&mut source).expect("fault-free run")
+        };
+        let before = clean_run(Vec::new());
+        assert!(before.loop_detected(), "every flow loops in this source");
+        let after = clean_run(vec![looping]);
+        assert!(after.quarantined > 0, "the flow's packets were intercepted");
+        assert!(after.accounted(), "{after:?}");
+        assert_eq!(
+            after.processed() + after.quarantined,
+            2_000,
+            "quarantine drops exactly the intercepted packets"
+        );
+    }
+
+    #[test]
+    fn overload_shedding_sheds_low_priority_and_accounts() {
+        let engine = Engine::new(
+            EngineConfig {
+                shards: 2,
+                ring_capacity: 1,
+                batch_size: 1,
+                full_policy: FullPolicy::Drop,
+                shed: true,
+                ..EngineConfig::default()
+            },
+            &ids(64),
+        )
+        .unwrap();
+        // Heavy traffic into capacity-1 rings: rings saturate, the
+        // shedder engages, and every outcome is still accounted.
+        let mut source = SyntheticSource::new(64, 64, 20_000, 0, 0, 12);
+        let report = engine.run(&mut source).expect("fault-free run");
+        assert!(report.accounted(), "{report:?}");
+        assert!(report.shed() > 0, "saturated rings shed under overload");
+        assert_eq!(
+            report.processed() + report.dropped_full() + report.shed(),
+            20_000
+        );
     }
 }

@@ -60,6 +60,16 @@ impl FlowKey {
         mix64(mix64(w0 ^ 0x756e_726f_6c6c_6572) ^ w1)
     }
 
+    /// The flow's scheduling priority class, 0 (lowest, shed first)
+    /// through 7. Derived from the *low* hash bits — the shard mapping
+    /// folds the high 32, so priority and shard placement stay
+    /// independent and shedding a priority band starves no shard.
+    /// Deterministic per tuple, like everything else about placement.
+    #[inline]
+    pub fn priority(&self) -> u8 {
+        (self.rss_hash() & 0x7) as u8
+    }
+
     /// Maps this flow onto one of `shards` workers using a
     /// multiply-shift fold of the hash's high bits (no modulo bias).
     /// Deterministic: the same tuple always yields the same shard for a

@@ -151,6 +151,29 @@ pub struct ShardMetrics {
     /// Thread CPU time consumed by this shard's worker (utime+stime),
     /// written once at worker exit; 0 until then or if unavailable.
     pub cpu_ns: AtomicU64,
+    /// Worker panics caught and recovered from by the supervisor
+    /// (injected or real).
+    pub restarts: AtomicU64,
+    /// Panics injected by the fault plan (subset of `restarts` unless
+    /// a real bug also fired).
+    pub panics_injected: AtomicU64,
+    /// Packets lost to a panic mid-processing (each panic loses exactly
+    /// the packet being processed; the supervisor resumes the batch).
+    pub panic_lost: AtomicU64,
+    /// Header bit-flips injected by the fault plan.
+    pub bitflips_injected: AtomicU64,
+    /// Ring stalls injected by the fault plan.
+    pub stalls_injected: AtomicU64,
+    /// Injected stalls cut short by a watchdog kick.
+    pub stalls_aborted: AtomicU64,
+    /// Loop events the fault plan dropped before they reached the
+    /// aggregator.
+    pub events_dropped_injected: AtomicU64,
+    /// Loop events the fault plan delivered twice.
+    pub events_duplicated_injected: AtomicU64,
+    /// Loop-event sends that failed because the aggregator was gone
+    /// (tolerated, not panicked on).
+    pub events_send_failed: AtomicU64,
 }
 
 /// A point-in-time copy of one shard's metrics.
@@ -178,6 +201,24 @@ pub struct ShardSnapshot {
     pub proc_ns: HistogramSnapshot,
     /// Worker thread CPU time (ns); 0 if not yet recorded.
     pub cpu_ns: u64,
+    /// Supervisor restarts after worker panics.
+    pub restarts: u64,
+    /// Fault-plan panics injected.
+    pub panics_injected: u64,
+    /// Packets lost to panics (accounted, never silent).
+    pub panic_lost: u64,
+    /// Fault-plan header bit-flips injected.
+    pub bitflips_injected: u64,
+    /// Fault-plan ring stalls injected.
+    pub stalls_injected: u64,
+    /// Injected stalls aborted early by the watchdog.
+    pub stalls_aborted: u64,
+    /// Loop events dropped by the fault plan.
+    pub events_dropped_injected: u64,
+    /// Loop events duplicated by the fault plan.
+    pub events_duplicated_injected: u64,
+    /// Loop-event sends that failed post-aggregator-teardown.
+    pub events_send_failed: u64,
 }
 
 impl ShardMetrics {
@@ -195,7 +236,24 @@ impl ShardMetrics {
             wait_ns: self.wait_ns.snapshot(),
             proc_ns: self.proc_ns.snapshot(),
             cpu_ns: self.cpu_ns.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            panics_injected: self.panics_injected.load(Ordering::Relaxed),
+            panic_lost: self.panic_lost.load(Ordering::Relaxed),
+            bitflips_injected: self.bitflips_injected.load(Ordering::Relaxed),
+            stalls_injected: self.stalls_injected.load(Ordering::Relaxed),
+            stalls_aborted: self.stalls_aborted.load(Ordering::Relaxed),
+            events_dropped_injected: self.events_dropped_injected.load(Ordering::Relaxed),
+            events_duplicated_injected: self.events_duplicated_injected.load(Ordering::Relaxed),
+            events_send_failed: self.events_send_failed.load(Ordering::Relaxed),
         }
+    }
+
+    /// Packets this shard has *consumed* off its ring: processed plus
+    /// lost-to-panic. The watchdog's progress signal — a shard whose
+    /// consumed count stops moving while its ring still holds packets
+    /// is stalled, whatever the cause.
+    pub fn consumed(&self) -> u64 {
+        self.packets.load(Ordering::Relaxed) + self.panic_lost.load(Ordering::Relaxed)
     }
 }
 
@@ -231,6 +289,23 @@ impl ShardSnapshot {
         obj.set("batch_size", self.batch_sizes.to_json());
         obj.set("wait_ns", self.wait_ns.to_json());
         obj.set("proc_ns", self.proc_ns.to_json());
+        let mut faults = Json::object();
+        faults.set("restarts", Json::UInt(self.restarts));
+        faults.set("panics_injected", Json::UInt(self.panics_injected));
+        faults.set("panic_lost", Json::UInt(self.panic_lost));
+        faults.set("bitflips_injected", Json::UInt(self.bitflips_injected));
+        faults.set("stalls_injected", Json::UInt(self.stalls_injected));
+        faults.set("stalls_aborted", Json::UInt(self.stalls_aborted));
+        faults.set(
+            "events_dropped_injected",
+            Json::UInt(self.events_dropped_injected),
+        );
+        faults.set(
+            "events_duplicated_injected",
+            Json::UInt(self.events_duplicated_injected),
+        );
+        faults.set("events_send_failed", Json::UInt(self.events_send_failed));
+        obj.set("faults", faults);
         obj
     }
 }

@@ -28,6 +28,32 @@ pub enum FullPolicy {
     Block,
 }
 
+/// The observable result of one enqueue attempt — what the overload
+/// shedder keys its saturation tracking on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Enqueued on the first try (the ring had room).
+    Enqueued,
+    /// Enqueued, but only after blocking on a full ring
+    /// ([`FullPolicy::Block`]) — a saturation signal.
+    EnqueuedAfterStall,
+    /// Dropped: the ring was full ([`FullPolicy::Drop`]) or the
+    /// consumer is gone. Counted in `dropped_full`.
+    DroppedFull,
+}
+
+impl PushOutcome {
+    /// Whether the item made it onto the ring.
+    pub fn enqueued(self) -> bool {
+        !matches!(self, PushOutcome::DroppedFull)
+    }
+
+    /// Whether this attempt found the ring saturated.
+    pub fn saturated(self) -> bool {
+        !matches!(self, PushOutcome::Enqueued)
+    }
+}
+
 /// Shared enqueue-side counters, readable while the engine runs.
 #[derive(Debug, Default)]
 pub struct RingCounters {
@@ -38,6 +64,9 @@ pub struct RingCounters {
     /// Enqueue attempts that found the ring full and had to block
     /// ([`FullPolicy::Block`]).
     pub stalls: AtomicU64,
+    /// Packets the dispatcher shed at ingress (overload protection)
+    /// instead of offering to this ring.
+    pub shed: AtomicU64,
 }
 
 /// A relaxed-read snapshot of [`RingCounters`].
@@ -49,6 +78,8 @@ pub struct RingCountersSnapshot {
     pub dropped_full: u64,
     /// Enqueues that stalled on a full ring.
     pub stalls: u64,
+    /// Packets shed at ingress under overload.
+    pub shed: u64,
 }
 
 impl RingCounters {
@@ -58,6 +89,7 @@ impl RingCounters {
             enqueued: self.enqueued.load(Ordering::Relaxed),
             dropped_full: self.dropped_full.load(Ordering::Relaxed),
             stalls: self.stalls.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -103,32 +135,47 @@ impl<T> RingProducer<T> {
     /// it was dropped (full ring under [`FullPolicy::Drop`], or the
     /// consumer is gone). Every `false` is visible in the counters.
     pub fn push(&self, item: T) -> bool {
+        self.offer(item).enqueued()
+    }
+
+    /// Offers one item, reporting how the attempt went so the caller
+    /// can track ring saturation. Counter semantics are identical to
+    /// [`RingProducer::push`].
+    pub fn offer(&self, item: T) -> PushOutcome {
         match self.tx.try_send(item) {
             Ok(()) => {
                 self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
-                true
+                PushOutcome::Enqueued
             }
             Err(TrySendError::Full(item)) => match self.policy {
                 FullPolicy::Drop => {
                     self.counters.dropped_full.fetch_add(1, Ordering::Relaxed);
-                    false
+                    PushOutcome::DroppedFull
                 }
                 FullPolicy::Block => {
                     self.counters.stalls.fetch_add(1, Ordering::Relaxed);
+                    // A blocking send wakes with an error if the
+                    // consumer dies — bounded wait, never a deadlock.
                     if self.tx.send(item).is_ok() {
                         self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
-                        true
+                        PushOutcome::EnqueuedAfterStall
                     } else {
                         self.counters.dropped_full.fetch_add(1, Ordering::Relaxed);
-                        false
+                        PushOutcome::DroppedFull
                     }
                 }
             },
             Err(TrySendError::Disconnected(_)) => {
                 self.counters.dropped_full.fetch_add(1, Ordering::Relaxed);
-                false
+                PushOutcome::DroppedFull
             }
         }
+    }
+
+    /// Records a packet shed at ingress instead of being offered to
+    /// this ring (the item never touches the channel).
+    pub fn record_shed(&self) {
+        self.counters.shed.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -221,6 +268,50 @@ mod tests {
         drop(c);
         assert!(!p.push(1));
         assert_eq!(counters.snapshot().dropped_full, 1);
+    }
+
+    #[test]
+    fn block_ring_with_dead_consumer_cannot_deadlock() {
+        // A Block-policy producer blocked on a full ring must wake and
+        // report a drop when the consumer dies — bounded wait, not a
+        // hang. Run the producer on its own thread and bound how long
+        // we are willing to wait for it.
+        let (p, c, counters) = ring(1, FullPolicy::Block);
+        assert!(p.push(1), "fills the ring");
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let producer = std::thread::spawn(move || {
+            // Blocks (ring full) until the consumer is dropped below.
+            let second = p.push(2);
+            done_tx.send(second).expect("main thread is waiting");
+        });
+        // Give the producer time to reach the blocking send, then kill
+        // the consumer out from under it.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(c);
+        let second = done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("blocked producer must wake once the consumer dies");
+        assert!(!second, "the blocked push reports the loss");
+        producer.join().expect("producer thread exits cleanly");
+        let snap = counters.snapshot();
+        assert_eq!(snap.enqueued, 1);
+        assert_eq!(snap.dropped_full, 1);
+        assert!(snap.stalls >= 1, "the blocking attempt was counted");
+    }
+
+    #[test]
+    fn offer_reports_saturation_and_shed_is_counted() {
+        let (p, _c, counters) = ring(1, FullPolicy::Drop);
+        assert_eq!(p.offer(1), PushOutcome::Enqueued);
+        assert!(!PushOutcome::Enqueued.saturated());
+        assert_eq!(p.offer(2), PushOutcome::DroppedFull);
+        assert!(PushOutcome::DroppedFull.saturated());
+        p.record_shed();
+        p.record_shed();
+        let snap = counters.snapshot();
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.enqueued, 1);
+        assert_eq!(snap.dropped_full, 1);
     }
 
     #[test]

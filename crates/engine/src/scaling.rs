@@ -127,7 +127,7 @@ pub fn run_scaling(
             ids,
         )?;
         let mut source = make_source();
-        let report = engine.run(source.as_mut());
+        let report = engine.run(source.as_mut())?;
         runs.push(ScalingRun { shards, report });
     }
     let cpus = runs.first().map(|r| r.report.cpus).unwrap_or(1);

@@ -113,7 +113,9 @@ impl ReplaySource {
         for f in 0..flow_count {
             let dst = match inject {
                 Some(inj) if f % 2 == 0 => inj.dst,
-                _ => *nodes.choose(&mut rng).expect("non-empty"),
+                // `nodes` covers 0..n with n >= 2 (asserted above), so
+                // indexing a drawn position cannot fail.
+                _ => nodes[rng.gen_range(0..n)],
             };
             let src = match inject {
                 Some(inj) if f == 0 => {
@@ -124,7 +126,7 @@ impl ReplaySource {
                     inj.cycle[0]
                 }
                 _ => loop {
-                    let s = *nodes.choose(&mut rng).expect("non-empty");
+                    let s = nodes[rng.gen_range(0..n)];
                     if s != dst {
                         break s;
                     }
@@ -165,6 +167,16 @@ impl ReplaySource {
         self.flows
             .iter()
             .any(|f| f.poisoned.as_ref().map(|p| p.loops()).unwrap_or(false))
+    }
+
+    /// The flows whose active (post-injection) path loops — the ground
+    /// truth a detection-recall measurement compares detections against.
+    pub fn looping_flow_keys(&self) -> Vec<FlowKey> {
+        self.flows
+            .iter()
+            .filter(|f| f.poisoned.as_ref().is_some_and(|p| p.loops()))
+            .map(|f| f.key)
+            .collect()
     }
 }
 
@@ -234,14 +246,20 @@ impl SyntheticSource {
                 } else {
                     None
                 };
-                let key =
-                    FlowKey::synthetic(walk[0] as u32, *walk.last().unwrap() as u32, f as u32);
+                // `walk` has at least 3 hops (len drawn from 3..=12).
+                let key = FlowKey::synthetic(walk[0] as u32, walk[walk.len() - 1] as u32, f as u32);
                 (key, healthy, poisoned)
             })
             .collect();
         SyntheticSource {
             inner: ReplaySource::from_paths(flows, total, Some(loop_at)),
         }
+    }
+
+    /// The flows configured to start looping (see
+    /// [`ReplaySource::looping_flow_keys`]).
+    pub fn looping_flow_keys(&self) -> Vec<FlowKey> {
+        self.inner.looping_flow_keys()
     }
 }
 

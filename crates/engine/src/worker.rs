@@ -1,5 +1,5 @@
 //! The shard worker: one thread, one ring, one private copy of every
-//! switch pipeline.
+//! switch pipeline — run under in-thread supervision.
 //!
 //! A worker owns a full clone of the per-switch
 //! [`UnrollerPipeline`]s, indexed by node — register files are
@@ -9,15 +9,32 @@
 //! Flow affinity is what makes this sound: a flow's packets all arrive
 //! on this one shard, so nothing about a packet's journey is ever
 //! visible to another thread.
+//!
+//! **Supervision.** Packet processing runs inside `catch_unwind`: a
+//! panic (injected by a [`FaultPlan`](crate::faults::FaultPlan) or a
+//! real bug) loses exactly the packet being processed — counted in
+//! `panic_lost`, never silent — and the supervisor restarts the shard
+//! in place: fresh pipeline clones from the pristine template, a clean
+//! scratch header, and the batch resumed at the next packet. Flows
+//! stay pinned to the shard because the ring, and therefore the flow →
+//! shard mapping, never changes. A per-shard restart budget bounds
+//! pathological inputs: once exhausted the shard drains its ring into
+//! the loss counters instead of looping on poison forever.
 
 use crate::aggregate::LoopEvent;
+use crate::faults::{
+    apply_bitflip, inject_panic, install_quiet_panic_hook, EventFate, EventFaults, PacketFault,
+    ShardFaults,
+};
 use crate::metrics::{thread_cpu_ns, ShardMetrics};
 use crate::packet::EnginePacket;
 use crate::ring::RingConsumer;
-use std::sync::atomic::Ordering;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use unroller_core::SwitchId;
 use unroller_dataplane::{HeaderLayout, UnrollerPipeline, WireHeader};
 
@@ -30,8 +47,11 @@ const MEMBERSHIP_CAP: usize = 64;
 pub struct ShardWorker {
     /// Shard index (for event attribution).
     pub shard: usize,
-    /// Per-node pipelines, indexed by `NodeId` (`pipelines[node]`).
-    pub pipelines: Vec<UnrollerPipeline>,
+    /// Pristine per-node pipeline template, indexed by `NodeId`
+    /// (`pipelines[node]`); shared read-only across shards. Each worker
+    /// clones a private working set from it — and re-clones on restart,
+    /// discarding whatever a panic left half-written.
+    pub pipelines: Arc<Vec<UnrollerPipeline>>,
     /// Switch IDs, indexed the same way.
     pub ids: Arc<[SwitchId]>,
     /// The shim layout shared by all pipelines.
@@ -46,16 +66,35 @@ pub struct ShardWorker {
     pub events: Sender<LoopEvent>,
     /// Packets in (SPSC from the dispatcher).
     pub consumer: RingConsumer<EnginePacket>,
+    /// Packet/stall fault streams; `None` runs fault-free.
+    pub faults: Option<ShardFaults>,
+    /// Loop-event fault stream (inactive when fault-free).
+    pub event_faults: EventFaults,
+    /// Watchdog kick flag: set by the watchdog when this shard stops
+    /// consuming while its ring holds packets; aborts injected stalls.
+    pub kick: Arc<AtomicBool>,
 }
 
 impl ShardWorker {
     /// Runs until the dispatcher closes the ring. Consumes the worker.
-    pub fn run(self) {
+    pub fn run(mut self) {
+        if self.faults.is_some() {
+            install_quiet_panic_hook();
+        }
         let cpu_start = thread_cpu_ns();
-        let mut batch: Vec<EnginePacket> = Vec::with_capacity(self.batch_size);
+        let mut working: Vec<UnrollerPipeline> = (*self.pipelines).clone();
         // One scratch header reused across every packet: walking a path
         // allocates nothing.
         let mut scratch = WireHeader::initial(&self.layout);
+        let mut batch: Vec<EnginePacket> = Vec::with_capacity(self.batch_size);
+        let mut pfaults: Vec<PacketFault> = Vec::new();
+        let mut faults = self.faults.take();
+        let restart_budget = faults
+            .as_ref()
+            .map(|f| f.max_restarts())
+            .unwrap_or(u64::MAX);
+        let mut restarts = 0u64;
+        let mut draining_only = false;
         loop {
             batch.clear();
             let wait_start = Instant::now();
@@ -68,12 +107,61 @@ impl ShardWorker {
                 .record((proc_start - wait_start).as_nanos() as u64);
             self.metrics.batches.fetch_add(1, Ordering::Relaxed);
             self.metrics.batch_sizes.record(batch.len() as u64);
-            for packet in &batch {
-                self.process(packet, &mut scratch);
+            if draining_only {
+                // Restart budget exhausted: consume and count, never
+                // process — the ring must still drain so the dispatcher
+                // does not wedge on a Block policy.
+                self.metrics
+                    .panic_lost
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                continue;
+            }
+            if let Some(f) = faults.as_mut() {
+                if let Some(stall) = f.batch_stall() {
+                    self.stall(stall);
+                }
+                // Per-packet fates are drawn up front, in packet order,
+                // so decisions replay identically whatever the batch
+                // boundaries or panic interleavings turn out to be.
+                pfaults.clear();
+                pfaults.extend((0..batch.len()).map(|_| f.packet_fault()));
+            }
+            let cursor = Cell::new(0usize);
+            let mut lost_in_batch = 0u64;
+            while cursor.get() < batch.len() {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    while cursor.get() < batch.len() {
+                        let i = cursor.get();
+                        cursor.set(i + 1);
+                        let fault = pfaults.get(i).copied().unwrap_or(PacketFault::None);
+                        self.process(&working, &batch[i], &mut scratch, fault);
+                    }
+                }));
+                if outcome.is_ok() {
+                    break;
+                }
+                // The packet at cursor-1 died mid-processing: account
+                // for it, then either restart in place or give up.
+                lost_in_batch += 1;
+                self.metrics.panic_lost.fetch_add(1, Ordering::Relaxed);
+                if restarts >= restart_budget {
+                    let rest = (batch.len() - cursor.get()) as u64;
+                    lost_in_batch += rest;
+                    self.metrics.panic_lost.fetch_add(rest, Ordering::Relaxed);
+                    draining_only = true;
+                    break;
+                }
+                restarts += 1;
+                self.metrics.restarts.fetch_add(1, Ordering::Relaxed);
+                // Restart: re-pin this shard's flows to fresh pipeline
+                // clones and a clean scratch header, discarding any
+                // state the panic left half-written.
+                working = (*self.pipelines).clone();
+                scratch = WireHeader::initial(&self.layout);
             }
             self.metrics
                 .packets
-                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                .fetch_add(batch.len() as u64 - lost_in_batch, Ordering::Relaxed);
             self.metrics
                 .proc_ns
                 .record(proc_start.elapsed().as_nanos() as u64);
@@ -85,9 +173,38 @@ impl ShardWorker {
         }
     }
 
+    /// An injected ring stall: stop consuming for `dur`, polling the
+    /// watchdog's kick flag so a detected stall is cut short — the
+    /// recovery path the watchdog exists to exercise.
+    fn stall(&self, dur: Duration) {
+        self.metrics.stalls_injected.fetch_add(1, Ordering::Relaxed);
+        let deadline = Instant::now() + dur;
+        while Instant::now() < deadline {
+            if self.kick.swap(false, Ordering::Relaxed) {
+                self.metrics.stalls_aborted.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
     /// Walks one packet along its path through the per-switch
-    /// pipelines.
-    fn process(&self, packet: &EnginePacket, scratch: &mut WireHeader) {
+    /// pipelines, applying this packet's injected fault (if any).
+    fn process(
+        &self,
+        pipelines: &[UnrollerPipeline],
+        packet: &EnginePacket,
+        scratch: &mut WireHeader,
+        fault: PacketFault,
+    ) {
+        let mut flip = match fault {
+            PacketFault::Panic => {
+                self.metrics.panics_injected.fetch_add(1, Ordering::Relaxed);
+                inject_panic(self.shard);
+            }
+            PacketFault::BitFlip { at_hop, bit } => Some((at_hop, bit)),
+            PacketFault::None => None,
+        };
         scratch.xcnt = 0;
         scratch.thcnt = 0;
         scratch.swids.fill(0);
@@ -100,11 +217,21 @@ impl ShardWorker {
                 self.metrics.delivered.fetch_add(1, Ordering::Relaxed);
                 return;
             };
-            let Some(pipeline) = self.pipelines.get(node) else {
+            let Some(pipeline) = pipelines.get(node) else {
                 self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
                 self.metrics.route_errors.fetch_add(1, Ordering::Relaxed);
                 return;
             };
+            if let Some((at_hop, bit)) = flip {
+                if hop == at_hop {
+                    // On-the-wire corruption between two switches.
+                    apply_bitflip(scratch, bit);
+                    self.metrics
+                        .bitflips_injected
+                        .fetch_add(1, Ordering::Relaxed);
+                    flip = None;
+                }
+            }
             hop += 1;
             if pipeline.process_header(scratch).reported() {
                 self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
@@ -142,9 +269,7 @@ impl ShardWorker {
             i += 1;
         }
         self.metrics.loop_events.fetch_add(1, Ordering::Relaxed);
-        // A send can only fail post-aggregator-teardown, which join
-        // ordering rules out; ignore rather than panic a worker.
-        let _ = self.events.send(LoopEvent {
+        let event = LoopEvent {
             flow: packet.flow,
             seq: packet.seq,
             shard: self.shard,
@@ -152,17 +277,48 @@ impl ShardWorker {
             hop,
             members,
             complete,
-        });
+        };
+        match self.event_faults.fate() {
+            EventFate::Drop => {
+                self.metrics
+                    .events_dropped_injected
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            EventFate::Duplicate => {
+                self.metrics
+                    .events_duplicated_injected
+                    .fetch_add(1, Ordering::Relaxed);
+                self.send_event(event.clone());
+                self.send_event(event);
+            }
+            EventFate::Deliver => self.send_event(event),
+        }
+    }
+
+    /// Sends one event toward the aggregator, tolerating a closed
+    /// channel: a send can only fail post-aggregator-teardown, which
+    /// join ordering rules out in a healthy run — count it and keep
+    /// draining rather than panic a worker.
+    fn send_event(&self, event: LoopEvent) {
+        if self.events.send(event).is_err() {
+            self.metrics
+                .events_send_failed
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use crate::flow::FlowKey;
     use crate::packet::PathSpec;
     use crate::ring::{ring, FullPolicy};
+    use std::time::Duration;
     use unroller_core::UnrollerParams;
+
+    const RECV_WAIT: Duration = Duration::from_secs(10);
 
     fn worker_fixture(
         nodes: usize,
@@ -174,11 +330,14 @@ mod tests {
     ) {
         let params = UnrollerParams::default();
         let ids: Arc<[SwitchId]> = (0..nodes as u32).map(|i| 100 + i).collect();
-        let pipelines = ids
-            .iter()
-            .map(|&id| UnrollerPipeline::new(id, params).unwrap())
-            .collect();
-        let (producer, consumer, _) = ring(64, FullPolicy::Block);
+        let pipelines = Arc::new(
+            ids.iter()
+                .map(|&id| UnrollerPipeline::new(id, params).expect("valid default params"))
+                .collect::<Vec<_>>(),
+        );
+        // Tests enqueue everything before `run()` starts consuming, so
+        // the ring must hold the largest test workload without blocking.
+        let (producer, consumer, _) = ring(512, FullPolicy::Block);
         let (ev_tx, ev_rx) = std::sync::mpsc::channel();
         let worker = ShardWorker {
             shard: 0,
@@ -190,6 +349,9 @@ mod tests {
             metrics: Arc::new(ShardMetrics::default()),
             events: ev_tx,
             consumer,
+            faults: None,
+            event_faults: EventFaults::inactive(),
+            kick: Arc::new(AtomicBool::new(false)),
         };
         (worker, producer, ev_rx)
     }
@@ -232,7 +394,9 @@ mod tests {
         assert_eq!(snap.loop_events, 1);
         assert_eq!(snap.delivered, 0);
         assert_eq!(snap.ttl_dropped, 0, "detector beats the TTL");
-        let event = ev_rx.recv().unwrap();
+        let event = ev_rx
+            .recv_timeout(RECV_WAIT)
+            .expect("worker sent the loop event before exiting");
         assert!(event.complete, "membership closed the cycle");
         let mut members = event.members.clone();
         members.sort_unstable();
@@ -276,5 +440,168 @@ mod tests {
             // Stored (possibly 0 ticks for so little work, but stored).
             let _ = metrics.snapshot().cpu_ns;
         }
+    }
+
+    #[test]
+    fn dead_aggregator_is_tolerated_and_counted() {
+        // Dropping the event receiver before the worker runs forces
+        // every loop-event send to fail: the worker must finish its
+        // ring cleanly and count the failures instead of panicking.
+        let (worker, producer, ev_rx) = worker_fixture(6, 64);
+        let metrics = worker.metrics.clone();
+        drop(ev_rx);
+        for seq in 0..5 {
+            producer.push(packet(seq, PathSpec::looping(vec![0], vec![1, 2])));
+        }
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.packets, 5, "worker drains despite the dead sink");
+        assert_eq!(snap.loop_events, 5);
+        assert_eq!(snap.events_send_failed, 5);
+    }
+
+    #[test]
+    fn injected_panics_are_supervised_and_accounted() {
+        let (mut worker, producer, _ev_rx) = worker_fixture(6, 64);
+        // Every packet panics; budget of 3 restarts, then drain-only.
+        worker.faults = Some(
+            FaultPlan {
+                seed: 1,
+                panic_rate: 1.0,
+                max_restarts: 3,
+                ..FaultPlan::default()
+            }
+            .for_shard(0),
+        );
+        let metrics = worker.metrics.clone();
+        for seq in 0..20 {
+            producer.push(packet(seq, PathSpec::linear(vec![0, 1, 2])));
+        }
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.restarts, 3, "budget honored exactly");
+        assert_eq!(
+            snap.packets + snap.panic_lost,
+            20,
+            "every packet is either processed or counted lost"
+        );
+        assert_eq!(snap.packets, 0, "all-panic plan processes nothing");
+        assert!(snap.panics_injected >= 4, "the supervised panics fired");
+    }
+
+    #[test]
+    fn moderate_panic_rate_loses_only_the_panicking_packets() {
+        let (mut worker, producer, _ev_rx) = worker_fixture(6, 64);
+        worker.faults = Some(
+            FaultPlan {
+                seed: 9,
+                panic_rate: 0.05,
+                ..FaultPlan::default()
+            }
+            .for_shard(0),
+        );
+        let metrics = worker.metrics.clone();
+        for seq in 0..400 {
+            producer.push(packet(seq, PathSpec::linear(vec![0, 1, 2, 3])));
+        }
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        assert!(snap.panic_lost > 0, "5% over 400 packets fires");
+        assert_eq!(snap.packets + snap.panic_lost, 400);
+        assert_eq!(
+            snap.restarts, snap.panic_lost,
+            "each panic loses exactly one packet and costs one restart"
+        );
+        assert_eq!(snap.delivered, snap.packets, "survivors all deliver");
+    }
+
+    #[test]
+    fn bitflips_are_injected_and_survive_processing() {
+        let (mut worker, producer, _ev_rx) = worker_fixture(8, 64);
+        worker.faults = Some(
+            FaultPlan {
+                seed: 4,
+                bitflip_rate: 1.0,
+                ..FaultPlan::default()
+            }
+            .for_shard(0),
+        );
+        let metrics = worker.metrics.clone();
+        for seq in 0..100 {
+            producer.push(packet(seq, PathSpec::linear(vec![0, 1, 2, 3, 4, 5])));
+        }
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.packets, 100, "corruption never crashes the walk");
+        assert!(snap.bitflips_injected > 0, "flips landed");
+        // A flipped header may mis-deliver or false-report, but every
+        // packet still terminates one way or another.
+        assert_eq!(
+            snap.delivered + snap.ttl_dropped + snap.loop_events + snap.route_errors,
+            100
+        );
+    }
+
+    #[test]
+    fn injected_stall_is_cut_short_by_a_kick() {
+        let (mut worker, producer, _ev_rx) = worker_fixture(4, 64);
+        worker.faults = Some(
+            FaultPlan {
+                seed: 2,
+                stall_rate: 1.0,
+                stall_ms: 60_000, // would dwarf the test without a kick
+                ..FaultPlan::default()
+            }
+            .for_shard(0),
+        );
+        let kick = worker.kick.clone();
+        let metrics = worker.metrics.clone();
+        producer.push(packet(0, PathSpec::linear(vec![0, 1])));
+        drop(producer);
+        // Pre-arm the kick: the stall loop observes it on its first
+        // poll and aborts immediately.
+        kick.store(true, Ordering::Relaxed);
+        let start = Instant::now();
+        worker.run();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "kick must abort the stall"
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.stalls_injected, 1);
+        assert_eq!(snap.stalls_aborted, 1);
+        assert_eq!(snap.packets, 1);
+    }
+
+    #[test]
+    fn event_faults_drop_and_duplicate_loop_events() {
+        let plan = FaultPlan {
+            seed: 6,
+            event_drop_rate: 0.3,
+            event_dup_rate: 0.3,
+            ..FaultPlan::default()
+        };
+        let (mut worker, producer, ev_rx) = worker_fixture(6, 64);
+        worker.event_faults = plan.event_faults(0);
+        let metrics = worker.metrics.clone();
+        for seq in 0..50 {
+            producer.push(packet(seq, PathSpec::looping(vec![0], vec![1, 2])));
+        }
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.loop_events, 50, "every detection is counted");
+        assert!(snap.events_dropped_injected > 0);
+        assert!(snap.events_duplicated_injected > 0);
+        let received = ev_rx.try_iter().count() as u64;
+        assert_eq!(
+            received,
+            snap.loop_events - snap.events_dropped_injected + snap.events_duplicated_injected,
+            "channel traffic matches the injected drop/dup accounting"
+        );
     }
 }

@@ -41,7 +41,7 @@ fn multi_shard_engine_detects_injected_loop_end_to_end() {
         &ids,
     )
     .unwrap();
-    let report = engine.run(&mut source);
+    let report = engine.run(&mut source).expect("fault-free run");
 
     // Every packet accounted for, spread over both shards.
     assert_eq!(report.offered, 10_000);
@@ -96,7 +96,7 @@ fn shard_counts_agree_on_what_is_detected() {
             sim.ids(),
         )
         .unwrap();
-        let report = engine.run(&mut source);
+        let report = engine.run(&mut source).expect("fault-free run");
         let mut flows: Vec<_> = report
             .aggregator
             .events
@@ -125,7 +125,7 @@ fn no_injection_means_no_reports() {
         sim.ids(),
     )
     .unwrap();
-    let report = engine.run(&mut source);
+    let report = engine.run(&mut source).expect("fault-free run");
     assert!(!report.loop_detected());
     assert_eq!(report.aggregator.events_received, 0);
     let delivered: u64 = report.shard_snapshots.iter().map(|s| s.delivered).sum();
@@ -153,7 +153,7 @@ fn drop_policy_backpressure_is_fully_accounted() {
         sim.ids(),
     )
     .unwrap();
-    let report = engine.run(&mut source);
+    let report = engine.run(&mut source).expect("fault-free run");
     assert!(report.accounted(), "drops counted, never silent");
     assert_eq!(report.processed() + report.dropped_full(), 8_000);
     // The JSON export carries the backpressure counters.
