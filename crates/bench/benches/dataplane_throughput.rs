@@ -4,7 +4,10 @@
 //!
 //! `header_only` measures the control block alone (the work the
 //! synthesized logic does); `full_frame` adds parse + deparse of the
-//! bit-packed shim. Criterion reports ns/packet — invert for Mpps.
+//! bit-packed shim, in both its allocating (decode → struct → encode)
+//! and zero-copy in-place forms. Criterion reports ns/packet — invert
+//! for Mpps. `benches/hotpath.rs` measures the same three paths into
+//! the machine-readable `results/BENCH_hotpath.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use unroller_core::params::UnrollerParams;
@@ -65,6 +68,20 @@ fn bench_full_frame(c: &mut Criterion) {
             }
             let v = pipes[i % pipes.len()]
                 .process_frame(black_box(&mut frame))
+                .unwrap();
+            i += 1;
+            black_box(v)
+        })
+    });
+    let mut frame = template.clone();
+    let mut i = 0usize;
+    group.bench_function("min_sized_frame_in_place", |b| {
+        b.iter(|| {
+            if i.is_multiple_of(64) {
+                frame.copy_from_slice(&template);
+            }
+            let v = pipes[i % pipes.len()]
+                .process_frame_in_place(black_box(&mut frame))
                 .unwrap();
             i += 1;
             black_box(v)

@@ -9,6 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use unroller_core::UnrollerParams;
+use unroller_dataplane::parser::build_frame;
 use unroller_dataplane::{HeaderLayout, UnrollerPipeline, WireHeader};
 use unroller_engine::{Engine, EngineConfig, FullPolicy, SyntheticSource};
 
@@ -47,6 +48,27 @@ fn bench_batch_processing(c: &mut Criterion) {
         b.iter(|| {
             verdicts.clear();
             pipeline.process_batch(&mut batch, &mut verdicts);
+            black_box(verdicts.len())
+        })
+    });
+    // The same batch as wire frames through the zero-copy path.
+    let frame_template: Vec<Vec<u8>> = template
+        .iter()
+        .map(|hdr| {
+            build_frame(
+                &layout,
+                &unroller_dataplane::EthernetHeader::for_hosts(1, 2),
+                hdr,
+                &[0u8; 46],
+            )
+        })
+        .collect();
+    group.bench_function("frame_batch_in_place", |b| {
+        let mut frames = frame_template.clone();
+        let mut verdicts = Vec::with_capacity(BATCH);
+        b.iter(|| {
+            verdicts.clear();
+            pipeline.process_frame_batch_in_place(&mut frames, &mut verdicts);
             black_box(verdicts.len())
         })
     });

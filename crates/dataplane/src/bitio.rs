@@ -101,6 +101,82 @@ impl std::fmt::Display for BitReadError {
 
 impl std::error::Error for BitReadError {}
 
+/// Reads `width` bits starting at absolute bit position `pos`
+/// (MSB first), without any cursor state — the random-access primitive
+/// the in-place frame path is built on.
+///
+/// # Panics
+///
+/// Panics if `width > 64` or the read runs past the end of `buf`. The
+/// in-place pipeline validates the frame length once up front, so
+/// per-field reads are in bounds by construction; a violation here is
+/// a caller bug, not a malformed packet.
+#[inline]
+pub fn read_bits_at(buf: &[u8], pos: usize, width: u32) -> u64 {
+    assert!(width <= 64);
+    assert!(
+        pos + width as usize <= buf.len() * 8,
+        "bit read past end of buffer: pos {pos} width {width}, {} bits available",
+        buf.len() * 8
+    );
+    let mut value = 0u64;
+    let mut pos = pos;
+    let mut remaining = width;
+    while remaining > 0 {
+        let byte = buf[pos / 8];
+        let offset = (pos % 8) as u32;
+        let space = 8 - offset;
+        let take = space.min(remaining);
+        debug_assert!((1..=8).contains(&take), "chunk of {take} bits");
+        let bits = (byte >> (space - take)) & ((1u16 << take) - 1) as u8;
+        value = (value << take) | bits as u64;
+        pos += take as usize;
+        remaining -= take;
+    }
+    value
+}
+
+/// Writes the low `width` bits of `value` at absolute bit position
+/// `pos` (MSB first), clearing the target bits first — unlike
+/// [`BitWriter`], which assumes a zeroed buffer, this overwrites
+/// whatever was there, so a shim field can be rewritten in place.
+/// Surrounding bits are untouched.
+///
+/// # Panics
+///
+/// Panics if `width > 64`, `value` has bits above `width`, or the
+/// write runs past the end of `buf`.
+#[inline]
+pub fn write_bits_at(buf: &mut [u8], pos: usize, width: u32, value: u64) {
+    assert!(width <= 64);
+    if width < 64 {
+        assert!(
+            value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+    }
+    assert!(
+        pos + width as usize <= buf.len() * 8,
+        "bit write past end of buffer: pos {pos} width {width}, {} bits available",
+        buf.len() * 8
+    );
+    let mut pos = pos;
+    let mut remaining = width;
+    while remaining > 0 {
+        let offset = (pos % 8) as u32;
+        let space = 8 - offset;
+        let take = space.min(remaining);
+        debug_assert!((1..=8).contains(&take), "chunk of {take} bits");
+        let shift = remaining - take;
+        let bits = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+        let mask = (((1u16 << take) - 1) as u8) << (space - take);
+        let byte = &mut buf[pos / 8];
+        *byte = (*byte & !mask) | (bits << (space - take));
+        pos += take as usize;
+        remaining -= take;
+    }
+}
+
 impl<'a> BitReader<'a> {
     /// Creates a reader over `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
@@ -212,6 +288,87 @@ mod tests {
         assert!(r.read(8).is_ok());
         let err = r.read(1).unwrap_err();
         assert_eq!(err.available, 0);
+    }
+
+    #[test]
+    fn read_at_matches_cursor_reader() {
+        let mut rng = unroller_core::test_rng(63);
+        for _ in 0..100 {
+            let fields: Vec<(u64, u32)> = (0..rng.gen_range(1..16))
+                .map(|_| {
+                    let width = rng.gen_range(0..=64u32);
+                    let value = if width == 64 {
+                        rng.gen()
+                    } else if width == 0 {
+                        0
+                    } else {
+                        rng.gen::<u64>() & ((1u64 << width) - 1)
+                    };
+                    (value, width)
+                })
+                .collect();
+            let mut w = BitWriter::new();
+            for &(v, wd) in &fields {
+                w.write(v, wd);
+            }
+            let bytes = w.into_bytes();
+            let mut pos = 0usize;
+            for &(v, wd) in &fields {
+                assert_eq!(read_bits_at(&bytes, pos, wd), v, "pos {pos} width {wd}");
+                pos += wd as usize;
+            }
+        }
+    }
+
+    #[test]
+    fn write_at_overwrites_only_the_target_bits() {
+        let mut rng = unroller_core::test_rng(64);
+        for _ in 0..200 {
+            let len = rng.gen_range(1..=12usize);
+            let mut buf: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let total = len * 8;
+            let width = rng.gen_range(0..=64.min(total) as u32);
+            let pos = rng.gen_range(0..=total - width as usize);
+            let value = if width == 64 {
+                rng.gen()
+            } else if width == 0 {
+                0
+            } else {
+                rng.gen::<u64>() & ((1u64 << width) - 1)
+            };
+            let before = buf.clone();
+            write_bits_at(&mut buf, pos, width, value);
+            assert_eq!(read_bits_at(&buf, pos, width), value);
+            // Every bit outside [pos, pos + width) is untouched.
+            for bit in 0..total {
+                if bit >= pos && bit < pos + width as usize {
+                    continue;
+                }
+                assert_eq!(
+                    read_bits_at(&buf, bit, 1),
+                    read_bits_at(&before, bit, 1),
+                    "bit {bit} disturbed (pos {pos}, width {width})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn write_at_then_read_at_roundtrips_unaligned() {
+        let mut buf = vec![0xffu8; 4];
+        write_bits_at(&mut buf, 3, 13, 0x0aaa);
+        assert_eq!(read_bits_at(&buf, 3, 13), 0x0aaa);
+        assert_eq!(read_bits_at(&buf, 0, 3), 0b111, "leading bits kept");
+        assert_eq!(read_bits_at(&buf, 16, 16), 0xffff, "trailing bits kept");
+    }
+
+    #[test]
+    fn offset_primitives_bounds_checked() {
+        let buf = [0u8; 2];
+        assert!(std::panic::catch_unwind(|| read_bits_at(&buf, 9, 8)).is_err());
+        let mut buf = [0u8; 2];
+        let result = std::panic::catch_unwind(move || write_bits_at(&mut buf, 16, 1, 0));
+        assert!(result.is_err());
     }
 
     #[test]

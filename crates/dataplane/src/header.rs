@@ -11,7 +11,7 @@
 //! the chunk has begun), so switches derive it from a lookup table —
 //! see [`crate::pipeline`].
 
-use crate::bitio::{BitReadError, BitReader, BitWriter};
+use crate::bitio::{read_bits_at, write_bits_at, BitReadError, BitReader, BitWriter};
 use unroller_core::params::UnrollerParams;
 
 /// The wire layout derived from detector parameters.
@@ -47,6 +47,72 @@ impl HeaderLayout {
     /// Header bytes on the wire (bit-packed, zero-padded).
     pub fn total_bytes(&self) -> usize {
         (self.total_bits() as usize).div_ceil(8)
+    }
+
+    /// Bit offset of the `Thcnt` field.
+    #[inline]
+    fn thcnt_pos(&self) -> usize {
+        self.xcnt_bits as usize
+    }
+
+    /// Bit offset of identifier slot `slot`.
+    #[inline]
+    fn swid_pos(&self, slot: u32) -> usize {
+        debug_assert!(slot < self.slots);
+        (self.xcnt_bits + self.thcnt_bits) as usize + (slot * self.z) as usize
+    }
+
+    /// Reads `Xcnt` straight off a shim buffer (0 when TTL-inferred).
+    #[inline]
+    pub fn read_xcnt(&self, shim: &[u8]) -> u8 {
+        if self.xcnt_bits == 0 {
+            return 0;
+        }
+        read_bits_at(shim, 0, self.xcnt_bits) as u8
+    }
+
+    /// Writes `Xcnt` in place (no-op when TTL-inferred).
+    #[inline]
+    pub fn write_xcnt(&self, shim: &mut [u8], xcnt: u8) {
+        if self.xcnt_bits == 0 {
+            return;
+        }
+        write_bits_at(shim, 0, self.xcnt_bits, xcnt as u64);
+    }
+
+    /// Reads `Thcnt` straight off a shim buffer.
+    #[inline]
+    pub fn read_thcnt(&self, shim: &[u8]) -> u32 {
+        read_bits_at(shim, self.thcnt_pos(), self.thcnt_bits) as u32
+    }
+
+    /// Writes `Thcnt` in place.
+    #[inline]
+    pub fn write_thcnt(&self, shim: &mut [u8], thcnt: u32) {
+        write_bits_at(shim, self.thcnt_pos(), self.thcnt_bits, thcnt as u64);
+    }
+
+    /// Reads identifier slot `slot` straight off a shim buffer.
+    #[inline]
+    pub fn read_swid(&self, shim: &[u8], slot: u32) -> u32 {
+        read_bits_at(shim, self.swid_pos(slot), self.z) as u32
+    }
+
+    /// Writes identifier slot `slot` in place.
+    #[inline]
+    pub fn write_swid(&self, shim: &mut [u8], slot: u32, id: u32) {
+        write_bits_at(shim, self.swid_pos(slot), self.z, id as u64);
+    }
+
+    /// Zeroes the padding bits in the final shim byte so in-place
+    /// rewrites stay bit-exact with [`WireHeader::encode`], which always
+    /// emits zero padding.
+    #[inline]
+    pub fn clear_padding(&self, shim: &mut [u8]) {
+        let pad = self.total_bytes() * 8 - self.total_bits() as usize;
+        if pad > 0 {
+            shim[self.total_bytes() - 1] &= !((1u8 << pad) - 1);
+        }
     }
 }
 
@@ -186,6 +252,74 @@ mod tests {
             assert_eq!(bytes.len(), layout.total_bytes());
             let back = WireHeader::decode(&layout, &bytes).unwrap();
             assert_eq!(back, hdr);
+        }
+    }
+
+    #[test]
+    fn offset_accessors_match_decode() {
+        let mut rng = unroller_core::test_rng(65);
+        for _ in 0..200 {
+            let c = rng.gen_range(1..=4u32);
+            let h = rng.gen_range(1..=4u32);
+            let z = rng.gen_range(1..=32u32);
+            let th = rng.gen_range(1..=8u32);
+            let xcnt_in_header = rng.gen();
+            let p = UnrollerParams {
+                xcnt_in_header,
+                ..UnrollerParams::default()
+                    .with_c(c)
+                    .with_h(h)
+                    .with_z(z)
+                    .with_th(th)
+            };
+            let layout = HeaderLayout::from_params(&p);
+            let hdr = WireHeader {
+                xcnt: if xcnt_in_header { rng.gen() } else { 0 },
+                thcnt: rng.gen_range(0..th),
+                swids: (0..(c * h))
+                    .map(|_| rng.gen::<u32>() & p.z_mask())
+                    .collect(),
+            };
+            let shim = hdr.encode(&layout);
+            assert_eq!(layout.read_xcnt(&shim), hdr.xcnt);
+            assert_eq!(layout.read_thcnt(&shim), hdr.thcnt);
+            for (slot, &id) in hdr.swids.iter().enumerate() {
+                assert_eq!(layout.read_swid(&shim, slot as u32), id);
+            }
+        }
+    }
+
+    #[test]
+    fn offset_writes_match_encode() {
+        let mut rng = unroller_core::test_rng(66);
+        for _ in 0..200 {
+            let c = rng.gen_range(1..=4u32);
+            let h = rng.gen_range(1..=4u32);
+            let z = rng.gen_range(1..=32u32);
+            let th = rng.gen_range(1..=8u32);
+            let p = UnrollerParams::default()
+                .with_c(c)
+                .with_h(h)
+                .with_z(z)
+                .with_th(th);
+            let layout = HeaderLayout::from_params(&p);
+            // Start from garbage: in-place writes of every field plus
+            // padding clear must reproduce encode() exactly.
+            let mut shim: Vec<u8> = (0..layout.total_bytes()).map(|_| rng.gen()).collect();
+            let hdr = WireHeader {
+                xcnt: rng.gen(),
+                thcnt: rng.gen_range(0..th),
+                swids: (0..(c * h))
+                    .map(|_| rng.gen::<u32>() & p.z_mask())
+                    .collect(),
+            };
+            layout.write_xcnt(&mut shim, hdr.xcnt);
+            layout.write_thcnt(&mut shim, hdr.thcnt);
+            for (slot, &id) in hdr.swids.iter().enumerate() {
+                layout.write_swid(&mut shim, slot as u32, id);
+            }
+            layout.clear_padding(&mut shim);
+            assert_eq!(shim, hdr.encode(&layout));
         }
     }
 

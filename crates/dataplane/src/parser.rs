@@ -48,13 +48,26 @@ impl EthernetHeader {
         }
     }
 
+    /// Recovers `(src_host, dst_host)` from a header whose MACs follow
+    /// the [`EthernetHeader::for_hosts`] pattern; `None` for foreign
+    /// MACs (e.g. frames replayed from a capture taken elsewhere).
+    pub fn host_pair(&self) -> Option<(u32, u32)> {
+        let host = |mac: &[u8; 6]| {
+            (mac[0] == 0x02 && mac[1] == 0x00)
+                .then(|| u32::from_be_bytes([mac[2], mac[3], mac[4], mac[5]]))
+        };
+        Some((host(&self.src)?, host(&self.dst)?))
+    }
+
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.dst);
         out.extend_from_slice(&self.src);
         out.extend_from_slice(&self.ethertype.to_be_bytes());
     }
 
-    fn decode(bytes: &[u8]) -> Option<Self> {
+    /// Parses the header from the front of `bytes`; `None` when fewer
+    /// than [`ETH_HEADER_LEN`] bytes are present.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
         if bytes.len() < ETH_HEADER_LEN {
             return None;
         }
@@ -209,5 +222,16 @@ mod tests {
         assert_eq!(eth.src[0] & 0x02, 0x02);
         assert_eq!(eth.dst[0] & 0x01, 0); // unicast
         assert_ne!(eth.src, eth.dst);
+    }
+
+    #[test]
+    fn host_pair_roundtrips_and_rejects_foreign_macs() {
+        assert_eq!(
+            EthernetHeader::for_hosts(3, 0x00ab_cdef).host_pair(),
+            Some((3, 0x00ab_cdef))
+        );
+        let mut eth = EthernetHeader::for_hosts(1, 2);
+        eth.src = [0xde, 0xad, 0xbe, 0xef, 0x00, 0x01];
+        assert_eq!(eth.host_pair(), None);
     }
 }

@@ -25,7 +25,7 @@
 //!   on thousands of random walks.
 
 use crate::header::{HeaderLayout, WireHeader};
-use crate::parser::{parse_frame, rewrite_shim, FrameError};
+use crate::parser::{parse_frame, rewrite_shim, FrameError, ETHERTYPE_UNROLLER, ETH_HEADER_LEN};
 use crate::resources::ResourceReport;
 use unroller_core::hashing::HashFamily;
 use unroller_core::params::{ParamError, UnrollerParams};
@@ -271,6 +271,98 @@ impl UnrollerPipeline {
         Ok(verdict)
     }
 
+    /// Zero-copy data-path processing: the control block reads and
+    /// rewrites shim bits **directly in the frame buffer**, with no
+    /// header decode, no struct, and no per-hop allocation. Bit-exact
+    /// with [`UnrollerPipeline::process_frame`] (property-tested in
+    /// `tests/frame_inplace.rs`): on [`Verdict::Continue`] the rewritten
+    /// frame is byte-identical to what decode → [`Self::process_header`]
+    /// → re-encode would produce, and on [`Verdict::LoopReported`] the
+    /// frame is left untouched.
+    pub fn process_frame_in_place(&self, frame: &mut [u8]) -> Result<Verdict, FrameError> {
+        let need = ETH_HEADER_LEN + self.layout.total_bytes();
+        if frame.len() < need {
+            return Err(FrameError::TooShort {
+                len: frame.len(),
+                need,
+            });
+        }
+        let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+        if ethertype != ETHERTYPE_UNROLLER {
+            return Err(FrameError::WrongEthertype(ethertype));
+        }
+        let shim = &mut frame[ETH_HEADER_LEN..need];
+        Ok(self.table.apply(|| self.apply_action_in_place(shim)))
+    }
+
+    fn apply_action_in_place(&self, shim: &mut [u8]) -> Verdict {
+        let p = &self.params;
+        let c = p.c as usize;
+        let layout = &self.layout;
+
+        // Stage 1: read the hop counter off the wire (saturating
+        // increment, mirroring `apply_action`). No bits are written yet:
+        // on LoopReported the frame must come out byte-identical to how
+        // it went in, exactly like `process_frame`.
+        let prev = layout.read_xcnt(shim);
+        let saturated = prev == u8::MAX;
+        let x = if saturated { prev } else { prev + 1 } as usize;
+
+        // Stage 2: compare the pre-hashed identifiers against every
+        // valid stored slot, straight off the frame bytes.
+        let occ = self.luts.occupied[prev as usize];
+        let mut matched = false;
+        'outer: for (i, &hv) in self.registers.prehashed.iter().enumerate() {
+            for j in 0..c {
+                if occ & (1 << j) != 0 && layout.read_swid(shim, (i * c + j) as u32) == hv {
+                    matched = true;
+                    break 'outer;
+                }
+            }
+        }
+        let mut thcnt = 0;
+        if matched {
+            thcnt = layout.read_thcnt(shim) + 1;
+            if thcnt >= p.th {
+                return Verdict::LoopReported;
+            }
+        }
+
+        // Continue: deparse every mutated field back into the buffer.
+        layout.write_xcnt(shim, x as u8);
+        if matched {
+            layout.write_thcnt(shim, thcnt);
+        }
+        let j = self.luts.chunk[x] as usize;
+        let fresh = !saturated && self.luts.fresh[x];
+        let was_occupied = occ & (1 << j) != 0;
+        for (i, &hv) in self.registers.prehashed.iter().enumerate() {
+            let slot = (i * c + j) as u32;
+            if fresh || !was_occupied || hv < layout.read_swid(shim, slot) {
+                layout.write_swid(shim, slot, hv);
+            }
+        }
+        // encode() always emits zero padding; match it so the two frame
+        // paths stay bit-exact even on adversarial input padding.
+        layout.clear_padding(shim);
+        Verdict::Continue
+    }
+
+    /// Burst-processes a batch of frames through the zero-copy path,
+    /// appending one result per frame to `results` (in batch order).
+    /// Equivalent to calling [`Self::process_frame_in_place`] on each
+    /// frame in order.
+    pub fn process_frame_batch_in_place<F: AsMut<[u8]>>(
+        &self,
+        frames: &mut [F],
+        results: &mut Vec<Result<Verdict, FrameError>>,
+    ) {
+        results.reserve(frames.len());
+        for frame in frames.iter_mut() {
+            results.push(self.process_frame_in_place(frame.as_mut()));
+        }
+    }
+
     /// The resource footprint of this pipeline (the Table 4 substitute;
     /// see `DESIGN.md` §3).
     pub fn resources(&self) -> ResourceReport {
@@ -471,6 +563,119 @@ mod tests {
         pipe.process_batch(&mut batch, &mut verdicts);
         assert_eq!(verdicts.len(), 4, "appends after existing entries");
         assert!(verdicts[1..].iter().all(|v| !v.reported()));
+    }
+
+    #[test]
+    fn in_place_matches_frame_path_on_random_walks() {
+        // The zero-copy path must produce byte-identical frames and
+        // identical verdicts to the decode/encode frame path, hop by
+        // hop, across parameter space (incl. multi-chunk, multi-hash,
+        // non-power-of-two bases and th=1's zero-width Thcnt).
+        let mut rng = unroller_core::test_rng(79);
+        for params in [
+            UnrollerParams::default(),
+            UnrollerParams::default().with_z(7).with_th(4),
+            UnrollerParams::default().with_c(2).with_h(2).with_z(12),
+            UnrollerParams::default().with_b(3).with_th(2),
+            UnrollerParams::default().with_c(4).with_h(1).with_z(9),
+        ] {
+            let layout = HeaderLayout::from_params(&params);
+            for _ in 0..20 {
+                let b = rng.gen_range(0..6);
+                let l = rng.gen_range(1..10);
+                let walk = unroller_core::Walk::random(b, l, &mut rng);
+                let eth = EthernetHeader::for_hosts(1, 2);
+                let shim = WireHeader::initial(&layout);
+                let mut frame_a = build_frame(&layout, &eth, &shim, b"equivalence");
+                let mut frame_b = frame_a.clone();
+                for hop in 1..=200u64 {
+                    let Some(sw) = walk.switch_at(hop) else { break };
+                    let pipe = UnrollerPipeline::new(sw, params).unwrap();
+                    let va = pipe.process_frame(&mut frame_a).unwrap();
+                    let vb = pipe.process_frame_in_place(&mut frame_b).unwrap();
+                    assert_eq!(va, vb, "verdict diverged at hop {hop} for {params:?}");
+                    assert_eq!(
+                        frame_a, frame_b,
+                        "bytes diverged at hop {hop} for {params:?}"
+                    );
+                    if va.reported() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_leaves_frame_untouched_on_report() {
+        let params = UnrollerParams::default();
+        let layout = HeaderLayout::from_params(&params);
+        let eth = EthernetHeader::for_hosts(1, 2);
+        let mut frame = build_frame(&layout, &eth, &WireHeader::initial(&layout), b"x");
+        let s100 = UnrollerPipeline::new(100, params).unwrap();
+        let s200 = UnrollerPipeline::new(200, params).unwrap();
+        s100.process_frame_in_place(&mut frame).unwrap();
+        s200.process_frame_in_place(&mut frame).unwrap();
+        let before = frame.clone();
+        assert_eq!(
+            s100.process_frame_in_place(&mut frame).unwrap(),
+            Verdict::LoopReported
+        );
+        assert_eq!(frame, before, "reported frame must not be rewritten");
+    }
+
+    #[test]
+    fn in_place_rejects_malformed_frames() {
+        let params = UnrollerParams::default();
+        let layout = HeaderLayout::from_params(&params);
+        let pipe = UnrollerPipeline::new(1, params).unwrap();
+        let mut short = vec![0u8; 10];
+        assert!(matches!(
+            pipe.process_frame_in_place(&mut short),
+            Err(FrameError::TooShort { len: 10, .. })
+        ));
+        let mut eth = EthernetHeader::for_hosts(1, 2);
+        eth.ethertype = 0x0800;
+        let mut frame = build_frame(&layout, &eth, &WireHeader::initial(&layout), b"");
+        let before = frame.clone();
+        assert_eq!(
+            pipe.process_frame_in_place(&mut frame),
+            Err(FrameError::WrongEthertype(0x0800))
+        );
+        assert_eq!(frame, before, "rejected frame must not be modified");
+    }
+
+    #[test]
+    fn frame_batch_matches_per_frame_processing() {
+        let params = UnrollerParams::default().with_c(2).with_h(2).with_z(12);
+        let layout = HeaderLayout::from_params(&params);
+        let pipe = UnrollerPipeline::new(42, params).unwrap();
+        let mut rng = unroller_core::test_rng(80);
+        let mut batch: Vec<Vec<u8>> = (0..32)
+            .map(|_| {
+                let mut hdr = WireHeader::initial(&layout);
+                hdr.xcnt = rng.gen_range(0..200);
+                for slot in hdr.swids.iter_mut() {
+                    *slot = rng.gen::<u32>() & params.z_mask();
+                }
+                build_frame(&layout, &EthernetHeader::for_hosts(1, 2), &hdr, b"batch")
+            })
+            .collect();
+        // A malformed straggler must surface as Err without derailing
+        // the rest of the burst.
+        batch.push(vec![0u8; 3]);
+        let mut singles = batch.clone();
+        let mut results = Vec::new();
+        pipe.process_frame_batch_in_place(&mut batch, &mut results);
+        assert_eq!(results.len(), singles.len());
+        for (i, frame) in singles.iter_mut().enumerate() {
+            assert_eq!(pipe.process_frame_in_place(frame), results[i], "result {i}");
+            assert_eq!(*frame, batch[i], "frame {i} diverged");
+        }
+        assert!(matches!(
+            results.last(),
+            Some(Err(FrameError::TooShort { .. }))
+        ));
     }
 
     #[test]

@@ -12,11 +12,14 @@
 //! `results/engine_faults.json`.
 
 use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use unroller_control::{Controller, FlakyHealer, HealPolicy, HealReport, SimHealer};
+use unroller_dataplane::{HeaderLayout, PcapWriter};
 use unroller_engine::{
-    aggregate::deliver, run_scaling, ControllerSink, Engine, EngineConfig, EngineReport, FaultPlan,
-    FlowKey, FullPolicy, Json, LoopInjection, ReplaySource,
+    aggregate::deliver, run_scaling, CaptureSource, ControllerSink, Engine, EngineConfig,
+    EngineReport, FaultPlan, FlowKey, FullPolicy, Json, LoopInjection, PcapReplaySource,
+    ReplaySource, TrafficSource,
 };
 use unroller_sim::{NullDetector, SimConfig, Simulator};
 use unroller_topology::ids::assign_sequential_ids;
@@ -41,6 +44,8 @@ struct Options {
     faults: FaultPlan,
     shed: bool,
     watchdog_ms: Option<u64>,
+    replay: Option<String>,
+    capture: Option<String>,
 }
 
 impl Default for Options {
@@ -64,6 +69,8 @@ impl Default for Options {
             faults: FaultPlan::default(),
             shed: false,
             watchdog_ms: None,
+            replay: None,
+            capture: None,
         }
     }
 }
@@ -106,6 +113,14 @@ fn usage() -> ! {
                              a shard's ring saturates (counted)\n\
            --watchdog-ms N   poll shard progress every N ms and kick\n\
                              stalled shards\n\
+           --replay FILE     replay a classic pcap capture instead of\n\
+                             generating traffic: frames are attributed\n\
+                             to flows by their Unroller MAC convention\n\
+                             and processed in their recorded bytes\n\
+                             (single-run mode only)\n\
+           --capture FILE    record the traffic the engine processes\n\
+                             as a classic pcap capture, replayable\n\
+                             with --replay (single-run mode only)\n\
            --fault-sweep L   comma-separated rate multipliers (e.g.\n\
                              0,0.5,1,2,4) applied to the --faults plan;\n\
                              replays the stream per level and writes\n\
@@ -190,6 +205,8 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
             }
+            "--replay" => opts.replay = Some(value("--replay")),
+            "--capture" => opts.capture = Some(value("--capture")),
             "--shed" => opts.shed = true,
             "--watchdog-ms" => {
                 opts.watchdog_ms = Some(num("--watchdog-ms", value("--watchdog-ms")))
@@ -291,6 +308,12 @@ fn localize_and_heal(
 
 fn main() {
     let opts = parse_args();
+    if (opts.replay.is_some() || opts.capture.is_some())
+        && (opts.scaling.is_some() || opts.fault_sweep.is_some())
+    {
+        eprintln!("unroller-engine: --replay/--capture are single-run options");
+        std::process::exit(2);
+    }
 
     let graph = generators::from_spec(&opts.topology).unwrap_or_else(|| {
         eprintln!(
@@ -434,16 +457,90 @@ fn main() {
             .unwrap_or_else(|| "results/engine_faults.json".to_string());
         write_report(&out, &sweep.render_pretty());
     } else {
+        let layout = HeaderLayout::from_params(&cfg.params);
         let engine = Engine::new(cfg, &ids).unwrap_or_else(|e| {
             eprintln!("unroller-engine: {e}");
             std::process::exit(2);
         });
-        let (mut sim, mut source) = build();
-        let looping = source.looping_flow_keys();
-        let report = engine.run(&mut source).unwrap_or_else(|e| {
+        // Traffic: either the simulator-routed generator or a pcap
+        // capture whose frames are resolved against the same (possibly
+        // loop-injected) routing state, then processed in their own
+        // recorded bytes.
+        let (mut sim, source, looping): (_, Box<dyn TrafficSource>, Vec<FlowKey>) =
+            if let Some(path) = &opts.replay {
+                let mut sim = Simulator::new(
+                    graph.clone(),
+                    ids.clone(),
+                    NullDetector,
+                    SimConfig::default(),
+                );
+                if let Some(inj) = &injection {
+                    sim.inject_cycle(&inj.cycle, inj.dst);
+                }
+                let replay = PcapReplaySource::open(path, |src, dst| {
+                    if src >= n || dst >= n {
+                        return None;
+                    }
+                    let route = sim.route(src, dst);
+                    if route.is_empty() {
+                        None
+                    } else {
+                        Some(unroller_engine::PathSpec::from_route(&route))
+                    }
+                })
+                .unwrap_or_else(|e| {
+                    eprintln!("unroller-engine: cannot read {path}: {e}");
+                    std::process::exit(2);
+                })
+                .unwrap_or_else(|e| {
+                    eprintln!("unroller-engine: malformed capture {path}: {e}");
+                    std::process::exit(2);
+                });
+                eprintln!(
+                    "replaying {path}: {} packets, {} unattributable records skipped",
+                    replay.packet_count(),
+                    replay.skipped_frames(),
+                );
+                let looping = replay.looping_flow_keys();
+                (sim, Box::new(replay), looping)
+            } else {
+                let (sim, source) = build();
+                let looping = source.looping_flow_keys();
+                (sim, Box::new(source), looping)
+            };
+        let capture_writer = opts
+            .capture
+            .as_ref()
+            .map(|_| Arc::new(Mutex::new(PcapWriter::default())));
+        let mut source: Box<dyn TrafficSource> = match &capture_writer {
+            Some(w) => Box::new(CaptureSource::new(source, layout, w.clone())),
+            None => source,
+        };
+        let report = engine.run(&mut *source).unwrap_or_else(|e| {
             eprintln!("unroller-engine: {e}");
             std::process::exit(1);
         });
+        if let (Some(path), Some(writer)) = (&opts.capture, capture_writer) {
+            drop(source); // release the tee's clone of the writer
+            let pcap = Arc::try_unwrap(writer)
+                .expect("capture writer uniquely owned after the run")
+                .into_inner()
+                .expect("capture writer poisoned")
+                .finish();
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                        eprintln!("unroller-engine: cannot create {}: {e}", parent.display());
+                        std::process::exit(1);
+                    });
+                }
+            }
+            std::fs::write(path, &pcap).unwrap_or_else(|e| {
+                eprintln!("unroller-engine: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path} ({} bytes)", pcap.len());
+        }
         let (recall, _) = detection_recall(&report, &looping);
         let (sink, heal) = localize_and_heal(&report, &ids, &mut sim, &opts.faults);
         let mut rendered = report.to_json();

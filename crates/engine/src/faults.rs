@@ -20,7 +20,7 @@
 use std::fmt;
 use std::sync::Once;
 use std::time::Duration;
-use unroller_dataplane::WireHeader;
+use unroller_dataplane::{HeaderLayout, WireHeader, ETH_HEADER_LEN};
 
 /// How the engine should misbehave during a run. All rates are
 /// per-draw probabilities in `[0, 1]`; 0 disables that fault class.
@@ -369,6 +369,22 @@ pub fn apply_bitflip(hdr: &mut WireHeader, bit: u32) {
     }
 }
 
+/// Flips one *wire* bit of a frame's Unroller shim in place — the
+/// frame-buffer analogue of [`apply_bitflip`] for the zero-copy worker
+/// path. The index wraps modulo the shim's on-the-wire bit count
+/// (MSB-first within the shim, matching the deparsed layout), so every
+/// flip lands on a bit a real transmission error could actually touch —
+/// unlike the struct variant, whose logical fields are wider than the
+/// wire encoding.
+pub fn apply_bitflip_frame(frame: &mut [u8], layout: &HeaderLayout, bit: u32) {
+    let total = layout.total_bits();
+    if total == 0 || frame.len() < ETH_HEADER_LEN + layout.total_bytes() {
+        return; // nothing corruptible (malformed frames already error)
+    }
+    let bit = (bit % total) as usize;
+    frame[ETH_HEADER_LEN + bit / 8] ^= 0x80 >> (bit % 8);
+}
+
 /// The marker payload injected panics carry, so the supervision layer
 /// (and the process-wide quiet hook) can tell chaos from genuine bugs.
 #[derive(Debug, Clone, Copy)]
@@ -522,6 +538,42 @@ mod tests {
         // Any u32 index is safe (wraps modulo header size).
         let mut hdr = clean.clone();
         apply_bitflip(&mut hdr, u32::MAX);
+    }
+
+    #[test]
+    fn frame_bitflip_lands_in_the_shim_and_is_reversible() {
+        let params = UnrollerParams::default();
+        let layout = HeaderLayout::from_params(&params);
+        let eth = unroller_dataplane::EthernetHeader::for_hosts(1, 2);
+        let frame = unroller_dataplane::parser::build_frame(
+            &layout,
+            &eth,
+            &WireHeader::initial(&layout),
+            b"payload",
+        );
+        for bit in [0u32, 7, 8, 39, layout.total_bits() - 1, u32::MAX] {
+            let mut flipped = frame.clone();
+            apply_bitflip_frame(&mut flipped, &layout, bit);
+            assert_ne!(flipped, frame, "bit {bit} must land");
+            assert_eq!(
+                flipped[..ETH_HEADER_LEN],
+                frame[..ETH_HEADER_LEN],
+                "Ethernet header untouched (bit {bit})"
+            );
+            let shim_end = ETH_HEADER_LEN + layout.total_bytes();
+            assert_eq!(
+                flipped[shim_end..],
+                frame[shim_end..],
+                "payload untouched (bit {bit})"
+            );
+            // XOR is involutive: the same flip restores the frame.
+            apply_bitflip_frame(&mut flipped, &layout, bit);
+            assert_eq!(flipped, frame);
+        }
+        // Frames too short to hold a shim are left alone.
+        let mut runt = vec![0u8; 8];
+        apply_bitflip_frame(&mut runt, &layout, 3);
+        assert_eq!(runt, vec![0u8; 8]);
     }
 
     #[test]

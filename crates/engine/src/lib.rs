@@ -66,5 +66,7 @@ pub use metrics::{Histogram, HistogramSnapshot, ShardMetrics, ShardSnapshot};
 pub use packet::{EnginePacket, PathSpec};
 pub use ring::{FullPolicy, PushOutcome, RingCounters, RingCountersSnapshot};
 pub use scaling::{run_scaling, ScalingReport, ScalingRun};
-pub use source::{LoopInjection, ReplaySource, SyntheticSource, TrafficSource};
+pub use source::{
+    CaptureSource, LoopInjection, PcapReplaySource, ReplaySource, SyntheticSource, TrafficSource,
+};
 pub use supervise::{Shedder, WatchdogReport};

@@ -128,7 +128,7 @@ impl HistogramSnapshot {
 #[derive(Debug, Default)]
 pub struct ShardMetrics {
     /// Packets fully processed (delivered + ttl_dropped + loop_events +
-    /// route_errors).
+    /// route_errors + frame_errors).
     pub packets: AtomicU64,
     /// Switch-hops executed across all packets.
     pub hops: AtomicU64,
@@ -142,6 +142,9 @@ pub struct ShardMetrics {
     pub batches: AtomicU64,
     /// Packets whose path referenced an unknown switch.
     pub route_errors: AtomicU64,
+    /// Packets whose wire frame failed validation (too short for the
+    /// shim, wrong EtherType) — replayed captures can carry such runts.
+    pub frame_errors: AtomicU64,
     /// Batch-size distribution.
     pub batch_sizes: Histogram,
     /// Nanoseconds spent blocked waiting on the ring, per batch.
@@ -193,6 +196,8 @@ pub struct ShardSnapshot {
     pub batches: u64,
     /// Unknown-switch path errors.
     pub route_errors: u64,
+    /// Malformed-frame errors (runt or wrong-EtherType wire bytes).
+    pub frame_errors: u64,
     /// Batch-size distribution.
     pub batch_sizes: HistogramSnapshot,
     /// Per-batch ring-wait latency (ns).
@@ -232,6 +237,7 @@ impl ShardMetrics {
             loop_events: self.loop_events.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             route_errors: self.route_errors.load(Ordering::Relaxed),
+            frame_errors: self.frame_errors.load(Ordering::Relaxed),
             batch_sizes: self.batch_sizes.snapshot(),
             wait_ns: self.wait_ns.snapshot(),
             proc_ns: self.proc_ns.snapshot(),
@@ -284,6 +290,7 @@ impl ShardSnapshot {
         obj.set("loop_events", Json::UInt(self.loop_events));
         obj.set("batches", Json::UInt(self.batches));
         obj.set("route_errors", Json::UInt(self.route_errors));
+        obj.set("frame_errors", Json::UInt(self.frame_errors));
         obj.set("cpu_ns", Json::UInt(self.cpu_ns));
         obj.set("capacity_pps", Json::Float(self.capacity_pps()));
         obj.set("batch_size", self.batch_sizes.to_json());

@@ -88,6 +88,13 @@ pub struct EnginePacket {
     pub seq: u64,
     /// The path this packet will follow.
     pub path: PathSpec,
+    /// The packet's wire bytes (Ethernet header + Unroller shim +
+    /// payload), processed in place by the worker's zero-copy path.
+    /// `None` for generated traffic: the worker supplies a reusable
+    /// scratch frame, so synthetic packets stay allocation-free.
+    /// `Some` for replayed captures, which carry their recorded bytes
+    /// (shim state included) through the pipelines.
+    pub frame: Option<Vec<u8>>,
 }
 
 #[cfg(test)]

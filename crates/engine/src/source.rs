@@ -1,17 +1,27 @@
 //! Traffic sources: where engine packets come from.
 //!
-//! Two implementations cover the CLI's needs: a purely synthetic
-//! generator (virtual nodes, no topology required) and a
+//! Four implementations cover the CLI's needs: a purely synthetic
+//! generator (virtual nodes, no topology required), a
 //! simulator-replay adapter that resolves flows through a
 //! [`Simulator`]'s real forwarding tables — including any injected
-//! routing loops — and replays the routed paths as packet streams.
+//! routing loops — and replays the routed paths as packet streams, a
+//! pcap replay source ([`PcapReplaySource`]) that feeds recorded wire
+//! frames straight into the workers' zero-copy path, and a capture tee
+//! ([`CaptureSource`]) that records any other source's traffic as a
+//! pcap file replayable later.
 
 use crate::flow::FlowKey;
 use crate::packet::{EnginePacket, PathSpec};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use unroller_core::InPacketDetector;
+use unroller_dataplane::parser::build_frame;
+use unroller_dataplane::{
+    EthernetHeader, HeaderLayout, PcapError, PcapReader, PcapWriter, WireHeader, ETHERTYPE_UNROLLER,
+};
 use unroller_sim::Simulator;
 use unroller_topology::NodeId;
 
@@ -196,6 +206,7 @@ impl TrafficSource for ReplaySource {
                 flow: flow.key,
                 seq: flow.seq,
                 path,
+                frame: None,
             });
             flow.seq += 1;
             self.emitted += 1;
@@ -266,6 +277,175 @@ impl SyntheticSource {
 impl TrafficSource for SyntheticSource {
     fn fill(&mut self, max: usize, out: &mut Vec<EnginePacket>) -> usize {
         self.inner.fill(max, out)
+    }
+}
+
+/// Replays the frames of a classic pcap capture through the engine.
+///
+/// Each record's Ethernet header identifies the flow: MACs following
+/// the [`EthernetHeader::for_hosts`] convention map back to
+/// `(src_host, dst_host)` node pairs, and a caller-supplied resolver
+/// turns each pair into the path its packets follow (typically a
+/// closure over [`Simulator::route`]). The recorded bytes ride along on
+/// every packet ([`EnginePacket::frame`]) so workers process the
+/// captured shim state itself — a frame captured mid-journey resumes
+/// exactly where the capture point saw it. Records the engine cannot
+/// attribute (runts, foreign MACs, non-Unroller EtherTypes,
+/// unresolvable pairs) are counted in
+/// [`PcapReplaySource::skipped_frames`], never silently dropped.
+#[derive(Debug)]
+pub struct PcapReplaySource {
+    packets: std::collections::VecDeque<EnginePacket>,
+    skipped: u64,
+}
+
+impl PcapReplaySource {
+    /// Drains `reader` and resolves every attributable frame into an
+    /// engine packet. Fails on a malformed capture (truncated record);
+    /// unattributable-but-well-formed records are skipped and counted.
+    pub fn from_reader<F>(reader: PcapReader, mut resolve: F) -> Result<Self, PcapError>
+    where
+        F: FnMut(NodeId, NodeId) -> Option<PathSpec>,
+    {
+        let mut packets = std::collections::VecDeque::new();
+        let mut skipped = 0u64;
+        // Per endpoint-pair state: flow index (stable per pair, in
+        // first-appearance order), resolved path, next sequence number.
+        let mut flows: HashMap<(u32, u32), (u32, Option<PathSpec>, u64)> = HashMap::new();
+        for record in reader {
+            let record = record?;
+            let Some(eth) = EthernetHeader::decode(&record.data) else {
+                skipped += 1; // runt: not even an Ethernet header
+                continue;
+            };
+            if eth.ethertype != ETHERTYPE_UNROLLER {
+                skipped += 1;
+                continue;
+            }
+            let Some((src, dst)) = eth.host_pair() else {
+                skipped += 1; // foreign MACs: no host mapping
+                continue;
+            };
+            let next_index = flows.len() as u32;
+            let (flow_index, path, seq) = flows
+                .entry((src, dst))
+                .or_insert_with(|| (next_index, resolve(src as NodeId, dst as NodeId), 0));
+            let Some(path) = path else {
+                skipped += 1; // resolver knows no route for this pair
+                continue;
+            };
+            packets.push_back(EnginePacket {
+                flow: FlowKey::synthetic(src, dst, *flow_index),
+                seq: *seq,
+                path: path.clone(),
+                frame: Some(record.data),
+            });
+            *seq += 1;
+        }
+        Ok(PcapReplaySource { packets, skipped })
+    }
+
+    /// Opens and drains a capture file.
+    pub fn open<F>(
+        path: impl AsRef<std::path::Path>,
+        resolve: F,
+    ) -> std::io::Result<Result<Self, PcapError>>
+    where
+        F: FnMut(NodeId, NodeId) -> Option<PathSpec>,
+    {
+        match PcapReader::open(path)? {
+            Ok(reader) => Ok(Self::from_reader(reader, resolve)),
+            Err(e) => Ok(Err(e)),
+        }
+    }
+
+    /// Packets ready to replay.
+    pub fn packet_count(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Records the capture held that could not be attributed to a flow.
+    pub fn skipped_frames(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The flows whose resolved paths loop (ground truth for recall
+    /// when replaying a capture through a looping routing state).
+    pub fn looping_flow_keys(&self) -> Vec<FlowKey> {
+        let mut seen = std::collections::HashSet::new();
+        self.packets
+            .iter()
+            .filter(|p| p.path.loops() && seen.insert(p.flow))
+            .map(|p| p.flow)
+            .collect()
+    }
+}
+
+impl TrafficSource for Box<dyn TrafficSource> {
+    fn fill(&mut self, max: usize, out: &mut Vec<EnginePacket>) -> usize {
+        (**self).fill(max, out)
+    }
+}
+
+impl TrafficSource for PcapReplaySource {
+    fn fill(&mut self, max: usize, out: &mut Vec<EnginePacket>) -> usize {
+        let mut produced = 0;
+        while produced < max {
+            let Some(p) = self.packets.pop_front() else {
+                break;
+            };
+            out.push(p);
+            produced += 1;
+        }
+        produced
+    }
+}
+
+/// A tee that records another source's traffic as a pcap capture while
+/// passing it through unchanged — except each packet also gets its
+/// initial wire frame attached, so what the engine processes is exactly
+/// what the capture holds. Frames are synthesized at the source host:
+/// MACs from the flow's endpoint addresses, an all-zero Unroller shim,
+/// and timestamps spaced 1 µs apart in emission order.
+pub struct CaptureSource<S> {
+    inner: S,
+    writer: Arc<Mutex<PcapWriter>>,
+    layout: HeaderLayout,
+    emitted: u64,
+}
+
+impl<S: TrafficSource> CaptureSource<S> {
+    /// Wraps `inner`, recording into `writer` (shared so the capture
+    /// can be written out after the engine consumes the source).
+    pub fn new(inner: S, layout: HeaderLayout, writer: Arc<Mutex<PcapWriter>>) -> Self {
+        CaptureSource {
+            inner,
+            writer,
+            layout,
+            emitted: 0,
+        }
+    }
+}
+
+impl<S: TrafficSource> TrafficSource for CaptureSource<S> {
+    fn fill(&mut self, max: usize, out: &mut Vec<EnginePacket>) -> usize {
+        let start = out.len();
+        let produced = self.inner.fill(max, out);
+        let mut writer = self.writer.lock().expect("capture writer poisoned");
+        for p in &mut out[start..] {
+            let src = p.flow.src_ip & 0x00ff_ffff;
+            let dst = p.flow.dst_ip & 0x00ff_ffff;
+            let frame = build_frame(
+                &self.layout,
+                &EthernetHeader::for_hosts(src, dst),
+                &WireHeader::initial(&self.layout),
+                b"unroller-capture",
+            );
+            writer.push(self.emitted * 1_000, &frame);
+            self.emitted += 1;
+            p.frame = Some(frame);
+        }
+        produced
     }
 }
 
@@ -357,5 +537,119 @@ mod tests {
         assert_eq!(out.len(), 200);
         assert!(out[..50].iter().all(|p| !p.path.loops()));
         assert!(out[50..].iter().any(|p| p.path.loops()));
+    }
+
+    #[test]
+    fn capture_then_replay_roundtrips_the_traffic() {
+        // Record a simulator replay into an in-memory pcap, then feed
+        // that capture back through PcapReplaySource: same packet
+        // count, same per-pair flow streams, frames attached.
+        let params = unroller_core::UnrollerParams::default();
+        let layout = HeaderLayout::from_params(&params);
+        let mut sim1 = sim();
+        let inner = ReplaySource::from_sim(&mut sim1, 3, 40, None, 5);
+        let writer = Arc::new(Mutex::new(PcapWriter::default()));
+        let mut captured = CaptureSource::new(inner, layout, writer.clone());
+        let mut original = Vec::new();
+        while captured.fill(16, &mut original) > 0 {}
+        assert_eq!(original.len(), 40);
+        assert!(original.iter().all(|p| p.frame.is_some()));
+        drop(captured);
+        let pcap = Arc::try_unwrap(writer)
+            .expect("sole owner after the source is drained")
+            .into_inner()
+            .unwrap()
+            .finish();
+
+        let sim2 = sim();
+        let reader = PcapReader::new(pcap).unwrap();
+        let mut replay = PcapReplaySource::from_reader(reader, |src, dst| {
+            Some(PathSpec::from_route(&sim2.route(src, dst)))
+        })
+        .unwrap();
+        assert_eq!(replay.packet_count(), 40);
+        assert_eq!(replay.skipped_frames(), 0);
+        let mut replayed = Vec::new();
+        while replay.fill(16, &mut replayed) > 0 {}
+        assert_eq!(replayed.len(), 40);
+        for (a, b) in original.iter().zip(&replayed) {
+            assert_eq!(a.frame, b.frame, "recorded bytes survive the roundtrip");
+            assert_eq!(
+                (a.flow.src_ip, a.flow.dst_ip),
+                (b.flow.src_ip, b.flow.dst_ip),
+                "endpoints recovered from the MACs"
+            );
+        }
+        // Per-pair sequence numbers are contiguous from zero.
+        let mut per_flow: std::collections::HashMap<FlowKey, Vec<u64>> = Default::default();
+        for p in &replayed {
+            per_flow.entry(p.flow).or_default().push(p.seq);
+        }
+        for seqs in per_flow.values() {
+            assert_eq!(seqs, &(0..seqs.len() as u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pcap_replay_skips_unattributable_records() {
+        let params = unroller_core::UnrollerParams::default();
+        let layout = HeaderLayout::from_params(&params);
+        let mut w = PcapWriter::default();
+        // 1: a healthy Unroller frame between hosts 1 and 2.
+        w.push(
+            0,
+            &build_frame(
+                &layout,
+                &EthernetHeader::for_hosts(1, 2),
+                &WireHeader::initial(&layout),
+                b"ok",
+            ),
+        );
+        // 2: a runt (too short for an Ethernet header).
+        w.push(1_000, &[0xab; 5]);
+        // 3: a non-Unroller EtherType.
+        let mut eth = EthernetHeader::for_hosts(1, 2);
+        eth.ethertype = 0x0800;
+        w.push(
+            2_000,
+            &build_frame(&layout, &eth, &WireHeader::initial(&layout), b"ipv4"),
+        );
+        // 4: foreign MACs.
+        let mut foreign = build_frame(
+            &layout,
+            &EthernetHeader::for_hosts(1, 2),
+            &WireHeader::initial(&layout),
+            b"who",
+        );
+        foreign[6] = 0xde; // clobber the source MAC's 0x02 prefix
+        w.push(3_000, &foreign);
+        // 5: a pair the resolver cannot route.
+        w.push(
+            4_000,
+            &build_frame(
+                &layout,
+                &EthernetHeader::for_hosts(7, 9),
+                &WireHeader::initial(&layout),
+                b"lost",
+            ),
+        );
+        let reader = PcapReader::new(w.finish()).unwrap();
+        let src = PcapReplaySource::from_reader(reader, |s, d| {
+            (s == 1 && d == 2).then(|| PathSpec::linear(vec![0, 1]))
+        })
+        .unwrap();
+        assert_eq!(src.packet_count(), 1);
+        assert_eq!(src.skipped_frames(), 4);
+    }
+
+    #[test]
+    fn pcap_replay_surfaces_corrupt_captures() {
+        let mut w = PcapWriter::default();
+        w.push(0, &[1, 2, 3]);
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - 1);
+        let reader = PcapReader::new(bytes).unwrap();
+        let err = PcapReplaySource::from_reader(reader, |_, _| None).unwrap_err();
+        assert_eq!(err, PcapError::TruncatedRecord { index: 0 });
     }
 }

@@ -10,6 +10,14 @@
 //! on this one shard, so nothing about a packet's journey is ever
 //! visible to another thread.
 //!
+//! **Wire-frame hot path.** Every hop runs
+//! [`UnrollerPipeline::process_frame_in_place`] on a raw byte frame:
+//! shim bits are read and rewritten directly in the buffer, with no
+//! header decode and no allocation. Generated packets share one
+//! shard-owned scratch frame (only its shim bytes are re-zeroed per
+//! packet); packets replayed from a capture carry their own recorded
+//! bytes and are processed in them, shim state and all.
+//!
 //! **Supervision.** Packet processing runs inside `catch_unwind`: a
 //! panic (injected by a [`FaultPlan`](crate::faults::FaultPlan) or a
 //! real bug) loses exactly the packet being processed — counted in
@@ -23,11 +31,12 @@
 
 use crate::aggregate::LoopEvent;
 use crate::faults::{
-    apply_bitflip, inject_panic, install_quiet_panic_hook, EventFate, EventFaults, PacketFault,
-    ShardFaults,
+    apply_bitflip_frame, inject_panic, install_quiet_panic_hook, EventFate, EventFaults,
+    PacketFault, ShardFaults,
 };
+use crate::flow::FlowKey;
 use crate::metrics::{thread_cpu_ns, ShardMetrics};
-use crate::packet::EnginePacket;
+use crate::packet::{EnginePacket, PathSpec};
 use crate::ring::RingConsumer;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -36,12 +45,19 @@ use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use unroller_core::SwitchId;
-use unroller_dataplane::{HeaderLayout, UnrollerPipeline, WireHeader};
+use unroller_dataplane::parser::build_frame;
+use unroller_dataplane::{
+    EthernetHeader, HeaderLayout, UnrollerPipeline, WireHeader, ETH_HEADER_LEN,
+};
 
 /// Cap on §3.5 membership collection: a real switch would bound the
 /// report it punts to the controller; 64 IDs covers any loop a sane
 /// TTL lets live.
 const MEMBERSHIP_CAP: usize = 64;
+
+/// Minimum Ethernet frame length; the scratch frame is padded to it so
+/// processing touches realistically sized wire buffers.
+const MIN_FRAME_LEN: usize = 64;
 
 /// One shard's processing loop.
 pub struct ShardWorker {
@@ -83,9 +99,10 @@ impl ShardWorker {
         }
         let cpu_start = thread_cpu_ns();
         let mut working: Vec<UnrollerPipeline> = (*self.pipelines).clone();
-        // One scratch header reused across every packet: walking a path
-        // allocates nothing.
-        let mut scratch = WireHeader::initial(&self.layout);
+        // One scratch wire frame reused across every frameless packet:
+        // the zero-copy pipeline rewrites shim bits in this buffer
+        // directly, so walking a path allocates nothing.
+        let mut scratch = self.scratch_frame();
         let mut batch: Vec<EnginePacket> = Vec::with_capacity(self.batch_size);
         let mut pfaults: Vec<PacketFault> = Vec::new();
         let mut faults = self.faults.take();
@@ -134,7 +151,7 @@ impl ShardWorker {
                         let i = cursor.get();
                         cursor.set(i + 1);
                         let fault = pfaults.get(i).copied().unwrap_or(PacketFault::None);
-                        self.process(&working, &batch[i], &mut scratch, fault);
+                        self.process(&working, &mut batch[i], &mut scratch, fault);
                     }
                 }));
                 if outcome.is_ok() {
@@ -154,10 +171,10 @@ impl ShardWorker {
                 restarts += 1;
                 self.metrics.restarts.fetch_add(1, Ordering::Relaxed);
                 // Restart: re-pin this shard's flows to fresh pipeline
-                // clones and a clean scratch header, discarding any
+                // clones and a clean scratch frame, discarding any
                 // state the panic left half-written.
                 working = (*self.pipelines).clone();
-                scratch = WireHeader::initial(&self.layout);
+                scratch = self.scratch_frame();
             }
             self.metrics
                 .packets
@@ -188,13 +205,31 @@ impl ShardWorker {
         }
     }
 
-    /// Walks one packet along its path through the per-switch
-    /// pipelines, applying this packet's injected fault (if any).
+    /// The reusable wire buffer for frameless packets: a minimum-size
+    /// Ethernet frame carrying an all-zero shim. Only the shim bytes
+    /// are reset between packets (the rest is never written).
+    fn scratch_frame(&self) -> Vec<u8> {
+        let mut frame = build_frame(
+            &self.layout,
+            &EthernetHeader::for_hosts(0, 1),
+            &WireHeader::initial(&self.layout),
+            &[],
+        );
+        frame.resize(frame.len().max(MIN_FRAME_LEN), 0);
+        frame
+    }
+
+    /// Walks one packet's wire frame along its path through the
+    /// per-switch pipelines — shim bits rewritten in place at every hop
+    /// via the zero-copy frame path — applying this packet's injected
+    /// fault (if any). Packets without a frame of their own (generated
+    /// traffic) borrow the shard's scratch frame; replayed captures are
+    /// processed in their recorded bytes.
     fn process(
         &self,
         pipelines: &[UnrollerPipeline],
-        packet: &EnginePacket,
-        scratch: &mut WireHeader,
+        packet: &mut EnginePacket,
+        scratch: &mut [u8],
         fault: PacketFault,
     ) {
         let mut flip = match fault {
@@ -205,9 +240,16 @@ impl ShardWorker {
             PacketFault::BitFlip { at_hop, bit } => Some((at_hop, bit)),
             PacketFault::None => None,
         };
-        scratch.xcnt = 0;
-        scratch.thcnt = 0;
-        scratch.swids.fill(0);
+        let frame: &mut [u8] = match packet.frame.as_mut() {
+            Some(frame) => frame,
+            None => {
+                // Source host emits an all-zero shim: reset just those
+                // bytes; everything else in the scratch frame is inert.
+                let shim_end = ETH_HEADER_LEN + self.layout.total_bytes();
+                scratch[ETH_HEADER_LEN..shim_end].fill(0);
+                scratch
+            }
+        };
 
         let mut hop = 0u32;
         loop {
@@ -225,7 +267,7 @@ impl ShardWorker {
             if let Some((at_hop, bit)) = flip {
                 if hop == at_hop {
                     // On-the-wire corruption between two switches.
-                    apply_bitflip(scratch, bit);
+                    apply_bitflip_frame(frame, &self.layout, bit);
                     self.metrics
                         .bitflips_injected
                         .fetch_add(1, Ordering::Relaxed);
@@ -233,10 +275,22 @@ impl ShardWorker {
                 }
             }
             hop += 1;
-            if pipeline.process_header(scratch).reported() {
-                self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
-                self.report_loop(packet, node, hop);
-                return;
+            match pipeline.process_frame_in_place(frame) {
+                Ok(verdict) if verdict.reported() => {
+                    self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
+                    self.report_loop(packet.flow, packet.seq, &packet.path, node, hop);
+                    return;
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    // A malformed frame fails identically at every
+                    // switch: count it once and terminate the walk.
+                    self.metrics
+                        .hops
+                        .fetch_add(hop as u64 - 1, Ordering::Relaxed);
+                    self.metrics.frame_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
             }
             if hop >= self.max_hops {
                 self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
@@ -248,14 +302,16 @@ impl ShardWorker {
 
     /// §3.5 membership collection: from the trigger switch, keep
     /// following the (known, looping) path recording switch IDs until
-    /// the trigger reappears — the recorded set is the loop.
-    fn report_loop(&self, packet: &EnginePacket, trigger_node: usize, hop: u32) {
+    /// the trigger reappears — the recorded set is the loop. Takes the
+    /// packet's fields separately so the caller's in-place frame borrow
+    /// stays undisturbed.
+    fn report_loop(&self, flow: FlowKey, seq: u64, path: &PathSpec, trigger_node: usize, hop: u32) {
         let trigger = self.ids[trigger_node];
         let mut members = vec![trigger];
         let mut complete = false;
         let mut i = hop as usize; // path index of the hop *after* the trigger
         while members.len() < MEMBERSHIP_CAP {
-            let Some(node) = packet.path.hop(i) else {
+            let Some(node) = path.hop(i) else {
                 break;
             };
             let Some(&id) = self.ids.get(node) else {
@@ -270,8 +326,8 @@ impl ShardWorker {
         }
         self.metrics.loop_events.fetch_add(1, Ordering::Relaxed);
         let event = LoopEvent {
-            flow: packet.flow,
-            seq: packet.seq,
+            flow,
+            seq,
             shard: self.shard,
             trigger,
             hop,
@@ -361,6 +417,7 @@ mod tests {
             flow: FlowKey::synthetic(0, 1, 0),
             seq,
             path,
+            frame: None,
         }
     }
 
@@ -539,7 +596,9 @@ mod tests {
         assert_eq!(snap.packets, 100, "corruption never crashes the walk");
         assert!(snap.bitflips_injected > 0, "flips landed");
         // A flipped header may mis-deliver or false-report, but every
-        // packet still terminates one way or another.
+        // packet still terminates one way or another. Flips land inside
+        // the shim, so the frame itself stays parseable.
+        assert_eq!(snap.frame_errors, 0);
         assert_eq!(
             snap.delivered + snap.ttl_dropped + snap.loop_events + snap.route_errors,
             100
@@ -575,6 +634,72 @@ mod tests {
         assert_eq!(snap.stalls_injected, 1);
         assert_eq!(snap.stalls_aborted, 1);
         assert_eq!(snap.packets, 1);
+    }
+
+    #[test]
+    fn carried_frames_are_processed_in_their_own_bytes() {
+        // A packet with recorded wire bytes (a capture replay) must be
+        // processed in that buffer: a shim pre-walked through switches
+        // 0 and 1 re-enters switch 0 and reports on the FIRST hop of
+        // the replayed walk — state the scratch frame would not have.
+        let (worker, producer, ev_rx) = worker_fixture(6, 64);
+        let params = UnrollerParams::default();
+        let layout = HeaderLayout::from_params(&params);
+        let mut frame = build_frame(
+            &layout,
+            &EthernetHeader::for_hosts(0, 1),
+            &WireHeader::initial(&layout),
+            b"replayed",
+        );
+        // Pre-walk: the capture point saw the packet after switches
+        // 100 and 101 (the fixture's IDs for nodes 0 and 1).
+        UnrollerPipeline::new(100, params)
+            .unwrap()
+            .process_frame_in_place(&mut frame)
+            .unwrap();
+        UnrollerPipeline::new(101, params)
+            .unwrap()
+            .process_frame_in_place(&mut frame)
+            .unwrap();
+        let metrics = worker.metrics.clone();
+        let mut p = packet(0, PathSpec::linear(vec![0, 2, 3]));
+        p.frame = Some(frame);
+        producer.push(p);
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.loop_events, 1, "carried shim state must be honored");
+        assert_eq!(snap.hops, 1, "reported on the first replayed hop");
+        let event = ev_rx.recv_timeout(RECV_WAIT).expect("loop event");
+        assert_eq!(event.trigger, 100);
+    }
+
+    #[test]
+    fn malformed_frames_count_frame_errors() {
+        let (worker, producer, _ev_rx) = worker_fixture(4, 64);
+        let metrics = worker.metrics.clone();
+        let mut runt = packet(0, PathSpec::linear(vec![0, 1]));
+        runt.frame = Some(vec![0u8; 6]); // shorter than an Ethernet header
+        producer.push(runt);
+        let mut wrong_type = packet(1, PathSpec::linear(vec![0, 1]));
+        let params = UnrollerParams::default();
+        let layout = HeaderLayout::from_params(&params);
+        let mut eth = EthernetHeader::for_hosts(0, 1);
+        eth.ethertype = 0x0800;
+        wrong_type.frame = Some(build_frame(
+            &layout,
+            &eth,
+            &WireHeader::initial(&layout),
+            b"ipv4",
+        ));
+        producer.push(wrong_type);
+        producer.push(packet(2, PathSpec::linear(vec![0, 1]))); // healthy
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.packets, 3, "malformed frames still count consumed");
+        assert_eq!(snap.frame_errors, 2);
+        assert_eq!(snap.delivered, 1);
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(SimTime, u64)>>,
     payloads: std::collections::HashMap<u64, E>,
     seq: u64,
+    orphaned: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -24,6 +25,7 @@ impl<E> Default for EventQueue<E> {
             heap: BinaryHeap::new(),
             payloads: std::collections::HashMap::new(),
             seq: 0,
+            orphaned: 0,
         }
     }
 }
@@ -43,10 +45,37 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the earliest event (FIFO among equal timestamps).
+    ///
+    /// A heap entry whose payload has already been taken — a duplicated
+    /// delivery, which fault injection can produce — is skipped (and
+    /// counted in [`EventQueue::orphaned_count`]) rather than panicking;
+    /// this used to be an `expect("payload tracked")`.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse((time, seq)) = self.heap.pop()?;
-        let event = self.payloads.remove(&seq).expect("payload tracked");
-        Some((time, event))
+        loop {
+            let Reverse((time, seq)) = self.heap.pop()?;
+            match self.payloads.remove(&seq) {
+                Some(event) => return Some((time, event)),
+                None => self.orphaned += 1,
+            }
+        }
+    }
+
+    /// Pops the earliest event at or before `deadline`, skipping
+    /// orphaned heap entries the same way [`EventQueue::pop`] does.
+    /// Returns `None` (leaving the queue intact) once the next live
+    /// event is past the deadline.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let &Reverse((time, seq)) = self.heap.peek()?;
+            if time > deadline {
+                return None;
+            }
+            self.heap.pop();
+            match self.payloads.remove(&seq) {
+                Some(event) => return Some((time, event)),
+                None => self.orphaned += 1,
+            }
+        }
     }
 
     /// Timestamp of the next event, if any.
@@ -54,14 +83,21 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse((t, _))| *t)
     }
 
-    /// Number of pending events.
+    /// How many duplicated heap entries (entries whose payload had
+    /// already been delivered) have been skipped so far.
+    pub fn orphaned_count(&self) -> u64 {
+        self.orphaned
+    }
+
+    /// Number of pending events (live payloads, not heap entries —
+    /// orphaned duplicates don't count).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.payloads.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.payloads.is_empty()
     }
 }
 
@@ -90,6 +126,60 @@ mod tests {
         assert_eq!(q.pop(), Some((5, 1)));
         assert_eq!(q.pop(), Some((5, 2)));
         assert_eq!(q.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn duplicated_delivery_is_skipped_not_panicked() {
+        // Regression: a heap entry whose payload was already delivered
+        // (the desync fault injection can produce) used to hit
+        // `expect("payload tracked")`. It must be skipped and counted.
+        let mut q = EventQueue::new();
+        q.push(10, "a");
+        q.push(20, "b");
+        // Duplicate seq 0's heap entry, as a double-delivery would.
+        q.heap.push(Reverse((10, 0)));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")), "orphan skipped, not panicked");
+        assert_eq!(q.orphaned_count(), 1);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(10, "a");
+        q.push(30, "b");
+        assert_eq!(q.pop_before(20), Some((10, "a")));
+        assert_eq!(q.pop_before(20), None, "next event is past the deadline");
+        assert_eq!(q.len(), 1, "deadline miss leaves the queue intact");
+        assert_eq!(q.pop_before(30), Some((30, "b")));
+        assert_eq!(q.pop_before(u64::MAX), None);
+    }
+
+    #[test]
+    fn pop_before_skips_orphans_without_overshooting() {
+        let mut q = EventQueue::new();
+        q.push(10, "a");
+        q.push(40, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        // Re-inject seq 0 as an orphan ahead of the deadline; the live
+        // event behind it is past the deadline and must stay queued.
+        q.heap.push(Reverse((10, 0)));
+        assert_eq!(q.pop_before(20), None);
+        assert_eq!(q.orphaned_count(), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(40), Some((40, "b")));
+    }
+
+    #[test]
+    fn len_counts_live_events_not_heap_entries() {
+        let mut q = EventQueue::new();
+        q.push(5, ());
+        q.heap.push(Reverse((5, 0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -413,11 +413,9 @@ impl<D: InPacketDetector> Simulator<D> {
     pub fn run_until(&mut self, deadline: SimTime, max_events: u64) -> &SimStats {
         let mut fired = 0;
         while fired < max_events {
-            match self.queue.peek_time() {
-                Some(t) if t <= deadline => {}
-                _ => break,
-            }
-            let (time, event) = self.queue.pop().expect("peeked");
+            let Some((time, event)) = self.queue.pop_before(deadline) else {
+                break;
+            };
             self.now = time;
             match event {
                 Event::Arrive { packet, node } => self.arrive(packet, node),
