@@ -46,6 +46,7 @@ struct Options {
     watchdog_ms: Option<u64>,
     replay: Option<String>,
     capture: Option<String>,
+    pin: bool,
 }
 
 impl Default for Options {
@@ -71,6 +72,7 @@ impl Default for Options {
             watchdog_ms: None,
             replay: None,
             capture: None,
+            pin: false,
         }
     }
 }
@@ -113,6 +115,10 @@ fn usage() -> ! {
                              a shard's ring saturates (counted)\n\
            --watchdog-ms N   poll shard progress every N ms and kick\n\
                              stalled shards\n\
+           --pin             pin each worker shard to a CPU core\n\
+                             (round-robin over available cores; the\n\
+                             chosen core is recorded per shard in the\n\
+                             JSON report)\n\
            --replay FILE     replay a classic pcap capture instead of\n\
                              generating traffic: frames are attributed\n\
                              to flows by their Unroller MAC convention\n\
@@ -208,6 +214,7 @@ fn parse_args() -> Options {
             "--replay" => opts.replay = Some(value("--replay")),
             "--capture" => opts.capture = Some(value("--capture")),
             "--shed" => opts.shed = true,
+            "--pin" => opts.pin = true,
             "--watchdog-ms" => {
                 opts.watchdog_ms = Some(num("--watchdog-ms", value("--watchdog-ms")))
             }
@@ -339,6 +346,7 @@ fn main() {
         faults: opts.faults.clone(),
         shed: opts.shed,
         watchdog: opts.watchdog_ms.map(Duration::from_millis),
+        pin_cores: opts.pin,
         ..EngineConfig::default()
     };
 

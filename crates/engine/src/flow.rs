@@ -38,6 +38,7 @@ impl FlowKey {
     /// A synthetic flow key for generated traffic: host-style addresses
     /// derived from endpoint indices, a per-flow source port so distinct
     /// flows between the same endpoints still spread across shards.
+    #[inline]
     pub fn synthetic(src: u32, dst: u32, flow_index: u32) -> Self {
         FlowKey {
             src_ip: 0x0a00_0000 | (src & 0x00ff_ffff),

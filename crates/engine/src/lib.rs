@@ -41,9 +41,13 @@
 //! assert!(report.accounted());
 //! ```
 
-#![forbid(unsafe_code)]
+// deny (not forbid) so the one audited exception — the
+// `sched_setaffinity` binding in [`affinity`] — can opt in with an
+// explicit `#[allow]`; everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod aggregate;
 pub mod engine;
 pub mod faults;
@@ -52,6 +56,7 @@ pub mod json;
 pub mod metrics;
 pub mod packet;
 pub mod ring;
+pub mod route;
 pub mod scaling;
 pub mod source;
 pub mod supervise;
@@ -64,7 +69,8 @@ pub use flow::FlowKey;
 pub use json::Json;
 pub use metrics::{Histogram, HistogramSnapshot, ShardMetrics, ShardSnapshot};
 pub use packet::{EnginePacket, PathSpec};
-pub use ring::{FullPolicy, PushOutcome, RingCounters, RingCountersSnapshot};
+pub use ring::{BatchPush, FullPolicy, PushOutcome, RingCounters, RingCountersSnapshot};
+pub use route::{CompiledRoute, RouteId, RouteSet, RouteSetBuilder};
 pub use scaling::{run_scaling, ScalingReport, ScalingRun};
 pub use source::{
     CaptureSource, LoopInjection, PcapReplaySource, ReplaySource, SyntheticSource, TrafficSource,

@@ -177,6 +177,10 @@ pub struct ShardMetrics {
     /// Loop-event sends that failed because the aggregator was gone
     /// (tolerated, not panicked on).
     pub events_send_failed: AtomicU64,
+    /// CPU core this shard's worker pinned itself to, stored as
+    /// `core + 1` (0 means not pinned — pinning off, unsupported OS, or
+    /// `sched_setaffinity` refused).
+    pub pinned_core: AtomicU64,
 }
 
 /// A point-in-time copy of one shard's metrics.
@@ -224,6 +228,8 @@ pub struct ShardSnapshot {
     pub events_duplicated_injected: u64,
     /// Loop-event sends that failed post-aggregator-teardown.
     pub events_send_failed: u64,
+    /// CPU core the worker pinned itself to; `None` when unpinned.
+    pub pinned_core: Option<u64>,
 }
 
 impl ShardMetrics {
@@ -251,6 +257,7 @@ impl ShardMetrics {
             events_dropped_injected: self.events_dropped_injected.load(Ordering::Relaxed),
             events_duplicated_injected: self.events_duplicated_injected.load(Ordering::Relaxed),
             events_send_failed: self.events_send_failed.load(Ordering::Relaxed),
+            pinned_core: self.pinned_core.load(Ordering::Relaxed).checked_sub(1),
         }
     }
 
@@ -292,6 +299,11 @@ impl ShardSnapshot {
         obj.set("route_errors", Json::UInt(self.route_errors));
         obj.set("frame_errors", Json::UInt(self.frame_errors));
         obj.set("cpu_ns", Json::UInt(self.cpu_ns));
+        let pinned = match self.pinned_core {
+            Some(core) => Json::UInt(core),
+            None => Json::Null,
+        };
+        obj.set("pinned_core", pinned);
         obj.set("capacity_pps", Json::Float(self.capacity_pps()));
         obj.set("batch_size", self.batch_sizes.to_json());
         obj.set("wait_ns", self.wait_ns.to_json());

@@ -16,10 +16,11 @@ use unroller_topology::NodeId;
 
 /// A flow's forwarding path: `pre` hops followed by the `cycle` hops
 /// repeating forever. A loop-free path has an empty cycle. The hop
-/// lists are `Arc`-shared — thousands of packets of one flow reference
-/// one allocation, and cloning a packet across the dispatch ring is two
-/// refcount bumps.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// lists are `Arc`-shared, and this is the *spec* form a traffic source
+/// builds; before packets flow it is interned once into a
+/// [`CompiledRoute`](crate::route::CompiledRoute), so packets carry a
+/// [`RouteId`](crate::route::RouteId) instead of cloning these `Arc`s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PathSpec {
     /// Hops before the cycle (the full path when loop-free).
     pub pre: Arc<[NodeId]>,
@@ -79,22 +80,26 @@ impl PathSpec {
     }
 }
 
-/// One packet moving through the engine.
+/// One packet moving through the engine. Kept deliberately small (see
+/// the size test below): every packet is moved through a ring slot, so
+/// the route is a 4-byte interned ID and the optional frame a single
+/// boxed pointer-pair.
 #[derive(Debug, Clone)]
 pub struct EnginePacket {
     /// The packet's flow (determines its shard).
     pub flow: FlowKey,
     /// Per-flow sequence number.
     pub seq: u64,
-    /// The path this packet will follow.
-    pub path: PathSpec,
+    /// The interned route this packet will follow, resolved against the
+    /// source's [`RouteSet`](crate::route::RouteSet).
+    pub route: crate::route::RouteId,
     /// The packet's wire bytes (Ethernet header + Unroller shim +
     /// payload), processed in place by the worker's zero-copy path.
     /// `None` for generated traffic: the worker supplies a reusable
     /// scratch frame, so synthetic packets stay allocation-free.
     /// `Some` for replayed captures, which carry their recorded bytes
     /// (shim state included) through the pipelines.
-    pub frame: Option<Vec<u8>>,
+    pub frame: Option<Box<[u8]>>,
 }
 
 #[cfg(test)]
@@ -152,5 +157,17 @@ mod tests {
         let p = PathSpec::looping(vec![0; 1000], vec![1, 2]);
         let q = p.clone();
         assert!(Arc::ptr_eq(&p.pre, &q.pre), "clone shares the allocation");
+    }
+
+    #[test]
+    fn engine_packet_stays_ring_slot_sized() {
+        // Every packet is moved into and out of a ring slot; keep it to
+        // well under a cache line. FlowKey (13 B, padded) + seq (8 B) +
+        // RouteId (4 B) + Option<Box<[u8]>> (16 B, niche-optimized).
+        assert!(
+            std::mem::size_of::<EnginePacket>() <= 48,
+            "EnginePacket grew to {} bytes; keep ring slots small",
+            std::mem::size_of::<EnginePacket>()
+        );
     }
 }

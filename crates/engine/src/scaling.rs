@@ -12,7 +12,9 @@
 //!   wall time stays flat while per-shard CPU cost does not lie).
 //!
 //! The report carries the host's `cpus` so a reader can tell which
-//! column is authoritative for a given run.
+//! column is authoritative for a given run. Runs inherit the caller's
+//! [`EngineConfig`] wholesale, so batched dispatch, shedding, and
+//! core pinning (`pin_cores`) all apply to every shard count swept.
 
 use crate::engine::{Engine, EngineConfig, EngineError, EngineReport};
 use crate::json::Json;

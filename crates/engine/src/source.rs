@@ -9,9 +9,16 @@
 //! frames straight into the workers' zero-copy path, and a capture tee
 //! ([`CaptureSource`]) that records any other source's traffic as a
 //! pcap file replayable later.
+//!
+//! Every source *interns* its paths up front: distinct [`PathSpec`]s
+//! are compiled once into a shared [`RouteSet`], and the packets a
+//! source emits carry only a copyable [`RouteId`] — emission is a
+//! couple of field writes, no allocation and no `Arc` refcount traffic,
+//! however many packets a flow sends.
 
 use crate::flow::FlowKey;
 use crate::packet::{EnginePacket, PathSpec};
+use crate::route::{RouteId, RouteSet, RouteSetBuilder};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
@@ -31,20 +38,26 @@ use unroller_topology::NodeId;
 pub trait TrafficSource {
     /// Produces the next burst of packets.
     fn fill(&mut self, max: usize, out: &mut Vec<EnginePacket>) -> usize;
+
+    /// The interned route set every emitted packet's
+    /// [`EnginePacket::route`] resolves against. The engine fetches it
+    /// once per run and shares it read-only with every shard.
+    fn routes(&self) -> Arc<RouteSet>;
 }
 
 struct FlowStream {
     key: FlowKey,
-    healthy: PathSpec,
-    poisoned: Option<PathSpec>,
+    healthy: RouteId,
+    poisoned: Option<RouteId>,
     seq: u64,
 }
 
 /// Replays packets along paths a source resolved up front, round-robin
-/// across flows, flipping every flow from its healthy path to its
+/// across flows, flipping every flow from its healthy route to its
 /// poisoned one at a configurable point in the stream — the moment the
 /// routing loop "happens" mid-run.
 pub struct ReplaySource {
+    routes: Arc<RouteSet>,
     flows: Vec<FlowStream>,
     emitted: u64,
     total: u64,
@@ -67,23 +80,27 @@ pub struct LoopInjection {
 
 impl ReplaySource {
     /// Builds a replay source from explicit per-flow paths (used by
-    /// tests and the synthetic path below).
+    /// tests and the synthetic path below), interning each distinct
+    /// path once.
     pub fn from_paths(
         flows: Vec<(FlowKey, PathSpec, Option<PathSpec>)>,
         total: u64,
         loop_at: Option<u64>,
     ) -> Self {
         assert!(!flows.is_empty(), "at least one flow");
+        let mut builder = RouteSetBuilder::new();
+        let flows = flows
+            .into_iter()
+            .map(|(key, healthy, poisoned)| FlowStream {
+                key,
+                healthy: builder.intern(&healthy),
+                poisoned: poisoned.map(|p| builder.intern(&p)),
+                seq: 0,
+            })
+            .collect();
         ReplaySource {
-            flows: flows
-                .into_iter()
-                .map(|(key, healthy, poisoned)| FlowStream {
-                    key,
-                    healthy,
-                    poisoned,
-                    seq: 0,
-                })
-                .collect(),
+            routes: builder.build(),
+            flows,
             emitted: 0,
             total,
             loop_at,
@@ -172,19 +189,19 @@ impl ReplaySource {
         ReplaySource::from_paths(flows, total, inject.map(|i| i.at_packet))
     }
 
-    /// Whether any flow's active path (post-injection) loops.
+    /// Whether any flow's active route (post-injection) loops.
     pub fn any_looping_flow(&self) -> bool {
         self.flows
             .iter()
-            .any(|f| f.poisoned.as_ref().map(|p| p.loops()).unwrap_or(false))
+            .any(|f| f.poisoned.is_some_and(|p| self.routes.get(p).loops()))
     }
 
-    /// The flows whose active (post-injection) path loops — the ground
+    /// The flows whose active (post-injection) route loops — the ground
     /// truth a detection-recall measurement compares detections against.
     pub fn looping_flow_keys(&self) -> Vec<FlowKey> {
         self.flows
             .iter()
-            .filter(|f| f.poisoned.as_ref().is_some_and(|p| p.loops()))
+            .filter(|f| f.poisoned.is_some_and(|p| self.routes.get(p).loops()))
             .map(|f| f.key)
             .collect()
     }
@@ -198,14 +215,16 @@ impl TrafficSource for ReplaySource {
             let poisoned_now = self.loop_at.map(|at| self.emitted >= at).unwrap_or(false);
             let flow = &mut self.flows[self.next_flow];
             self.next_flow = (self.next_flow + 1) % flow_count;
-            let path = match (&flow.poisoned, poisoned_now) {
-                (Some(p), true) => p.clone(),
-                _ => flow.healthy.clone(),
+            // RouteId is Copy: emitting a packet writes four fields and
+            // allocates nothing.
+            let route = match (flow.poisoned, poisoned_now) {
+                (Some(p), true) => p,
+                _ => flow.healthy,
             };
             out.push(EnginePacket {
                 flow: flow.key,
                 seq: flow.seq,
-                path,
+                route,
                 frame: None,
             });
             flow.seq += 1;
@@ -213,6 +232,10 @@ impl TrafficSource for ReplaySource {
             produced += 1;
         }
         produced
+    }
+
+    fn routes(&self) -> Arc<RouteSet> {
+        self.routes.clone()
     }
 }
 
@@ -278,6 +301,10 @@ impl TrafficSource for SyntheticSource {
     fn fill(&mut self, max: usize, out: &mut Vec<EnginePacket>) -> usize {
         self.inner.fill(max, out)
     }
+
+    fn routes(&self) -> Arc<RouteSet> {
+        self.inner.routes()
+    }
 }
 
 /// Replays the frames of a classic pcap capture through the engine.
@@ -286,8 +313,9 @@ impl TrafficSource for SyntheticSource {
 /// the [`EthernetHeader::for_hosts`] convention map back to
 /// `(src_host, dst_host)` node pairs, and a caller-supplied resolver
 /// turns each pair into the path its packets follow (typically a
-/// closure over [`Simulator::route`]). The recorded bytes ride along on
-/// every packet ([`EnginePacket::frame`]) so workers process the
+/// closure over [`Simulator::route`]); each resolved path is interned
+/// once, on the pair's first appearance. The recorded bytes ride along
+/// on every packet ([`EnginePacket::frame`]) so workers process the
 /// captured shim state itself — a frame captured mid-journey resumes
 /// exactly where the capture point saw it. Records the engine cannot
 /// attribute (runts, foreign MACs, non-Unroller EtherTypes,
@@ -295,6 +323,7 @@ impl TrafficSource for SyntheticSource {
 /// [`PcapReplaySource::skipped_frames`], never silently dropped.
 #[derive(Debug)]
 pub struct PcapReplaySource {
+    routes: Arc<RouteSet>,
     packets: std::collections::VecDeque<EnginePacket>,
     skipped: u64,
 }
@@ -309,9 +338,10 @@ impl PcapReplaySource {
     {
         let mut packets = std::collections::VecDeque::new();
         let mut skipped = 0u64;
+        let mut builder = RouteSetBuilder::new();
         // Per endpoint-pair state: flow index (stable per pair, in
-        // first-appearance order), resolved path, next sequence number.
-        let mut flows: HashMap<(u32, u32), (u32, Option<PathSpec>, u64)> = HashMap::new();
+        // first-appearance order), interned route, next sequence number.
+        let mut flows: HashMap<(u32, u32), (u32, Option<RouteId>, u64)> = HashMap::new();
         for record in reader {
             let record = record?;
             let Some(eth) = EthernetHeader::decode(&record.data) else {
@@ -327,22 +357,27 @@ impl PcapReplaySource {
                 continue;
             };
             let next_index = flows.len() as u32;
-            let (flow_index, path, seq) = flows
-                .entry((src, dst))
-                .or_insert_with(|| (next_index, resolve(src as NodeId, dst as NodeId), 0));
-            let Some(path) = path else {
+            let (flow_index, route, seq) = flows.entry((src, dst)).or_insert_with(|| {
+                let route = resolve(src as NodeId, dst as NodeId).map(|path| builder.intern(&path));
+                (next_index, route, 0)
+            });
+            let Some(route) = route else {
                 skipped += 1; // resolver knows no route for this pair
                 continue;
             };
             packets.push_back(EnginePacket {
                 flow: FlowKey::synthetic(src, dst, *flow_index),
                 seq: *seq,
-                path: path.clone(),
-                frame: Some(record.data),
+                route: *route,
+                frame: Some(record.data.into_boxed_slice()),
             });
             *seq += 1;
         }
-        Ok(PcapReplaySource { packets, skipped })
+        Ok(PcapReplaySource {
+            routes: builder.build(),
+            packets,
+            skipped,
+        })
     }
 
     /// Opens and drains a capture file.
@@ -369,13 +404,13 @@ impl PcapReplaySource {
         self.skipped
     }
 
-    /// The flows whose resolved paths loop (ground truth for recall
+    /// The flows whose resolved routes loop (ground truth for recall
     /// when replaying a capture through a looping routing state).
     pub fn looping_flow_keys(&self) -> Vec<FlowKey> {
         let mut seen = std::collections::HashSet::new();
         self.packets
             .iter()
-            .filter(|p| p.path.loops() && seen.insert(p.flow))
+            .filter(|p| self.routes.get(p.route).loops() && seen.insert(p.flow))
             .map(|p| p.flow)
             .collect()
     }
@@ -384,6 +419,10 @@ impl PcapReplaySource {
 impl TrafficSource for Box<dyn TrafficSource> {
     fn fill(&mut self, max: usize, out: &mut Vec<EnginePacket>) -> usize {
         (**self).fill(max, out)
+    }
+
+    fn routes(&self) -> Arc<RouteSet> {
+        (**self).routes()
     }
 }
 
@@ -398,6 +437,10 @@ impl TrafficSource for PcapReplaySource {
             produced += 1;
         }
         produced
+    }
+
+    fn routes(&self) -> Arc<RouteSet> {
+        self.routes.clone()
     }
 }
 
@@ -443,9 +486,13 @@ impl<S: TrafficSource> TrafficSource for CaptureSource<S> {
             );
             writer.push(self.emitted * 1_000, &frame);
             self.emitted += 1;
-            p.frame = Some(frame);
+            p.frame = Some(frame.into_boxed_slice());
         }
         produced
+    }
+
+    fn routes(&self) -> Arc<RouteSet> {
+        self.inner.routes()
     }
 }
 
@@ -466,6 +513,7 @@ mod tests {
     fn replay_emits_exactly_total_packets() {
         let mut sim = sim();
         let mut src = ReplaySource::from_sim(&mut sim, 4, 100, None, 1);
+        let routes = src.routes();
         let mut out = Vec::new();
         let mut got = 0;
         loop {
@@ -477,7 +525,10 @@ mod tests {
         }
         assert_eq!(got, 100);
         assert_eq!(out.len(), 100);
-        assert!(out.iter().all(|p| !p.path.loops()), "no injection");
+        assert!(
+            out.iter().all(|p| !routes.get(p.route).loops()),
+            "no injection"
+        );
     }
 
     #[test]
@@ -507,11 +558,13 @@ mod tests {
         };
         let mut src = ReplaySource::from_sim(&mut sim, 4, 80, Some(&inj), 3);
         assert!(src.any_looping_flow(), "some flow must cross the cycle");
+        let routes = src.routes();
         let mut out = Vec::new();
         while src.fill(16, &mut out) > 0 {}
         assert_eq!(out.len(), 80);
-        let early_loops = out[..20].iter().filter(|p| p.path.loops()).count();
-        let late_loops = out[20..].iter().filter(|p| p.path.loops()).count();
+        let loops = |p: &EnginePacket| routes.get(p.route).loops();
+        let early_loops = out[..20].iter().filter(|p| loops(p)).count();
+        let late_loops = out[20..].iter().filter(|p| loops(p)).count();
         assert_eq!(early_loops, 0, "healthy until the injection point");
         assert!(late_loops > 0, "poisoned paths after the injection point");
     }
@@ -532,11 +585,33 @@ mod tests {
     #[test]
     fn synthetic_source_marks_looping_flows() {
         let mut src = SyntheticSource::new(64, 10, 200, 2, 50, 11);
+        let routes = src.routes();
         let mut out = Vec::new();
         while src.fill(32, &mut out) > 0 {}
         assert_eq!(out.len(), 200);
-        assert!(out[..50].iter().all(|p| !p.path.loops()));
-        assert!(out[50..].iter().any(|p| p.path.loops()));
+        let loops = |p: &EnginePacket| routes.get(p.route).loops();
+        assert!(out[..50].iter().all(|p| !loops(p)));
+        assert!(out[50..].iter().any(loops));
+    }
+
+    #[test]
+    fn interning_dedupes_shared_flow_paths() {
+        // Two flows on the same healthy path plus one distinct poisoned
+        // path: three path handles, two compiled routes.
+        let shared = PathSpec::linear(vec![0, 1, 2]);
+        let src = ReplaySource::from_paths(
+            vec![
+                (FlowKey::synthetic(0, 2, 0), shared.clone(), None),
+                (
+                    FlowKey::synthetic(0, 2, 1),
+                    shared,
+                    Some(PathSpec::looping(vec![0], vec![1, 2])),
+                ),
+            ],
+            10,
+            Some(5),
+        );
+        assert_eq!(src.routes().len(), 2, "equal paths intern to one route");
     }
 
     #[test]

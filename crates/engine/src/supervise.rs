@@ -21,7 +21,7 @@
 
 use crate::flow::FlowKey;
 use crate::metrics::ShardMetrics;
-use crate::ring::{PushOutcome, RingCounters};
+use crate::ring::{BatchPush, PushOutcome, RingCounters};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -123,6 +123,27 @@ impl Shedder {
         }
     }
 
+    /// Feeds a whole [`BatchPush`] result into the shard's streak, with
+    /// the same semantics as observing each item individually: clean
+    /// enqueues decay, stalled enqueues and drops build. The batch is
+    /// replayed in enqueued → stalled → dropped order, matching how a
+    /// batched push actually unfolds (the ring fills, then stalls or
+    /// drops the tail).
+    pub fn observe_batch(&mut self, shard: usize, batch: &BatchPush) {
+        if !self.enabled {
+            return;
+        }
+        for _ in 0..batch.enqueued {
+            self.observe(shard, PushOutcome::Enqueued);
+        }
+        for _ in 0..batch.stalled {
+            self.observe(shard, PushOutcome::EnqueuedAfterStall);
+        }
+        for _ in 0..batch.dropped {
+            self.observe(shard, PushOutcome::DroppedFull);
+        }
+    }
+
     /// Whether the dispatcher should shed this flow's packet at ingress
     /// instead of offering it: the shard is overloaded and the flow
     /// sits in the shed-first half of the priority space.
@@ -193,6 +214,34 @@ mod tests {
             "one clean push below threshold again"
         );
         assert_eq!(s.streak(0), SATURATION_THRESHOLD - 1);
+    }
+
+    #[test]
+    fn batched_observation_matches_per_item_observation() {
+        let mut per_item = Shedder::new(1, true);
+        let mut batched = Shedder::new(1, true);
+        // A batch that filled the ring (3 clean), stalled twice, and
+        // dropped the rest — the same stream observed both ways.
+        for _ in 0..3 {
+            per_item.observe(0, PushOutcome::Enqueued);
+        }
+        for _ in 0..2 {
+            per_item.observe(0, PushOutcome::EnqueuedAfterStall);
+        }
+        for _ in 0..SATURATION_THRESHOLD as usize {
+            per_item.observe(0, PushOutcome::DroppedFull);
+        }
+        batched.observe_batch(
+            0,
+            &BatchPush {
+                enqueued: 3,
+                stalled: 2,
+                dropped: SATURATION_THRESHOLD as usize,
+            },
+        );
+        assert_eq!(per_item.streak(0), batched.streak(0));
+        let flow = low_priority_flow();
+        assert!(batched.should_shed(0, &flow), "saturated tail trips it");
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //! packet); packets replayed from a capture carry their own recorded
 //! bytes and are processed in them, shim state and all.
 //!
+//! **Interned routes.** Packets carry a [`RouteId`] into the source's
+//! shared [`RouteSet`]; the worker resolves it to a [`CompiledRoute`]
+//! whose hops index the pipeline array directly. Route validity is
+//! settled once per run: at startup the worker evaluates
+//! [`RouteSet::first_invalid_hops`] against its own pipeline count, so
+//! the per-hop walk compares one integer instead of bounds-checking a
+//! map lookup — `route_errors` is decided before the first packet.
+//!
 //! **Supervision.** Packet processing runs inside `catch_unwind`: a
 //! panic (injected by a [`FaultPlan`](crate::faults::FaultPlan) or a
 //! real bug) loses exactly the packet being processed — counted in
@@ -36,8 +44,9 @@ use crate::faults::{
 };
 use crate::flow::FlowKey;
 use crate::metrics::{thread_cpu_ns, ShardMetrics};
-use crate::packet::{EnginePacket, PathSpec};
+use crate::packet::EnginePacket;
 use crate::ring::RingConsumer;
+use crate::route::{CompiledRoute, RouteSet};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +68,11 @@ const MEMBERSHIP_CAP: usize = 64;
 /// processing touches realistically sized wire buffers.
 const MIN_FRAME_LEN: usize = 64;
 
+/// Sentinel in the per-route validity table: every hop is in bounds.
+/// (A real hop index never reaches it — `max_hops` caps walks far
+/// below `u32::MAX`.)
+const ROUTE_VALID: u32 = u32::MAX;
+
 /// One shard's processing loop.
 pub struct ShardWorker {
     /// Shard index (for event attribution).
@@ -70,6 +84,9 @@ pub struct ShardWorker {
     pub pipelines: Arc<Vec<UnrollerPipeline>>,
     /// Switch IDs, indexed the same way.
     pub ids: Arc<[SwitchId]>,
+    /// The interned routes every packet's `RouteId` resolves against;
+    /// shared read-only with the traffic source and all shards.
+    pub routes: Arc<RouteSet>,
     /// The shim layout shared by all pipelines.
     pub layout: HeaderLayout,
     /// Hop budget per packet (the TTL).
@@ -89,16 +106,32 @@ pub struct ShardWorker {
     /// Watchdog kick flag: set by the watchdog when this shard stops
     /// consuming while its ring holds packets; aborts injected stalls.
     pub kick: Arc<AtomicBool>,
+    /// CPU core to pin this shard's thread to
+    /// ([`EngineConfig::pin_cores`](crate::engine::EngineConfig::pin_cores));
+    /// `None` leaves scheduling to the OS.
+    pub pin_core: Option<usize>,
 }
 
 impl ShardWorker {
     /// Runs until the dispatcher closes the ring. Consumes the worker.
     pub fn run(mut self) {
+        if let Some(core) = self.pin_core {
+            if crate::affinity::pin_to_core(core) {
+                self.metrics
+                    .pinned_core
+                    .store(core as u64 + 1, Ordering::Relaxed);
+            }
+        }
         if self.faults.is_some() {
             install_quiet_panic_hook();
         }
         let cpu_start = thread_cpu_ns();
         let mut working: Vec<UnrollerPipeline> = (*self.pipelines).clone();
+        // Route validity, settled once: err_hops[route] is the first
+        // hop that would leave the pipeline array (ROUTE_VALID when
+        // none does). The hot walk compares against this instead of
+        // re-validating every hop of every packet.
+        let err_hops: Vec<u32> = self.routes.first_invalid_hops(working.len());
         // One scratch wire frame reused across every frameless packet:
         // the zero-copy pipeline rewrites shim bits in this buffer
         // directly, so walking a path allocates nothing.
@@ -151,7 +184,7 @@ impl ShardWorker {
                         let i = cursor.get();
                         cursor.set(i + 1);
                         let fault = pfaults.get(i).copied().unwrap_or(PacketFault::None);
-                        self.process(&working, &mut batch[i], &mut scratch, fault);
+                        self.process(&working, &err_hops, &mut batch[i], &mut scratch, fault);
                     }
                 }));
                 if outcome.is_ok() {
@@ -219,15 +252,16 @@ impl ShardWorker {
         frame
     }
 
-    /// Walks one packet's wire frame along its path through the
-    /// per-switch pipelines — shim bits rewritten in place at every hop
-    /// via the zero-copy frame path — applying this packet's injected
-    /// fault (if any). Packets without a frame of their own (generated
-    /// traffic) borrow the shard's scratch frame; replayed captures are
-    /// processed in their recorded bytes.
+    /// Walks one packet's wire frame along its interned route through
+    /// the per-switch pipelines — shim bits rewritten in place at every
+    /// hop via the zero-copy frame path — applying this packet's
+    /// injected fault (if any). Packets without a frame of their own
+    /// (generated traffic) borrow the shard's scratch frame; replayed
+    /// captures are processed in their recorded bytes.
     fn process(
         &self,
         pipelines: &[UnrollerPipeline],
+        err_hops: &[u32],
         packet: &mut EnginePacket,
         scratch: &mut [u8],
         fault: PacketFault,
@@ -250,20 +284,38 @@ impl ShardWorker {
                 scratch
             }
         };
+        let route = self.routes.get(packet.route);
+        let err_hop = err_hops[packet.route.index()];
 
         let mut hop = 0u32;
+        // Cycle cursor: walks `pre` by hop index, then wraps through
+        // `cycle` without a per-hop modulo.
+        let mut cycle_idx = 0usize;
         loop {
-            let Some(node) = packet.path.hop(hop as usize) else {
-                // Path ended: delivered.
+            let node = if (hop as usize) < route.pre.len() {
+                route.pre[hop as usize]
+            } else if route.cycle.is_empty() {
+                // Route ended: delivered.
                 self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
                 self.metrics.delivered.fetch_add(1, Ordering::Relaxed);
                 return;
+            } else {
+                let n = route.cycle[cycle_idx];
+                cycle_idx += 1;
+                if cycle_idx == route.cycle.len() {
+                    cycle_idx = 0;
+                }
+                n
             };
-            let Some(pipeline) = pipelines.get(node) else {
+            if hop == err_hop {
+                // Pre-computed at startup: this hop leaves the pipeline
+                // array. Everything before it was processed normally.
                 self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
                 self.metrics.route_errors.fetch_add(1, Ordering::Relaxed);
                 return;
-            };
+            }
+            // In bounds by the err_hop pre-check (hop < err_hop here).
+            let pipeline = &pipelines[node];
             if let Some((at_hop, bit)) = flip {
                 if hop == at_hop {
                     // On-the-wire corruption between two switches.
@@ -278,7 +330,7 @@ impl ShardWorker {
             match pipeline.process_frame_in_place(frame) {
                 Ok(verdict) if verdict.reported() => {
                     self.metrics.hops.fetch_add(hop as u64, Ordering::Relaxed);
-                    self.report_loop(packet.flow, packet.seq, &packet.path, node, hop);
+                    self.report_loop(packet.flow, packet.seq, route, node, hop);
                     return;
                 }
                 Ok(_) => {}
@@ -301,17 +353,24 @@ impl ShardWorker {
     }
 
     /// §3.5 membership collection: from the trigger switch, keep
-    /// following the (known, looping) path recording switch IDs until
+    /// following the (known, looping) route recording switch IDs until
     /// the trigger reappears — the recorded set is the loop. Takes the
     /// packet's fields separately so the caller's in-place frame borrow
     /// stays undisturbed.
-    fn report_loop(&self, flow: FlowKey, seq: u64, path: &PathSpec, trigger_node: usize, hop: u32) {
+    fn report_loop(
+        &self,
+        flow: FlowKey,
+        seq: u64,
+        route: &CompiledRoute,
+        trigger_node: usize,
+        hop: u32,
+    ) {
         let trigger = self.ids[trigger_node];
         let mut members = vec![trigger];
         let mut complete = false;
-        let mut i = hop as usize; // path index of the hop *after* the trigger
+        let mut i = hop as usize; // route index of the hop *after* the trigger
         while members.len() < MEMBERSHIP_CAP {
-            let Some(node) = path.hop(i) else {
+            let Some(node) = route.hop(i) else {
                 break;
             };
             let Some(&id) = self.ids.get(node) else {
@@ -364,6 +423,9 @@ impl ShardWorker {
     }
 }
 
+// Keep the sentinel honest if the table representation ever changes.
+const _: () = assert!(ROUTE_VALID == u32::MAX);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,6 +433,7 @@ mod tests {
     use crate::flow::FlowKey;
     use crate::packet::PathSpec;
     use crate::ring::{ring, FullPolicy};
+    use crate::route::{RouteId, RouteSetBuilder};
     use std::time::Duration;
     use unroller_core::UnrollerParams;
 
@@ -399,6 +462,7 @@ mod tests {
             shard: 0,
             pipelines,
             ids,
+            routes: RouteSetBuilder::new().build(),
             layout: HeaderLayout::from_params(&params),
             max_hops,
             batch_size: 8,
@@ -408,25 +472,36 @@ mod tests {
             faults: None,
             event_faults: EventFaults::inactive(),
             kick: Arc::new(AtomicBool::new(false)),
+            pin_core: None,
         };
         (worker, producer, ev_rx)
     }
 
-    fn packet(seq: u64, path: PathSpec) -> EnginePacket {
+    /// Interns one path and installs the resulting single-route set on
+    /// the worker; most tests walk exactly one distinct path.
+    fn install_route(worker: &mut ShardWorker, path: PathSpec) -> RouteId {
+        let mut b = RouteSetBuilder::new();
+        let id = b.intern(&path);
+        worker.routes = b.build();
+        id
+    }
+
+    fn packet(seq: u64, route: RouteId) -> EnginePacket {
         EnginePacket {
             flow: FlowKey::synthetic(0, 1, 0),
             seq,
-            path,
+            route,
             frame: None,
         }
     }
 
     #[test]
     fn delivers_loop_free_packets() {
-        let (worker, producer, ev_rx) = worker_fixture(6, 64);
+        let (mut worker, producer, ev_rx) = worker_fixture(6, 64);
+        let route = install_route(&mut worker, PathSpec::linear(vec![0, 1, 2, 3]));
         let metrics = worker.metrics.clone();
         for seq in 0..10 {
-            producer.push(packet(seq, PathSpec::linear(vec![0, 1, 2, 3])));
+            producer.push(packet(seq, route));
         }
         drop(producer);
         worker.run();
@@ -441,10 +516,11 @@ mod tests {
 
     #[test]
     fn detects_loop_and_collects_membership() {
-        let (worker, producer, ev_rx) = worker_fixture(6, 64);
-        let metrics = worker.metrics.clone();
+        let (mut worker, producer, ev_rx) = worker_fixture(6, 64);
         // 0 → [1, 2, 3] cycling: IDs 101, 102, 103 form the loop.
-        producer.push(packet(0, PathSpec::looping(vec![0], vec![1, 2, 3])));
+        let route = install_route(&mut worker, PathSpec::looping(vec![0], vec![1, 2, 3]));
+        let metrics = worker.metrics.clone();
+        producer.push(packet(0, route));
         drop(producer);
         worker.run();
         let snap = metrics.snapshot();
@@ -465,9 +541,10 @@ mod tests {
     fn ttl_caps_undetectable_walks() {
         // max_hops below the detection bound (a ping-pong is detected
         // on hop 3, the loop-closing revisit): the TTL fires first.
-        let (worker, producer, _ev_rx) = worker_fixture(4, 2);
+        let (mut worker, producer, _ev_rx) = worker_fixture(4, 2);
+        let route = install_route(&mut worker, PathSpec::looping(vec![], vec![0, 1]));
         let metrics = worker.metrics.clone();
-        producer.push(packet(0, PathSpec::looping(vec![], vec![0, 1])));
+        producer.push(packet(0, route));
         drop(producer);
         worker.run();
         let snap = metrics.snapshot();
@@ -478,19 +555,40 @@ mod tests {
 
     #[test]
     fn unknown_nodes_count_route_errors() {
-        let (worker, producer, _ev_rx) = worker_fixture(3, 64);
+        let (mut worker, producer, _ev_rx) = worker_fixture(3, 64);
+        let route = install_route(&mut worker, PathSpec::linear(vec![0, 99]));
         let metrics = worker.metrics.clone();
-        producer.push(packet(0, PathSpec::linear(vec![0, 99])));
+        producer.push(packet(0, route));
         drop(producer);
         worker.run();
-        assert_eq!(metrics.snapshot().route_errors, 1);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.route_errors, 1);
+        assert_eq!(snap.hops, 1, "the valid prefix was processed");
+    }
+
+    #[test]
+    fn looping_route_with_invalid_cycle_hop_errors_out() {
+        // The invalid hop sits inside the cycle: the pre-computed
+        // err_hop must stop the walk there instead of letting the
+        // wrapped cycle cursor index out of the pipeline array.
+        let (mut worker, producer, _ev_rx) = worker_fixture(3, 64);
+        let route = install_route(&mut worker, PathSpec::looping(vec![0], vec![1, 88]));
+        let metrics = worker.metrics.clone();
+        producer.push(packet(0, route));
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.route_errors, 1);
+        assert_eq!(snap.hops, 2, "hops 0 and 1 processed before the error");
+        assert_eq!(snap.loop_events, 0);
     }
 
     #[test]
     fn cpu_time_recorded_on_linux() {
-        let (worker, producer, _ev_rx) = worker_fixture(4, 64);
+        let (mut worker, producer, _ev_rx) = worker_fixture(4, 64);
+        let route = install_route(&mut worker, PathSpec::linear(vec![0, 1]));
         let metrics = worker.metrics.clone();
-        producer.push(packet(0, PathSpec::linear(vec![0, 1])));
+        producer.push(packet(0, route));
         drop(producer);
         worker.run();
         if thread_cpu_ns().is_some() {
@@ -500,15 +598,33 @@ mod tests {
     }
 
     #[test]
+    fn pinned_worker_records_its_core() {
+        let (mut worker, producer, _ev_rx) = worker_fixture(4, 64);
+        let route = install_route(&mut worker, PathSpec::linear(vec![0, 1]));
+        worker.pin_core = Some(0); // core 0 always exists
+        let metrics = worker.metrics.clone();
+        producer.push(packet(0, route));
+        drop(producer);
+        worker.run();
+        let snap = metrics.snapshot();
+        if cfg!(target_os = "linux") {
+            assert_eq!(snap.pinned_core, Some(0), "pin to core 0 succeeds");
+        } else {
+            assert_eq!(snap.pinned_core, None, "pinning is Linux-only");
+        }
+    }
+
+    #[test]
     fn dead_aggregator_is_tolerated_and_counted() {
         // Dropping the event receiver before the worker runs forces
         // every loop-event send to fail: the worker must finish its
         // ring cleanly and count the failures instead of panicking.
-        let (worker, producer, ev_rx) = worker_fixture(6, 64);
+        let (mut worker, producer, ev_rx) = worker_fixture(6, 64);
+        let route = install_route(&mut worker, PathSpec::looping(vec![0], vec![1, 2]));
         let metrics = worker.metrics.clone();
         drop(ev_rx);
         for seq in 0..5 {
-            producer.push(packet(seq, PathSpec::looping(vec![0], vec![1, 2])));
+            producer.push(packet(seq, route));
         }
         drop(producer);
         worker.run();
@@ -521,6 +637,7 @@ mod tests {
     #[test]
     fn injected_panics_are_supervised_and_accounted() {
         let (mut worker, producer, _ev_rx) = worker_fixture(6, 64);
+        let route = install_route(&mut worker, PathSpec::linear(vec![0, 1, 2]));
         // Every packet panics; budget of 3 restarts, then drain-only.
         worker.faults = Some(
             FaultPlan {
@@ -533,7 +650,7 @@ mod tests {
         );
         let metrics = worker.metrics.clone();
         for seq in 0..20 {
-            producer.push(packet(seq, PathSpec::linear(vec![0, 1, 2])));
+            producer.push(packet(seq, route));
         }
         drop(producer);
         worker.run();
@@ -551,6 +668,7 @@ mod tests {
     #[test]
     fn moderate_panic_rate_loses_only_the_panicking_packets() {
         let (mut worker, producer, _ev_rx) = worker_fixture(6, 64);
+        let route = install_route(&mut worker, PathSpec::linear(vec![0, 1, 2, 3]));
         worker.faults = Some(
             FaultPlan {
                 seed: 9,
@@ -561,7 +679,7 @@ mod tests {
         );
         let metrics = worker.metrics.clone();
         for seq in 0..400 {
-            producer.push(packet(seq, PathSpec::linear(vec![0, 1, 2, 3])));
+            producer.push(packet(seq, route));
         }
         drop(producer);
         worker.run();
@@ -578,6 +696,7 @@ mod tests {
     #[test]
     fn bitflips_are_injected_and_survive_processing() {
         let (mut worker, producer, _ev_rx) = worker_fixture(8, 64);
+        let route = install_route(&mut worker, PathSpec::linear(vec![0, 1, 2, 3, 4, 5]));
         worker.faults = Some(
             FaultPlan {
                 seed: 4,
@@ -588,7 +707,7 @@ mod tests {
         );
         let metrics = worker.metrics.clone();
         for seq in 0..100 {
-            producer.push(packet(seq, PathSpec::linear(vec![0, 1, 2, 3, 4, 5])));
+            producer.push(packet(seq, route));
         }
         drop(producer);
         worker.run();
@@ -608,6 +727,7 @@ mod tests {
     #[test]
     fn injected_stall_is_cut_short_by_a_kick() {
         let (mut worker, producer, _ev_rx) = worker_fixture(4, 64);
+        let route = install_route(&mut worker, PathSpec::linear(vec![0, 1]));
         worker.faults = Some(
             FaultPlan {
                 seed: 2,
@@ -619,7 +739,7 @@ mod tests {
         );
         let kick = worker.kick.clone();
         let metrics = worker.metrics.clone();
-        producer.push(packet(0, PathSpec::linear(vec![0, 1])));
+        producer.push(packet(0, route));
         drop(producer);
         // Pre-arm the kick: the stall loop observes it on its first
         // poll and aborts immediately.
@@ -642,7 +762,8 @@ mod tests {
         // processed in that buffer: a shim pre-walked through switches
         // 0 and 1 re-enters switch 0 and reports on the FIRST hop of
         // the replayed walk — state the scratch frame would not have.
-        let (worker, producer, ev_rx) = worker_fixture(6, 64);
+        let (mut worker, producer, ev_rx) = worker_fixture(6, 64);
+        let route = install_route(&mut worker, PathSpec::linear(vec![0, 2, 3]));
         let params = UnrollerParams::default();
         let layout = HeaderLayout::from_params(&params);
         let mut frame = build_frame(
@@ -662,8 +783,8 @@ mod tests {
             .process_frame_in_place(&mut frame)
             .unwrap();
         let metrics = worker.metrics.clone();
-        let mut p = packet(0, PathSpec::linear(vec![0, 2, 3]));
-        p.frame = Some(frame);
+        let mut p = packet(0, route);
+        p.frame = Some(frame.into_boxed_slice());
         producer.push(p);
         drop(producer);
         worker.run();
@@ -676,24 +797,22 @@ mod tests {
 
     #[test]
     fn malformed_frames_count_frame_errors() {
-        let (worker, producer, _ev_rx) = worker_fixture(4, 64);
+        let (mut worker, producer, _ev_rx) = worker_fixture(4, 64);
+        let route = install_route(&mut worker, PathSpec::linear(vec![0, 1]));
         let metrics = worker.metrics.clone();
-        let mut runt = packet(0, PathSpec::linear(vec![0, 1]));
-        runt.frame = Some(vec![0u8; 6]); // shorter than an Ethernet header
+        let mut runt = packet(0, route);
+        runt.frame = Some(vec![0u8; 6].into_boxed_slice()); // shorter than an Ethernet header
         producer.push(runt);
-        let mut wrong_type = packet(1, PathSpec::linear(vec![0, 1]));
+        let mut wrong_type = packet(1, route);
         let params = UnrollerParams::default();
         let layout = HeaderLayout::from_params(&params);
         let mut eth = EthernetHeader::for_hosts(0, 1);
         eth.ethertype = 0x0800;
-        wrong_type.frame = Some(build_frame(
-            &layout,
-            &eth,
-            &WireHeader::initial(&layout),
-            b"ipv4",
-        ));
+        wrong_type.frame = Some(
+            build_frame(&layout, &eth, &WireHeader::initial(&layout), b"ipv4").into_boxed_slice(),
+        );
         producer.push(wrong_type);
-        producer.push(packet(2, PathSpec::linear(vec![0, 1]))); // healthy
+        producer.push(packet(2, route)); // healthy
         drop(producer);
         worker.run();
         let snap = metrics.snapshot();
@@ -711,10 +830,11 @@ mod tests {
             ..FaultPlan::default()
         };
         let (mut worker, producer, ev_rx) = worker_fixture(6, 64);
+        let route = install_route(&mut worker, PathSpec::looping(vec![0], vec![1, 2]));
         worker.event_faults = plan.event_faults(0);
         let metrics = worker.metrics.clone();
         for seq in 0..50 {
-            producer.push(packet(seq, PathSpec::looping(vec![0], vec![1, 2])));
+            producer.push(packet(seq, route));
         }
         drop(producer);
         worker.run();

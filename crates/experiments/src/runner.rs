@@ -2,11 +2,21 @@
 //!
 //! Every evaluation point in the paper aggregates millions of
 //! independent runs ("each data point reflects 3M runs"). The runner
-//! shards trials across `std::thread::scope` workers; each shard owns a
-//! deterministically derived RNG, so results are reproducible for a
-//! given seed *and independent of the thread count*.
+//! folds trials in fixed-size *blocks*: each block of [`RNG_BLOCK`]
+//! consecutive trial indices owns an RNG derived from `(seed, block)`
+//! alone, and block accumulators are always merged in ascending block
+//! order. Threads only decide *who computes* a block, never which RNG
+//! stream it sees or where its result lands in the merge sequence — so
+//! results are bit-identical for a given seed across any thread count,
+//! floating-point sums included.
 
 use rand::SeedableRng;
+
+/// Trials per RNG block. Every block of this many consecutive trial
+/// indices draws from its own `(seed, block)`-derived stream, making
+/// the trial → randomness mapping independent of how blocks are
+/// scheduled onto threads.
+pub const RNG_BLOCK: u64 = 1024;
 
 /// Number of worker threads to use (the machine's available
 /// parallelism).
@@ -16,14 +26,27 @@ pub fn default_threads() -> usize {
         .unwrap_or(4)
 }
 
-/// Runs `trials` independent trials, sharded over `threads` threads,
-/// folding each shard locally with `fold` into an accumulator and
-/// merging shard accumulators with `merge`.
+/// The RNG for one trial block: a SplitMix64 finalizer over
+/// `(seed, block)` decorrelates adjacent blocks before seeding.
+fn block_rng(seed: u64, block: u64) -> rand::rngs::StdRng {
+    let mut x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(block.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    rand::rngs::StdRng::seed_from_u64(x)
+}
+
+/// Runs `trials` independent trials, folding each [`RNG_BLOCK`]-sized
+/// block locally with `fold` into an accumulator and merging block
+/// accumulators with `merge` in ascending block order.
 ///
-/// `fold` receives the global trial index and a shard-local RNG derived
-/// from `(seed, shard)`. Trial *i* always lands in the same shard for a
-/// fixed `threads`, and aggregate statistics (means, rates) are
-/// seed-reproducible.
+/// `fold` receives the global trial index and the block's RNG. Both the
+/// RNG stream a trial sees and the merge order are functions of the
+/// trial index alone, so for a fixed `seed` the result is bit-identical
+/// whatever `threads` is — merge-order-sensitive accumulators (f64
+/// sums) included.
 pub fn parallel_fold<A, Fold, Merge>(
     trials: u64,
     seed: u64,
@@ -37,32 +60,33 @@ where
     Merge: Fn(A, A) -> A,
 {
     let threads = threads.clamp(1, 256);
-    if threads == 1 || trials < 1024 {
+    let blocks = trials.div_ceil(RNG_BLOCK);
+    let run_block = |block: u64| -> A {
+        let lo = block * RNG_BLOCK;
+        let hi = (lo + RNG_BLOCK).min(trials);
+        let mut rng = block_rng(seed, block);
         let mut acc = A::default();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
-        for t in 0..trials {
+        for t in lo..hi {
             fold(t, &mut rng, &mut acc);
         }
-        return acc;
+        acc
+    };
+    if threads == 1 || blocks <= 1 {
+        return (0..blocks).map(run_block).fold(A::default(), &merge);
     }
-    let per = trials / threads as u64;
-    let rem = trials % threads as u64;
-    let accs: Vec<A> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
+    // Contiguous block ranges per thread; results are reassembled in
+    // ascending block order before merging, so the merge sequence (and
+    // with it every float sum) matches the sequential path exactly.
+    let per = blocks / threads as u64;
+    let rem = blocks % threads as u64;
+    let mut ranges: Vec<(u64, Vec<A>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads as u64)
             .map(|shard| {
-                let fold = &fold;
+                let run_block = &run_block;
                 s.spawn(move || {
-                    let lo = shard as u64 * per + (shard as u64).min(rem);
-                    let count = per + if (shard as u64) < rem { 1 } else { 0 };
-                    let mut rng = rand::rngs::StdRng::seed_from_u64(
-                        seed.wrapping_mul(0x9e3779b97f4a7c15)
-                            .wrapping_add(shard as u64 + 1),
-                    );
-                    let mut acc = A::default();
-                    for t in lo..lo + count {
-                        fold(t, &mut rng, &mut acc);
-                    }
-                    acc
+                    let lo = shard * per + shard.min(rem);
+                    let count = per + u64::from(shard < rem);
+                    (lo, (lo..lo + count).map(run_block).collect::<Vec<A>>())
                 })
             })
             .collect();
@@ -71,7 +95,11 @@ where
             .map(|h| h.join().expect("no worker panicked"))
             .collect()
     });
-    accs.into_iter().fold(A::default(), merge)
+    ranges.sort_by_key(|(lo, _)| *lo);
+    ranges
+        .into_iter()
+        .flat_map(|(_, accs)| accs)
+        .fold(A::default(), merge)
 }
 
 /// The standard accumulator for detection-time and false-positive
@@ -180,6 +208,33 @@ mod tests {
             |a, b| Sum(a.0 + b.0),
         );
         assert_eq!(s.0, 500 * 499 / 2);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        use rand::Rng;
+        use unroller_core::DetectionOutcome;
+        // RNG-driven outcomes with an f64 running sum: any divergence in
+        // stream assignment *or* merge order between thread counts shows
+        // up as a bit-level mismatch.
+        let fold = |_t: u64, rng: &mut rand::rngs::StdRng, acc: &mut TrialAccumulator| {
+            let reported = rng.gen_bool(0.7);
+            let hops = rng.gen_range(1u64..100);
+            acc.record(
+                DetectionOutcome {
+                    reported_at: reported.then_some(hops),
+                    true_positive: rng.gen_bool(0.9),
+                },
+                16,
+            );
+        };
+        let single: TrialAccumulator = parallel_fold(10_000, 42, 1, fold, TrialAccumulator::merge);
+        assert!(single.detected > 0, "fold produced work to compare");
+        for threads in [2, 4, 7] {
+            let multi: TrialAccumulator =
+                parallel_fold(10_000, 42, threads, fold, TrialAccumulator::merge);
+            assert_eq!(single, multi, "threads={threads} diverged from threads=1");
+        }
     }
 
     #[test]
