@@ -1,0 +1,294 @@
+//! The detect-vs-verify benchmark: what incremental forwarding-state
+//! verification costs per rule update, against the two alternatives it
+//! is measured between — full from-scratch recomputation (the
+//! non-incremental static checker) and data-plane Unroller detection
+//! (the paper's approach, which pays nothing per update but one loop
+//! traversal per *packet* caught).
+//!
+//! Workload: a converged distance-vector process on a WAN-scale
+//! topology is hit with update storms (S concurrent link failures,
+//! rounds to re-convergence, then restoration) at several storm sizes.
+//! Every emitted rule delta is recorded, then replayed twice over
+//! identical starting state:
+//!
+//! * `incremental` — one timed [`FwdChecker::apply`] per delta
+//!   (affected-set walk, `O(Σ degree(affected))`);
+//! * `full_recompute` — one timed [`classify_column`] of the updated
+//!   destination's column per delta (`O(n)` — what a checker without
+//!   delta maintenance pays).
+//!
+//! After both passes the incremental state is cross-checked against
+//! the final columns bit-for-bit, so the timing can't silently come
+//! from a wrong answer. The data-plane side measures Unroller's
+//! per-packet detection walk (ns per detection, hops to report) on
+//! loops of several lengths.
+//!
+//! Output is JSON (schema in `results/README.md`):
+//!
+//! ```text
+//! cargo bench -p unroller-bench --bench oracle -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the topology for CI's `oracle-smoke` job, which
+//! asserts `summary.speedup_incremental_vs_full >= 1.0`; the committed
+//! baseline `results/BENCH_oracle.json` is a full run on 1500 nodes,
+//! where the gate is ≥ 10×.
+
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+use unroller_control::distvec::{DistanceVector, RuleDelta};
+use unroller_core::prelude::*;
+use unroller_core::walk::run_detector_with;
+use unroller_engine::Json;
+use unroller_topology::generators::wan_like;
+use unroller_topology::{Graph, NodeId};
+use unroller_verify::{classify_column, FwdChecker};
+
+/// One update storm: fail `concurrent` links at once, run the routing
+/// process to quiescence (bounded), restore them, run to quiescence
+/// again. Returns the recorded delta stream.
+fn record_storm(
+    base: &DistanceVector,
+    graph: &Graph,
+    concurrent: usize,
+    seed: u64,
+) -> Vec<RuleDelta> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x73746f726d);
+    let edges = graph.edges();
+    let mut dv = base.clone();
+    let mut deltas = Vec::new();
+    let mut failed = Vec::with_capacity(concurrent);
+    while failed.len() < concurrent {
+        let e = edges[rng.gen_range(0..edges.len())];
+        if !failed.contains(&e) {
+            dv.fail_link_record(e.0, e.1, |d| deltas.push(d));
+            failed.push(e);
+        }
+    }
+    let cap = 80;
+    for _ in 0..cap {
+        if !dv.step_record(|d| deltas.push(d)) {
+            break;
+        }
+    }
+    for &(u, v) in &failed {
+        dv.restore_link(u, v);
+    }
+    for _ in 0..cap {
+        if !dv.step_record(|d| deltas.push(d)) {
+            break;
+        }
+    }
+    deltas
+}
+
+/// Replays `deltas` through the incremental checker, timing only the
+/// `apply` loop. Returns (total_ns, checker) — the checker is handed
+/// back so the caller can cross-check its final state.
+fn timed_incremental(base: &DistanceVector, deltas: &[RuleDelta]) -> (u64, FwdChecker) {
+    let mut checker = FwdChecker::from_dv(base);
+    let start = Instant::now();
+    for d in deltas {
+        checker.apply(d);
+    }
+    let ns = start.elapsed().as_nanos() as u64;
+    (ns, checker)
+}
+
+/// Replays `deltas` over shadow columns, timing one from-scratch
+/// [`classify_column`] per delta — the per-update cost of a checker
+/// with no delta maintenance. Returns (total_ns, final shadow columns).
+#[allow(clippy::type_complexity)]
+fn timed_full_recompute(
+    base: &DistanceVector,
+    graph: &Graph,
+    deltas: &[RuleDelta],
+) -> (u64, Vec<Vec<Option<NodeId>>>) {
+    let mut shadow: Vec<Vec<Option<NodeId>>> =
+        graph.nodes().map(|dst| base.forwarding(dst)).collect();
+    let start = Instant::now();
+    for d in deltas {
+        shadow[d.dst][d.node] = d.new;
+        black_box(classify_column(graph, d.dst, &shadow[d.dst]));
+    }
+    let ns = start.elapsed().as_nanos() as u64;
+    (ns, shadow)
+}
+
+/// Mean ns per data-plane detection and hops-to-report for Unroller on
+/// a `pre`-hop walk entering an `l`-switch loop, best of 3 aggregate
+/// runs of `iters` detections each.
+fn dataplane_detection(pre: usize, l: usize, iters: u64) -> (f64, u64) {
+    let det = Unroller::from_params(UnrollerParams::default()).expect("default params");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xdead ^ (l as u64));
+    let walk = Walk::random(pre, l, &mut rng);
+    let mut state = det.init_state();
+    let out = run_detector_with(&det, &walk, 100_000, &mut state);
+    let hops = out.reported_at.expect("a looping walk must be detected");
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(run_detector_with(&det, &walk, 100_000, &mut state));
+        }
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    (best as f64 / iters as f64, hops)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_oracle.json"
+    )
+    .to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("oracle: --out requires an argument");
+                    std::process::exit(2);
+                })
+            }
+            "--bench" | "--test" => {}
+            other => {
+                eprintln!("oracle: unknown argument `{other}` (--quick, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // ≥1k nodes for the committed baseline; CI smoke shrinks the graph
+    // but keeps every stage (and the correctness cross-check).
+    let (spec, n, d) = if quick {
+        ("wan:256:10:1", 256usize, 10usize)
+    } else {
+        ("wan:1500:12:1", 1500usize, 12usize)
+    };
+    let graph = wan_like(n, d, n / 4, 1);
+    let storms: &[usize] = if quick { &[1, 4] } else { &[1, 4, 16] };
+    let det_iters: u64 = if quick { 20_000 } else { 200_000 };
+
+    eprintln!("oracle: converging distance-vector on {spec} ({n} nodes)...");
+    let base = DistanceVector::new(graph.clone(), false);
+
+    let mut storm_rows = Vec::new();
+    let mut updates_total = 0u64;
+    let mut inc_ns_total = 0u64;
+    let mut full_ns_total = 0u64;
+    for &concurrent in storms {
+        eprintln!("oracle: storm of {concurrent} concurrent link failure(s)...");
+        let deltas = record_storm(&base, &graph, concurrent, 11 + concurrent as u64);
+        assert!(!deltas.is_empty(), "a storm must change routes");
+
+        // Best-of-3 for both passes; correctness checked on the last.
+        let mut inc_ns = u64::MAX;
+        let mut checker = None;
+        for _ in 0..3 {
+            let (ns, c) = timed_incremental(&base, &deltas);
+            inc_ns = inc_ns.min(ns);
+            checker = Some(c);
+        }
+        let checker = checker.expect("three runs happened");
+        let mut full_ns = u64::MAX;
+        let mut shadow = None;
+        for _ in 0..3 {
+            let (ns, s) = timed_full_recompute(&base, &graph, &deltas);
+            full_ns = full_ns.min(ns);
+            shadow = Some(s);
+        }
+        let shadow = shadow.expect("three runs happened");
+
+        // The timing is only meaningful if the incremental state is
+        // *right*: bit-for-bit against the final columns.
+        checker
+            .check_all(|dst| shadow[dst].clone())
+            .expect("incremental state must match from-scratch recompute");
+
+        let count = deltas.len() as u64;
+        let inc_per = inc_ns as f64 / count as f64;
+        let full_per = full_ns as f64 / count as f64;
+        eprintln!(
+            "  {count} updates: incremental {inc_per:>9.1} ns/update \
+             (affected mean {:.2}, max {}), full {full_per:>9.1} ns/update, {:.1}x",
+            checker.stats.affected_mean(),
+            checker.stats.affected_max,
+            full_per / inc_per,
+        );
+        updates_total += count;
+        inc_ns_total += inc_ns;
+        full_ns_total += full_ns;
+
+        let mut row = Json::object();
+        row.set("concurrent_failures", Json::UInt(concurrent as u64));
+        row.set("updates", Json::UInt(count));
+        row.set("incremental_ns_per_update", Json::Float(inc_per));
+        row.set("full_ns_per_update", Json::Float(full_per));
+        row.set("affected_mean", Json::Float(checker.stats.affected_mean()));
+        row.set("affected_max", Json::UInt(checker.stats.affected_max));
+        row.set(
+            "speedup_incremental_vs_full",
+            Json::Float(full_per / inc_per),
+        );
+        storm_rows.push(row);
+    }
+
+    let inc_per = inc_ns_total as f64 / updates_total as f64;
+    let full_per = full_ns_total as f64 / updates_total as f64;
+    let speedup = full_per / inc_per;
+
+    eprintln!("oracle: data-plane Unroller detection walks ({det_iters} iters each)...");
+    let mut dp_rows = Vec::new();
+    let mut dp_ns_any = 0.0f64;
+    for &l in &[2usize, 8, 32] {
+        let (ns, hops) = dataplane_detection(8, l, det_iters);
+        eprintln!("  loop L={l:<3} detected at hop {hops:<4} {ns:>9.1} ns/detection");
+        if l == 2 {
+            dp_ns_any = ns;
+        }
+        let mut row = Json::object();
+        row.set("loop_len", Json::UInt(l as u64));
+        row.set("pre_hops", Json::UInt(8));
+        row.set("detected_at_hop", Json::UInt(hops));
+        row.set("ns_per_detection", Json::Float(ns));
+        dp_rows.push(row);
+    }
+
+    let mut topo = Json::object();
+    topo.set("spec", Json::Str(spec.to_string()));
+    topo.set("nodes", Json::UInt(graph.node_count() as u64));
+    topo.set("edges", Json::UInt(graph.edge_count() as u64));
+    topo.set("diameter_target", Json::UInt(d as u64));
+
+    let mut summary = Json::object();
+    summary.set("updates_total", Json::UInt(updates_total));
+    summary.set("incremental_ns_per_update", Json::Float(inc_per));
+    summary.set("full_ns_per_update", Json::Float(full_per));
+    summary.set("speedup_incremental_vs_full", Json::Float(speedup));
+    summary.set("dataplane_detection_ns_short_loop", Json::Float(dp_ns_any));
+
+    let mut root = Json::object();
+    root.set("bench", Json::Str("oracle".to_string()));
+    root.set("quick", Json::Bool(quick));
+    root.set("topology", topo);
+    root.set("storms", Json::Array(storm_rows));
+    root.set("dataplane", Json::Array(dp_rows));
+    root.set("summary", summary);
+    let rendered = root.render_pretty();
+
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, &rendered).expect("write benchmark output");
+    eprintln!("wrote {out}");
+    eprintln!(
+        "oracle: incremental check is {speedup:.1}x full recompute \
+         ({inc_per:.1} vs {full_per:.1} ns/update over {updates_total} updates)"
+    );
+}

@@ -20,6 +20,40 @@ use unroller_topology::{Graph, NodeId};
 /// RIP's "infinity": distances at or above this are unreachable.
 pub const INFINITY: u32 = 16;
 
+/// A single forwarding-rule change: `node`'s next hop toward `dst`
+/// moved from `old` to `new`.
+///
+/// The distance-vector process emits these from
+/// [`DistanceVector::step_record`] and
+/// [`DistanceVector::fail_link_record`], and `unroller-verify`'s
+/// incremental forwarding checker consumes them one at a time —
+/// distance changes that leave the next hop alone do not produce a
+/// delta, because only next-hop edges shape the per-destination
+/// successor graph a loop can live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleDelta {
+    /// The destination whose forwarding column changed.
+    pub dst: NodeId,
+    /// The node whose next hop changed.
+    pub node: NodeId,
+    /// The previous next hop (`None` = no route).
+    pub old: Option<NodeId>,
+    /// The new next hop (`None` = no route).
+    pub new: Option<NodeId>,
+}
+
+/// Reusable scratch for [`DistanceVector::loop_toward_in`]: the visit
+/// markers and walk buffer survive across calls, so sweeping every
+/// destination ([`DistanceVector::any_loop_in`]) allocates nothing
+/// after the first call. Epoch stamping makes clearing free: each call
+/// bumps the epoch instead of zeroing the marker array.
+#[derive(Debug, Default, Clone)]
+pub struct LoopScratch {
+    mark: Vec<u64>,
+    walk: Vec<NodeId>,
+    epoch: u64,
+}
+
 /// A synchronous distance-vector routing process over a topology.
 #[derive(Debug, Clone)]
 pub struct DistanceVector {
@@ -67,6 +101,12 @@ impl DistanceVector {
     /// the network only learns through subsequent [`step`](Self::step)s
     /// — which is exactly when transient loops form.
     pub fn fail_link(&mut self, u: NodeId, v: NodeId) {
+        self.fail_link_record(u, v, |_| {});
+    }
+
+    /// [`fail_link`](Self::fail_link), reporting every next-hop entry
+    /// the local invalidation withdrew through `sink`.
+    pub fn fail_link_record(&mut self, u: NodeId, v: NodeId, mut sink: impl FnMut(RuleDelta)) {
         assert!(self.graph.has_edge(u, v), "no such link");
         self.down.insert((u.min(v), u.max(v)));
         let n = self.graph.node_count();
@@ -74,10 +114,22 @@ impl DistanceVector {
             if self.next[u][dst] == Some(v) {
                 self.dist[u][dst] = INFINITY;
                 self.next[u][dst] = None;
+                sink(RuleDelta {
+                    dst,
+                    node: u,
+                    old: Some(v),
+                    new: None,
+                });
             }
             if self.next[v][dst] == Some(u) {
                 self.dist[v][dst] = INFINITY;
                 self.next[v][dst] = None;
+                sink(RuleDelta {
+                    dst,
+                    node: v,
+                    old: Some(u),
+                    new: None,
+                });
             }
         }
     }
@@ -91,6 +143,13 @@ impl DistanceVector {
     /// neighbors' previous-round vectors. Returns true if any entry
     /// changed.
     pub fn step(&mut self) -> bool {
+        self.step_record(|_| {})
+    }
+
+    /// [`step`](Self::step), reporting every next-hop change the round
+    /// produced through `sink` (distance-only changes are silent: they
+    /// do not alter the successor graph).
+    pub fn step_record(&mut self, mut sink: impl FnMut(RuleDelta)) -> bool {
         let n = self.graph.node_count();
         let prev_dist = self.dist.clone();
         let prev_next = self.next.clone();
@@ -122,6 +181,14 @@ impl DistanceVector {
                     best_next = None;
                 }
                 if best != self.dist[node][dst] || best_next != self.next[node][dst] {
+                    if best_next != self.next[node][dst] {
+                        sink(RuleDelta {
+                            dst,
+                            node,
+                            old: self.next[node][dst],
+                            new: best_next,
+                        });
+                    }
                     self.dist[node][dst] = best;
                     self.next[node][dst] = best_next;
                     changed = true;
@@ -158,41 +225,64 @@ impl DistanceVector {
     /// Finds a forwarding loop toward `dst` in the current next-hop
     /// graph, if one exists: the returned nodes form the cycle in
     /// traversal order.
+    ///
+    /// Allocates fresh visit markers per call; when sweeping many
+    /// destinations or polling across convergence rounds, use
+    /// [`loop_toward_in`](Self::loop_toward_in) with a shared
+    /// [`LoopScratch`] instead.
     pub fn loop_toward(&self, dst: NodeId) -> Option<Vec<NodeId>> {
+        self.loop_toward_in(dst, &mut LoopScratch::default())
+    }
+
+    /// [`loop_toward`](Self::loop_toward) with caller-owned scratch:
+    /// the marker array is allocated once and epoch-stamped thereafter,
+    /// so repeated calls (every destination, every round of a
+    /// count-to-infinity transient) do no per-call allocation. Each
+    /// node is visited at most once per call — `O(n)` time, not
+    /// `O(n)` fresh memory.
+    pub fn loop_toward_in(&self, dst: NodeId, scratch: &mut LoopScratch) -> Option<Vec<NodeId>> {
         let n = self.graph.node_count();
-        // 0 = unvisited, 1 = on current walk, 2 = finished.
-        let mut mark = vec![0u8; n];
+        if scratch.mark.len() < n {
+            scratch.mark.resize(n, 0);
+        }
+        // Two fresh stamps per call: `on_walk` for nodes on the current
+        // chase, `done` for nodes proven loop-free (or returned as the
+        // cycle). Anything below `on_walk` is stale from an earlier
+        // call and counts as unvisited.
+        scratch.epoch += 2;
+        let on_walk = scratch.epoch;
+        let done = scratch.epoch + 1;
         for start in 0..n {
-            if mark[start] != 0 {
+            if scratch.mark[start] >= on_walk {
                 continue;
             }
-            let mut walk = Vec::new();
+            scratch.walk.clear();
             let mut cur = start;
             loop {
-                if cur == dst || mark[cur] == 2 {
+                if cur == dst || scratch.mark[cur] == done {
                     break;
                 }
-                if mark[cur] == 1 {
-                    // Found a cycle: mark 1 means `cur` was pushed on
+                if scratch.mark[cur] == on_walk {
+                    // Found a cycle: `on_walk` means `cur` was pushed on
                     // this very walk, so the lookup cannot miss; a
                     // defensive miss just ends the walk loop-free.
-                    if let Some(at) = walk.iter().position(|&w| w == cur) {
-                        for &w in &walk {
-                            mark[w] = 2;
+                    if let Some(at) = scratch.walk.iter().position(|&w| w == cur) {
+                        for &w in &scratch.walk {
+                            scratch.mark[w] = done;
                         }
-                        return Some(walk[at..].to_vec());
+                        return Some(scratch.walk[at..].to_vec());
                     }
                     break;
                 }
-                mark[cur] = 1;
-                walk.push(cur);
+                scratch.mark[cur] = on_walk;
+                scratch.walk.push(cur);
                 match self.next[cur][dst] {
                     Some(nx) => cur = nx,
                     None => break,
                 }
             }
-            for w in walk {
-                mark[w] = 2;
+            for &w in &scratch.walk {
+                scratch.mark[w] = done;
             }
         }
         None
@@ -200,7 +290,14 @@ impl DistanceVector {
 
     /// True if any destination currently has a forwarding loop.
     pub fn any_loop(&self) -> Option<(NodeId, Vec<NodeId>)> {
-        (0..self.graph.node_count()).find_map(|dst| self.loop_toward(dst).map(|c| (dst, c)))
+        self.any_loop_in(&mut LoopScratch::default())
+    }
+
+    /// [`any_loop`](Self::any_loop) with caller-owned scratch — one
+    /// marker allocation for the whole destination sweep.
+    pub fn any_loop_in(&self, scratch: &mut LoopScratch) -> Option<(NodeId, Vec<NodeId>)> {
+        (0..self.graph.node_count())
+            .find_map(|dst| self.loop_toward_in(dst, scratch).map(|c| (dst, c)))
     }
 }
 
@@ -291,6 +388,131 @@ mod tests {
         dv.restore_link(0, 1);
         dv.converge(200);
         assert_eq!(dv.distance(0, 1), 1);
+    }
+
+    /// Replays a recorded delta stream over a snapshot of the
+    /// forwarding state and checks it reproduces the live state —
+    /// the contract the incremental checker relies on.
+    fn apply_deltas(snapshot: &mut [Vec<Option<NodeId>>], deltas: &[RuleDelta]) {
+        for d in deltas {
+            assert_eq!(
+                snapshot[d.node][d.dst], d.old,
+                "delta {d:?} does not match the snapshot"
+            );
+            snapshot[d.node][d.dst] = d.new;
+        }
+    }
+
+    #[test]
+    fn deltas_replay_to_the_live_forwarding_state() {
+        let mut dv = DistanceVector::new(grid(4, 3), false);
+        let n = dv.graph().node_count();
+        let mut snapshot: Vec<Vec<Option<NodeId>>> = (0..n)
+            .map(|node| (0..n).map(|dst| dv.next[node][dst]).collect())
+            .collect();
+        let mut deltas = Vec::new();
+        dv.fail_link_record(1, 2, |d| deltas.push(d));
+        for _ in 0..6 {
+            dv.step_record(|d| deltas.push(d));
+        }
+        dv.restore_link(1, 2);
+        for _ in 0..6 {
+            dv.step_record(|d| deltas.push(d));
+        }
+        assert!(!deltas.is_empty(), "churn must produce next-hop deltas");
+        apply_deltas(&mut snapshot, &deltas);
+        for (node, row) in snapshot.iter().enumerate() {
+            for (dst, &next) in row.iter().enumerate() {
+                assert_eq!(next, dv.next[node][dst], "{node}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn quiescent_step_emits_no_deltas() {
+        let mut dv = DistanceVector::new(ring(8), false);
+        let mut count = 0;
+        let changed = dv.step_record(|_| count += 1);
+        assert!(!changed);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn distance_only_changes_are_silent() {
+        // During count-to-infinity the two looping nodes keep pointing
+        // at each other while their distances ratchet up: those rounds
+        // must emit no deltas for the stable entries.
+        let mut dv = DistanceVector::new(line(4), false);
+        dv.fail_link(2, 3);
+        dv.step(); // the 0↔1 micro-loop forms
+        let before = dv.forwarding(3);
+        let mut deltas = Vec::new();
+        dv.step_record(|d| deltas.push(d));
+        let after = dv.forwarding(3);
+        for d in deltas.iter().filter(|d| d.dst == 3) {
+            assert_ne!(before[d.node], after[d.node], "silent entry emitted {d:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_walk_matches_allocating_walk_on_long_chain() {
+        // Regression for the loop_toward worst case: a long
+        // count-to-infinity chain polled every round used to allocate
+        // fresh markers per (call × destination). The scratch variant
+        // must agree with a naive reference at every round and clear at
+        // convergence, with one marker buffer for the whole run.
+        let n = 200;
+        let mut dv = DistanceVector::new(line(n), false);
+        dv.fail_link(n - 2, n - 1);
+        let dst = n - 1;
+        let mut scratch = LoopScratch::default();
+        let mut saw_loop = false;
+        for _ in 0..(2 * INFINITY + 4) {
+            dv.step();
+            let fast = dv.loop_toward_in(dst, &mut scratch);
+            let reference = reference_loop_toward(&dv, dst);
+            assert_eq!(fast.is_some(), reference.is_some());
+            if let Some(cycle) = &fast {
+                saw_loop = true;
+                // The cycle is a real forwarding cycle toward dst.
+                for (i, &u) in cycle.iter().enumerate() {
+                    let next = cycle[(i + 1) % cycle.len()];
+                    assert_eq!(dv.forwarding(dst)[u], Some(next));
+                }
+            }
+        }
+        assert!(saw_loop, "the chain must loop while counting to infinity");
+        dv.converge(10 * (n as u32 + INFINITY));
+        assert!(dv.loop_toward_in(dst, &mut scratch).is_none());
+        // The scratch's markers were sized once for this topology.
+        assert_eq!(scratch.mark.len(), n);
+    }
+
+    /// Brute-force cycle finder: walks every start node with a fresh
+    /// visited set, `O(n²)` but obviously correct.
+    fn reference_loop_toward(dv: &DistanceVector, dst: NodeId) -> Option<Vec<NodeId>> {
+        let n = dv.graph().node_count();
+        for start in 0..n {
+            let mut walk = Vec::new();
+            let mut cur = start;
+            let mut dead_end = false;
+            while cur != dst && !walk.contains(&cur) {
+                walk.push(cur);
+                match dv.forwarding(dst)[cur] {
+                    Some(nx) => cur = nx,
+                    None => {
+                        dead_end = true;
+                        break;
+                    }
+                }
+            }
+            if cur != dst && !dead_end {
+                if let Some(at) = walk.iter().position(|&w| w == cur) {
+                    return Some(walk[at..].to_vec());
+                }
+            }
+        }
+        None
     }
 
     #[test]

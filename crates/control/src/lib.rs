@@ -45,6 +45,6 @@ pub mod heal;
 pub mod localize;
 
 pub use controller::{Controller, LocalizedLoop};
-pub use distvec::{DistanceVector, INFINITY};
+pub use distvec::{DistanceVector, LoopScratch, RuleDelta, INFINITY};
 pub use heal::{FlakyHealer, HealExecutor, HealPolicy, HealReport, SimHealer};
 pub use localize::{LocalizeState, LocalizingDetector};

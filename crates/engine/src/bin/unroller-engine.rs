@@ -24,6 +24,7 @@ use unroller_engine::{
 use unroller_sim::{NullDetector, SimConfig, Simulator};
 use unroller_topology::ids::assign_sequential_ids;
 use unroller_topology::{generators, Graph, NodeId};
+use unroller_verify::FwdChecker;
 
 struct Options {
     shards: usize,
@@ -47,6 +48,7 @@ struct Options {
     replay: Option<String>,
     capture: Option<String>,
     pin: bool,
+    oracle: bool,
 }
 
 impl Default for Options {
@@ -73,6 +75,7 @@ impl Default for Options {
             replay: None,
             capture: None,
             pin: false,
+            oracle: false,
         }
     }
 }
@@ -127,6 +130,11 @@ fn usage() -> ! {
            --capture FILE    record the traffic the engine processes\n\
                              as a classic pcap capture, replayable\n\
                              with --replay (single-run mode only)\n\
+           --oracle          derive looping-flow ground truth from the\n\
+                             static forwarding-state checker instead of\n\
+                             the recorded per-flow routes; cross-checks\n\
+                             both and exits 1 on any disagreement\n\
+                             (single-run synthetic traffic only)\n\
            --fault-sweep L   comma-separated rate multipliers (e.g.\n\
                              0,0.5,1,2,4) applied to the --faults plan;\n\
                              replays the stream per level and writes\n\
@@ -213,6 +221,7 @@ fn parse_args() -> Options {
             }
             "--replay" => opts.replay = Some(value("--replay")),
             "--capture" => opts.capture = Some(value("--capture")),
+            "--oracle" => opts.oracle = true,
             "--shed" => opts.shed = true,
             "--pin" => opts.pin = true,
             "--watchdog-ms" => {
@@ -269,6 +278,63 @@ fn write_report(path: &str, contents: &str) {
     eprintln!("wrote {path}");
 }
 
+/// Derives looping-flow ground truth statically: installs the
+/// simulator's (post-injection) forwarding columns into the
+/// incremental forwarding-state checker and classifies every flow from
+/// its endpoints, independently of the per-flow routes the source
+/// recorded. Returns the oracle's JSON section, its looping-flow set,
+/// and whether that set matches `looping_flow_keys()` exactly.
+fn oracle_ground_truth(
+    graph: &Graph,
+    sim: &Simulator<NullDetector>,
+    source: &ReplaySource,
+) -> (Json, Vec<FlowKey>, bool) {
+    let t0 = std::time::Instant::now();
+    let mut checker = FwdChecker::new(graph.clone());
+    for dst in graph.nodes() {
+        checker.install_column(dst, sim.forwarding(dst));
+    }
+    let keys = source.flow_keys();
+    let endpoints: Vec<(NodeId, NodeId)> = keys
+        .iter()
+        .map(|k| {
+            let (s, d) = k.synthetic_endpoints();
+            (s as NodeId, d as NodeId)
+        })
+        .collect();
+    checker.register_flows(endpoints.clone());
+    let oracle_keys: Vec<FlowKey> = keys
+        .iter()
+        .zip(&endpoints)
+        .filter(|&(_, &(s, d))| checker.flow_trapped(s, d))
+        .map(|(k, _)| *k)
+        .collect();
+    let build_ns = t0.elapsed().as_nanos() as u64;
+
+    let recorded: HashSet<FlowKey> = source.looping_flow_keys().into_iter().collect();
+    let derived: HashSet<FlowKey> = oracle_keys.iter().copied().collect();
+    let agrees = recorded == derived;
+
+    let mut j = Json::object();
+    j.set("flows", Json::UInt(keys.len() as u64));
+    j.set("looping_flows", Json::UInt(oracle_keys.len() as u64));
+    j.set(
+        "imperiled_flows",
+        Json::UInt(checker.imperiled_flows().len() as u64),
+    );
+    j.set(
+        "looping_routers",
+        Json::UInt(checker.looping_routers().len() as u64),
+    );
+    j.set(
+        "looping_dsts",
+        Json::UInt(graph.nodes().filter(|&d| checker.has_loop(d)).count() as u64),
+    );
+    j.set("build_ns", Json::UInt(build_ns));
+    j.set("agrees_with_replay_routes", Json::Bool(agrees));
+    (j, oracle_keys, agrees)
+}
+
 /// Fraction of ground-truth looping flows the run detected; 1.0 when
 /// nothing loops (there was nothing to miss).
 fn detection_recall(report: &EngineReport, looping: &[FlowKey]) -> (f64, usize) {
@@ -319,6 +385,12 @@ fn main() {
         && (opts.scaling.is_some() || opts.fault_sweep.is_some())
     {
         eprintln!("unroller-engine: --replay/--capture are single-run options");
+        std::process::exit(2);
+    }
+    if opts.oracle
+        && (opts.replay.is_some() || opts.scaling.is_some() || opts.fault_sweep.is_some())
+    {
+        eprintln!("unroller-engine: --oracle applies to single-run synthetic traffic only");
         std::process::exit(2);
     }
 
@@ -474,6 +546,7 @@ fn main() {
         // capture whose frames are resolved against the same (possibly
         // loop-injected) routing state, then processed in their own
         // recorded bytes.
+        let mut oracle: Option<(Json, Vec<FlowKey>, bool)> = None;
         let (mut sim, source, looping): (_, Box<dyn TrafficSource>, Vec<FlowKey>) =
             if let Some(path) = &opts.replay {
                 let mut sim = Simulator::new(
@@ -513,7 +586,15 @@ fn main() {
                 (sim, Box::new(replay), looping)
             } else {
                 let (sim, source) = build();
-                let looping = source.looping_flow_keys();
+                if opts.oracle {
+                    oracle = Some(oracle_ground_truth(&graph, &sim, &source));
+                }
+                // With --oracle, recall's ground truth comes from the
+                // static checker; otherwise from the recorded routes.
+                let looping = match &oracle {
+                    Some((_, keys, _)) => keys.clone(),
+                    None => source.looping_flow_keys(),
+                };
                 (sim, Box::new(source), looping)
             };
         let capture_writer = opts
@@ -553,6 +634,9 @@ fn main() {
         let (sink, heal) = localize_and_heal(&report, &ids, &mut sim, &opts.faults);
         let mut rendered = report.to_json();
         rendered.set("recall", Json::Float(recall));
+        if let Some((section, _, _)) = &oracle {
+            rendered.set("oracle", section.clone());
+        }
         let mut controller = Json::object();
         controller.set(
             "localized_loops",
@@ -570,6 +654,12 @@ fn main() {
         if !report.accounted() {
             eprintln!("unroller-engine: internal accounting mismatch");
             std::process::exit(1);
+        }
+        if let Some((_, _, agrees)) = &oracle {
+            if !agrees {
+                eprintln!("unroller-engine: oracle ground truth disagrees with recorded routes");
+                std::process::exit(1);
+            }
         }
         if opts.expect_loop && !report.loop_detected() {
             eprintln!("unroller-engine: expected a loop detection");

@@ -49,6 +49,14 @@ impl FlowKey {
         }
     }
 
+    /// Recovers the endpoint node indices a
+    /// [`synthetic`](Self::synthetic) key encodes in its host-style
+    /// addresses. Only meaningful for keys built by `synthetic`.
+    #[inline]
+    pub fn synthetic_endpoints(&self) -> (u32, u32) {
+        (self.src_ip & 0x00ff_ffff, self.dst_ip & 0x00ff_ffff)
+    }
+
     /// The 64-bit RSS hash of this tuple. Deterministic (fixed seed
     /// constant) and symmetric in nothing — direction matters, exactly
     /// as hardware RSS behaves for unidirectional queues.

@@ -196,6 +196,14 @@ impl ReplaySource {
             .any(|f| f.poisoned.is_some_and(|p| self.routes.get(p).loops()))
     }
 
+    /// Every flow's key, in flow order — lets a static forwarding-state
+    /// oracle re-derive ground truth independently of the recorded
+    /// per-flow routes (synthetic keys encode their endpoints, see
+    /// [`FlowKey::synthetic_endpoints`]).
+    pub fn flow_keys(&self) -> Vec<FlowKey> {
+        self.flows.iter().map(|f| f.key).collect()
+    }
+
     /// The flows whose active (post-injection) route loops — the ground
     /// truth a detection-recall measurement compares detections against.
     pub fn looping_flow_keys(&self) -> Vec<FlowKey> {

@@ -328,6 +328,13 @@ impl<D: InPacketDetector> Simulator<D> {
         self.fwd[dst] = column;
     }
 
+    /// The installed forwarding column toward `dst` (`column[node]` =
+    /// next hop), including any poisoned entries — the authoritative
+    /// state a static forwarding checker verifies.
+    pub fn forwarding(&self, dst: NodeId) -> &[Option<NodeId>] {
+        &self.fwd[dst]
+    }
+
     /// The route a packet from `src` to `dst` currently takes, following
     /// the forwarding tables (including any poisoned entries) until
     /// delivery, a missing entry, or a node repeats (i.e. the route

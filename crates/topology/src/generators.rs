@@ -213,7 +213,8 @@ pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
 /// * `ring:N` — an `N`-node ring;
 /// * `grid:WxH` — a `W × H` grid;
 /// * `fat-tree:K` — a `K`-ary fat tree (pod count `K`);
-/// * `wan:N` — a WAN-like graph of `N` nodes (diameter 8, seeded);
+/// * `wan:N[:D[:SEED]]` — a WAN-like graph of `N` nodes with diameter
+///   `D` (default 8), deterministically seeded;
 /// * `random:N[:EXTRA[:SEED]]` — random connected graph with `EXTRA`
 ///   non-tree edges.
 ///
@@ -236,8 +237,17 @@ pub fn from_spec(spec: &str) -> Option<Graph> {
             (k >= 2 && k.is_multiple_of(2)).then(|| fat_tree(k).graph)
         }
         "wan" => {
-            let n: usize = rest.parse().ok()?;
-            (n >= 16).then(|| wan_like(n, 8, n / 4, 1))
+            let mut parts = rest.split(':');
+            let n: usize = parts.next()?.parse().ok()?;
+            let d: usize = match parts.next() {
+                Some(p) => p.parse().ok()?,
+                None => 8,
+            };
+            let seed: u64 = match parts.next() {
+                Some(p) => p.parse().ok()?,
+                None => 1,
+            };
+            (n >= 16 && d >= 2 && n > d).then(|| wan_like(n, d, n / 4, seed))
         }
         "random" => {
             let mut parts = rest.split(':');
@@ -267,6 +277,10 @@ mod tests {
         assert_eq!(from_spec("fat-tree:4").unwrap().node_count(), 20);
         let wan = from_spec("wan:32").unwrap();
         assert_eq!(wan.node_count(), 32);
+        assert!(wan.is_connected());
+        let wan = from_spec("wan:64:12:9").unwrap();
+        assert_eq!(wan.node_count(), 64);
+        assert_eq!(wan.diameter(), 12);
         assert!(wan.is_connected());
         let rnd = from_spec("random:10:3:7").unwrap();
         assert_eq!(rnd.node_count(), 10);

@@ -76,6 +76,20 @@ impl Graph {
         0..self.adj.len()
     }
 
+    /// All undirected edges as `(u, v)` pairs with `u < v`, in
+    /// deterministic adjacency-list order.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.edges);
+        for u in self.nodes() {
+            for &v in &self.adj[u] {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
     /// BFS distances from `src`; `usize::MAX` marks unreachable nodes.
     pub fn bfs_distances(&self, src: NodeId) -> Vec<usize> {
         let mut dist = vec![usize::MAX; self.adj.len()];

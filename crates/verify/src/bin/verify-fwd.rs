@@ -1,0 +1,152 @@
+//! `verify-fwd` — differential validation of the incremental
+//! forwarding-state loop checker against from-scratch recomputation,
+//! over seeded distance-vector churn.
+//!
+//! ```text
+//! cargo run -p unroller-verify --bin verify-fwd
+//! cargo run -p unroller-verify --bin verify-fwd -- \
+//!     --topo wan:128 --rounds 256 --seeds 4 --fail-every 2
+//! ```
+//!
+//! Each run drives a `DistanceVector` through failures, restorations
+//! and routing rounds; every emitted rule delta is applied to the
+//! incremental checker, and every touched destination column is
+//! cross-checked against a from-scratch classification *and* the
+//! routing process's own cycle walker. Exit status is non-zero on any
+//! divergence, so the check slots into CI next to `verify-p4`.
+
+use std::process::ExitCode;
+use unroller_topology::generators::from_spec;
+use unroller_verify::{run_churn, ChurnConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: verify-fwd [options]\n\
+         \x20  --topo <spec>      topology (ring:N, grid:WxH, fat-tree:K,\n\
+         \x20                     wan:N[:D[:SEED]], random:N[:E[:S]]);\n\
+         \x20                     repeatable [default: ring:12 grid:6x4 fat-tree:4 wan:48]\n\
+         \x20  --rounds <n>       routing rounds per run [96]\n\
+         \x20  --fail-every <n>   link event every n rounds, 0 = never [4]\n\
+         \x20  --max-down <n>     max simultaneously failed links [4]\n\
+         \x20  --seeds <n>        event-schedule seeds per topology [2]\n\
+         \x20  --check-every <n>  cross-check cadence in batches, 0 = end only [1]\n\
+         \x20  --split-horizon    run the routing process with split horizon\n\
+         \x20  --quick            small fixed workload for CI smoke"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    topos: Vec<String>,
+    rounds: u32,
+    fail_every: u32,
+    max_down: usize,
+    seeds: u64,
+    check_every: u32,
+    split_horizon: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            topos: Vec::new(),
+            rounds: 96,
+            fail_every: 4,
+            max_down: 4,
+            seeds: 2,
+            check_every: 1,
+            split_horizon: false,
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opt = Options::default();
+    let mut args = std::env::args().skip(1);
+    let need = |a: Option<String>| a.unwrap_or_else(|| usage());
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--topo" => opt.topos.push(need(args.next())),
+            "--rounds" => opt.rounds = need(args.next()).parse().unwrap_or_else(|_| usage()),
+            "--fail-every" => {
+                opt.fail_every = need(args.next()).parse().unwrap_or_else(|_| usage())
+            }
+            "--max-down" => opt.max_down = need(args.next()).parse().unwrap_or_else(|_| usage()),
+            "--seeds" => opt.seeds = need(args.next()).parse().unwrap_or_else(|_| usage()),
+            "--check-every" => {
+                opt.check_every = need(args.next()).parse().unwrap_or_else(|_| usage())
+            }
+            "--split-horizon" => opt.split_horizon = true,
+            "--quick" => {
+                opt.rounds = 48;
+                opt.seeds = 1;
+                opt.topos = vec!["ring:10".into(), "grid:4x4".into(), "fat-tree:4".into()];
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if opt.topos.is_empty() {
+        opt.topos = ["ring:12", "grid:6x4", "fat-tree:4", "wan:48"]
+            .map(String::from)
+            .to_vec();
+    }
+    opt
+}
+
+fn main() -> ExitCode {
+    let opt = parse_args();
+    let mut failures = 0usize;
+    let mut total_deltas = 0u64;
+    let mut total_checks = 0u64;
+    for spec in &opt.topos {
+        let Some(graph) = from_spec(spec) else {
+            eprintln!("verify-fwd: bad topology spec `{spec}`");
+            return ExitCode::from(2);
+        };
+        for seed in 0..opt.seeds {
+            let report = run_churn(
+                &graph,
+                &ChurnConfig {
+                    rounds: opt.rounds,
+                    fail_every: opt.fail_every,
+                    max_down: opt.max_down,
+                    split_horizon: opt.split_horizon,
+                    seed,
+                    check_every: opt.check_every,
+                },
+            );
+            total_deltas += report.deltas;
+            total_checks += report.cross_checks;
+            let verdict = if report.ok() { "ok  " } else { "FAIL" };
+            println!(
+                "{verdict} {spec} seed={seed}: {} rounds, {} fails/{} restores, \
+                 {} deltas (affected mean {:.2} max {}), {} loop rounds (peak {} dsts), \
+                 {} cross-checks",
+                report.rounds_run,
+                report.fails,
+                report.restores,
+                report.deltas,
+                report.affected_mean,
+                report.affected_max,
+                report.loop_rounds,
+                report.max_looping_dsts,
+                report.cross_checks,
+            );
+            if let Some(d) = report.divergence {
+                failures += 1;
+                println!("     divergence: {d}");
+            }
+        }
+    }
+    println!(
+        "verify-fwd: {} runs, {total_deltas} deltas applied, {total_checks} cross-checks, \
+         {failures} divergences",
+        opt.topos.len() as u64 * opt.seeds,
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

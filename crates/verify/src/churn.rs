@@ -1,0 +1,243 @@
+//! Seeded routing-churn driver with differential cross-checking.
+//!
+//! Drives a [`DistanceVector`] process through a reproducible sequence
+//! of link failures, restorations and routing rounds, feeds every
+//! emitted [`RuleDelta`] to an incremental [`FwdChecker`], and
+//! periodically cross-checks the checker against from-scratch
+//! recomputation ([`classify_column`](crate::fwdcheck::classify_column)
+//! via [`FwdChecker::check_column`]) *and* against the routing
+//! process's own cycle finder ([`DistanceVector::loop_toward_in`]).
+//! One harness, three consumers: the `verify-fwd` CLI, the
+//! differential property tests, and CI's `oracle-smoke` job.
+
+use crate::fwdcheck::FwdChecker;
+use rand::Rng;
+use rand::SeedableRng;
+use unroller_control::distvec::{DistanceVector, LoopScratch, RuleDelta};
+use unroller_topology::{Graph, NodeId};
+
+/// Parameters of a churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Routing rounds to run.
+    pub rounds: u32,
+    /// Inject a link event (fail or restore) every this many rounds
+    /// (`0` = never).
+    pub fail_every: u32,
+    /// Cap on simultaneously failed links.
+    pub max_down: usize,
+    /// Whether the routing process runs split horizon.
+    pub split_horizon: bool,
+    /// Seed for the event schedule.
+    pub seed: u64,
+    /// Cross-check every destination a batch touched, every this many
+    /// batches (`0` = only the final full sweep). Each check is a
+    /// from-scratch recomputation, so this is the knob trading
+    /// confidence against runtime.
+    pub check_every: u32,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            rounds: 64,
+            fail_every: 4,
+            max_down: 4,
+            split_horizon: false,
+            seed: 1,
+            check_every: 1,
+        }
+    }
+}
+
+/// What a churn run did and found.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnReport {
+    /// Routing rounds actually run.
+    pub rounds_run: u32,
+    /// Link failures injected.
+    pub fails: u32,
+    /// Link restorations injected.
+    pub restores: u32,
+    /// Rule deltas emitted and applied.
+    pub deltas: u64,
+    /// Mean affected-set size per applied delta.
+    pub affected_mean: f64,
+    /// Largest affected set any delta produced.
+    pub affected_max: u64,
+    /// Rounds during which at least one destination looped.
+    pub loop_rounds: u32,
+    /// Most destinations simultaneously looping in any round.
+    pub max_looping_dsts: usize,
+    /// Differential cross-checks performed (column recomputations).
+    pub cross_checks: u64,
+    /// First divergence found, if any — `None` is the passing verdict.
+    pub divergence: Option<String>,
+}
+
+impl ChurnReport {
+    /// True if every cross-check passed.
+    pub fn ok(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// Runs the churn schedule over `graph`, returning what happened.
+/// Deterministic per config: same graph + same config = same report.
+pub fn run_churn(graph: &Graph, cfg: &ChurnConfig) -> ChurnReport {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x636875726e);
+    let edges = graph.edges();
+    let mut dv = DistanceVector::new(graph.clone(), cfg.split_horizon);
+    let mut checker = FwdChecker::from_dv(&dv);
+    let mut scratch = LoopScratch::default();
+    let mut report = ChurnReport::default();
+    let mut down: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut deltas: Vec<RuleDelta> = Vec::new();
+    let mut touched: Vec<NodeId> = Vec::new();
+    let mut batches = 0u32;
+
+    for round in 0..cfg.rounds {
+        deltas.clear();
+        // Link event: fail a live link while under the cap, otherwise
+        // restore one (and occasionally restore early, so links flap).
+        if cfg.fail_every > 0 && round % cfg.fail_every == 0 && !edges.is_empty() {
+            let restore_now = !down.is_empty() && (down.len() >= cfg.max_down || rng.gen_bool(0.3));
+            if restore_now {
+                let (u, v) = down.swap_remove(rng.gen_range(0..down.len()));
+                dv.restore_link(u, v);
+                report.restores += 1;
+            } else {
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                if !down.contains(&(u, v)) {
+                    dv.fail_link_record(u, v, |d| deltas.push(d));
+                    down.push((u, v));
+                    report.fails += 1;
+                }
+            }
+        }
+        dv.step_record(|d| deltas.push(d));
+        report.rounds_run = round + 1;
+
+        for d in &deltas {
+            checker.apply(d);
+        }
+        report.deltas += deltas.len() as u64;
+        batches += 1;
+
+        // Loop accounting straight off the checker's O(1) counters.
+        let looping_dsts = graph.nodes().filter(|&d| checker.has_loop(d)).count();
+        if looping_dsts > 0 {
+            report.loop_rounds += 1;
+            report.max_looping_dsts = report.max_looping_dsts.max(looping_dsts);
+        }
+
+        // Differential cross-check on every destination this batch
+        // touched: column + classification against from-scratch
+        // recomputation, and loop existence + cycle membership against
+        // the routing process's own walker.
+        if cfg.check_every > 0 && batches.is_multiple_of(cfg.check_every) {
+            touched.clear();
+            touched.extend(deltas.iter().map(|d| d.dst));
+            touched.sort_unstable();
+            touched.dedup();
+            for &dst in &touched {
+                report.cross_checks += 1;
+                if let Err(e) = checker.check_column(dst, &dv.forwarding(dst)) {
+                    report.divergence = Some(format!("round {round}: {e}"));
+                    return report;
+                }
+                let walker = dv.loop_toward_in(dst, &mut scratch);
+                if walker.is_some() != checker.has_loop(dst) {
+                    report.divergence = Some(format!(
+                        "round {round}: dst {dst}: loop_toward says {:?}, checker says {}",
+                        walker.is_some(),
+                        checker.has_loop(dst)
+                    ));
+                    return report;
+                }
+                if let Some(cycle) = walker {
+                    let looping = checker.looping_nodes(dst);
+                    if let Some(&missing) = cycle.iter().find(|v| !looping.contains(v)) {
+                        report.divergence = Some(format!(
+                            "round {round}: dst {dst}: cycle node {missing} not in looping set"
+                        ));
+                        return report;
+                    }
+                }
+            }
+        }
+    }
+
+    // Final full sweep: every column, bit for bit.
+    report.cross_checks += 1;
+    if let Err(e) = checker.check_all(|d| dv.forwarding(d)) {
+        report.divergence = Some(format!("final sweep: {e}"));
+        return report;
+    }
+    report.affected_mean = checker.stats.affected_mean();
+    report.affected_max = checker.stats.affected_max;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unroller_topology::generators::{grid, random_connected, ring};
+
+    #[test]
+    fn churn_on_small_topologies_never_diverges() {
+        for graph in [ring(12), grid(4, 4), random_connected(16, 8, 5)] {
+            for seed in 0..3 {
+                let report = run_churn(
+                    &graph,
+                    &ChurnConfig {
+                        rounds: 48,
+                        seed,
+                        ..ChurnConfig::default()
+                    },
+                );
+                assert!(report.ok(), "{:?}", report.divergence);
+                assert!(report.deltas > 0, "churn must change routes");
+                assert!(report.cross_checks > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_produces_and_clears_loops() {
+        // Without split horizon, sustained failures on a sparse graph
+        // reliably produce count-to-infinity micro-loops.
+        let report = run_churn(
+            &grid(6, 1),
+            &ChurnConfig {
+                rounds: 96,
+                fail_every: 8,
+                max_down: 2,
+                seed: 2,
+                ..ChurnConfig::default()
+            },
+        );
+        assert!(report.ok(), "{:?}", report.divergence);
+        assert!(report.loop_rounds > 0, "no transient loops observed");
+        assert!(
+            report.loop_rounds < report.rounds_run,
+            "loops never cleared"
+        );
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let run = |seed| {
+            let r = run_churn(
+                &ring(10),
+                &ChurnConfig {
+                    rounds: 40,
+                    seed,
+                    ..ChurnConfig::default()
+                },
+            );
+            (r.deltas, r.fails, r.restores, r.loop_rounds)
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

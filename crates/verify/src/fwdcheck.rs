@@ -1,0 +1,938 @@
+//! Incremental static loop verification over forwarding state.
+//!
+//! The data plane detects loops by watching packets; this module
+//! detects them by watching *rules*. A destination-based forwarding
+//! state is, per destination, a successor function: every node has at
+//! most one next hop, so the per-destination successor graph is a
+//! functional graph whose every walk ends in exactly one of three
+//! terminals — the destination, a dead end, or a cycle. The checker
+//! classifies every `(node, dst)` entry into one of those terminals and
+//! maintains the classification *incrementally* under single rule
+//! insertions/removals (Delta-net's observation, transplanted from
+//! header-space atoms to per-destination successor functions: almost
+//! all of the analysis survives an update untouched).
+//!
+//! # The delta algorithm
+//!
+//! When `node`'s next hop toward `dst` changes, the only entries whose
+//! terminal can change are those whose walk *passes through* `node` —
+//! equivalently, the nodes that reach `node` in the successor graph,
+//! i.e. `node`'s reverse-reachable set. Two facts make that set cheap:
+//!
+//! 1. It is invariant under the update itself (whether `x` reaches
+//!    `node` never depends on `node`'s own outgoing edge: walks stop at
+//!    their first visit to `node`), so it can be collected either side
+//!    of the write.
+//! 2. Next hops are always topology neighbors, so the reverse graph
+//!    needs no storage: the predecessors of `v` are exactly the
+//!    neighbors `w` with `succ(w) = v`. The reverse BFS costs the sum
+//!    of the affected nodes' degrees.
+//!
+//! After collecting the affected set, each affected node is re-resolved
+//! with a forward walk that stops at the first node that is either
+//! unaffected (its cached terminal is still valid), already re-resolved
+//! in this pass, the destination, a dead end, or a node on the current
+//! walk (a cycle: the walk's suffix from that node is *on* the cycle,
+//! the prefix feeds it). Epoch-stamped scratch makes both phases
+//! allocation-free after warm-up, and every affected node is resolved
+//! exactly once — `O(Σ degree(affected))` per update versus the `O(n)`
+//! from-scratch recomputation ([`classify_column`]) a non-incremental
+//! checker pays.
+//!
+//! Cross-destination analytics ride on a per-node counter of how many
+//! destinations currently have the node on a cycle
+//! ([`FwdChecker::looping_routers`]), which powers the
+//! yarrp-toolkit-style *imperiled* query: flows that are delivered
+//! today but transit a router that is looping for some other
+//! destination.
+
+use std::time::Instant;
+use unroller_control::distvec::{DistanceVector, RuleDelta};
+use unroller_topology::{Graph, NodeId};
+
+/// Sentinel for "no successor" in the packed successor arrays.
+const NONE: u32 = u32::MAX;
+
+/// Terminal classification of one `(node, dst)` forwarding entry: what
+/// a packet injected at the node, addressed to the destination,
+/// ultimately runs into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Terminal {
+    /// The walk reaches the destination.
+    Delivered = 0,
+    /// The walk hits a node with no next hop.
+    Dead = 1,
+    /// The walk enters a cycle it is not on (the node feeds a loop).
+    Trapped = 2,
+    /// The node itself lies on a forwarding cycle.
+    OnCycle = 3,
+}
+
+impl Terminal {
+    /// True if a packet at this entry never escapes ([`Trapped`]
+    /// or [`OnCycle`]).
+    ///
+    /// [`Trapped`]: Terminal::Trapped
+    /// [`OnCycle`]: Terminal::OnCycle
+    pub fn looping(self) -> bool {
+        matches!(self, Terminal::Trapped | Terminal::OnCycle)
+    }
+}
+
+/// Per-destination successor graph plus its cached classification.
+#[derive(Debug, Clone)]
+struct DstState {
+    /// `succ[node]` = next hop toward this destination, or [`NONE`].
+    succ: Vec<u32>,
+    /// Cached terminal per node.
+    term: Vec<Terminal>,
+    /// How many nodes are currently [`Terminal::OnCycle`].
+    on_cycle: u32,
+    /// How many nodes currently loop (`Trapped` + `OnCycle`).
+    looping: u32,
+}
+
+/// Running totals for the incremental maintenance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckerStats {
+    /// Rule deltas applied.
+    pub updates: u64,
+    /// Total affected-set size across all updates.
+    pub affected_total: u64,
+    /// Largest single affected set.
+    pub affected_max: u64,
+}
+
+impl CheckerStats {
+    /// Mean affected-set size per update.
+    pub fn affected_mean(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.affected_total as f64 / self.updates as f64
+        }
+    }
+}
+
+/// Deliberate delta-handling bugs, compile-gated to tests: the mutation
+/// suite switches each one on and asserts the differential cross-check
+/// catches it. See `mod mutation` at the bottom of this file.
+#[cfg(test)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Sabotage {
+    /// Forget to write the new successor on every other update.
+    StaleSuccessor,
+    /// Re-resolve only the updated node, not its reverse-reachable set.
+    MissedInvalidation,
+    /// Drop the last node collected into the affected set.
+    TruncatedAffected,
+    /// Never downgrade a node once it is marked on-cycle.
+    FrozenCycleMark,
+    /// Split a detected cycle one position too late, so its first node
+    /// is classified as feeding the loop instead of on it.
+    SwappedCycleSplit,
+}
+
+/// The incremental forwarding-state loop checker.
+///
+/// Holds one successor graph per destination over a fixed topology,
+/// consumes [`RuleDelta`]s via [`apply`](Self::apply), and answers
+/// loop/reachability queries in `O(1)`–`O(n)` without ever recomputing
+/// a column from scratch. Build one empty with [`new`](Self::new) and
+/// install columns, or snapshot a whole routing process with
+/// [`from_dv`](Self::from_dv).
+#[derive(Debug, Clone)]
+pub struct FwdChecker {
+    graph: Graph,
+    dsts: Vec<DstState>,
+    /// `loops_for[node]` = number of destinations for which the node is
+    /// currently on a cycle.
+    loops_for: Vec<u32>,
+    /// Sum of `looping` across destinations (`> 0` ⇔ some loop exists).
+    looping_entries: u64,
+    /// Registered flows for [`looping_flows`](Self::looping_flows) /
+    /// [`imperiled_flows`](Self::imperiled_flows).
+    flows: Vec<(NodeId, NodeId)>,
+    /// Maintenance counters.
+    pub stats: CheckerStats,
+    // Epoch-stamped scratch, shared across updates (all destinations:
+    // only one update is in flight at a time).
+    affected: Vec<u32>,
+    mark: Vec<u64>,
+    resolved: Vec<u64>,
+    path: Vec<u32>,
+    epoch: u64,
+    #[cfg(test)]
+    pub(crate) sabotage: Option<Sabotage>,
+}
+
+impl FwdChecker {
+    /// An empty checker over `graph`: no rules installed, every entry
+    /// [`Terminal::Dead`] except each destination's own (delivered).
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.node_count();
+        let dsts = (0..n)
+            .map(|dst| {
+                let mut term = vec![Terminal::Dead; n];
+                term[dst] = Terminal::Delivered;
+                DstState {
+                    succ: vec![NONE; n],
+                    term,
+                    on_cycle: 0,
+                    looping: 0,
+                }
+            })
+            .collect();
+        FwdChecker {
+            loops_for: vec![0; n],
+            looping_entries: 0,
+            flows: Vec::new(),
+            stats: CheckerStats::default(),
+            affected: Vec::new(),
+            mark: vec![0; n],
+            resolved: vec![0; n],
+            path: Vec::new(),
+            epoch: 0,
+            graph,
+            dsts,
+            #[cfg(test)]
+            sabotage: None,
+        }
+    }
+
+    /// Snapshots a distance-vector process: one checker over the same
+    /// topology with every current forwarding column installed. Keep it
+    /// in sync afterwards by feeding the deltas from
+    /// [`DistanceVector::step_record`] /
+    /// [`DistanceVector::fail_link_record`] to [`apply`](Self::apply).
+    pub fn from_dv(dv: &DistanceVector) -> Self {
+        let mut checker = FwdChecker::new(dv.graph().clone());
+        for dst in dv.graph().nodes() {
+            checker.install_column(dst, &dv.forwarding(dst));
+        }
+        checker
+    }
+
+    /// The topology the checker verifies against.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Bulk-installs a whole forwarding column for `dst`, classifying
+    /// it from scratch — `O(n)`. Use for initial snapshots; single-rule
+    /// churn should go through [`apply`](Self::apply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column length differs from the node count or any
+    /// entry names a non-adjacent next hop.
+    pub fn install_column(&mut self, dst: NodeId, column: &[Option<NodeId>]) {
+        let n = self.graph.node_count();
+        assert_eq!(column.len(), n, "one entry per node");
+        let term = classify_column(&self.graph, dst, column);
+        let state = &mut self.dsts[dst];
+        for (node, &next) in column.iter().enumerate() {
+            if let Some(next) = next {
+                assert!(
+                    self.graph.has_edge(node, next),
+                    "route {node}->{next} is not a link"
+                );
+            }
+            state.succ[node] = pack(next);
+        }
+        // Swap in the fresh classification, re-deriving every counter.
+        for (node, &fresh) in term.iter().enumerate() {
+            let (old, new) = (state.term[node], fresh);
+            if old == new {
+                continue;
+            }
+            if old == Terminal::OnCycle {
+                state.on_cycle -= 1;
+                self.loops_for[node] -= 1;
+            }
+            if new == Terminal::OnCycle {
+                state.on_cycle += 1;
+                self.loops_for[node] += 1;
+            }
+            if old.looping() {
+                state.looping -= 1;
+                self.looping_entries -= 1;
+            }
+            if new.looping() {
+                state.looping += 1;
+                self.looping_entries += 1;
+            }
+            state.term[node] = new;
+        }
+    }
+
+    /// Registers the flow population the flow-level queries
+    /// ([`looping_flows`](Self::looping_flows),
+    /// [`imperiled_flows`](Self::imperiled_flows)) report over.
+    pub fn register_flows(&mut self, flows: Vec<(NodeId, NodeId)>) {
+        self.flows = flows;
+    }
+
+    /// Applies one forwarding-rule change incrementally. Returns the
+    /// size of the affected set (the entries whose classification was
+    /// re-derived).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta's new next hop is not adjacent to the node,
+    /// or retargets a destination's own entry.
+    pub fn apply(&mut self, delta: &RuleDelta) -> usize {
+        let RuleDelta { dst, node, new, .. } = *delta;
+        assert!(node != dst, "a destination has no next hop toward itself");
+        if let Some(next) = new {
+            assert!(
+                self.graph.has_edge(node, next),
+                "route {node}->{next} is not a link"
+            );
+        }
+        let packed = pack(new);
+        self.stats.updates += 1;
+        let state = &mut self.dsts[dst];
+        debug_assert_eq!(
+            state.succ[node],
+            pack(delta.old),
+            "delta does not match the installed state"
+        );
+        if state.succ[node] == packed {
+            return 0;
+        }
+
+        #[cfg(test)]
+        let skip_write =
+            self.sabotage == Some(Sabotage::StaleSuccessor) && self.stats.updates.is_multiple_of(2);
+        #[cfg(not(test))]
+        let skip_write = false;
+        if !skip_write {
+            state.succ[node] = packed;
+        }
+
+        // Phase 1: collect the affected set — `node` plus everything
+        // that reaches it — by reverse BFS. The reverse edges need no
+        // storage: predecessors of `v` are the neighbors `w` whose
+        // successor is `v`.
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.affected.clear();
+        self.affected.push(node as u32);
+        self.mark[node] = epoch;
+        let mut head = 0;
+        while head < self.affected.len() {
+            let v = self.affected[head] as NodeId;
+            head += 1;
+            for &w in self.graph.neighbors(v) {
+                if state.succ[w] == v as u32 && self.mark[w] != epoch {
+                    self.mark[w] = epoch;
+                    self.affected.push(w as u32);
+                }
+            }
+        }
+        let affected_len = self.affected.len();
+        self.stats.affected_total += affected_len as u64;
+        self.stats.affected_max = self.stats.affected_max.max(affected_len as u64);
+
+        #[cfg(test)]
+        match self.sabotage {
+            Some(Sabotage::MissedInvalidation) => self.affected.truncate(1),
+            Some(Sabotage::TruncatedAffected) if self.affected.len() > 1 => {
+                let dropped = self.affected.pop().expect("non-empty affected set");
+                self.mark[dropped as usize] = 0;
+            }
+            _ => {}
+        }
+
+        // Phase 2: re-resolve every affected node with memoized forward
+        // walks. `mark == epoch` identifies affected nodes; `resolved ==
+        // epoch` identifies nodes already re-classified in this pass.
+        // Walks never leave the affected set except at their final stop.
+        let mut queue = std::mem::take(&mut self.affected);
+        for &start in &queue {
+            let start = start as NodeId;
+            if self.resolved[start] == epoch {
+                continue;
+            }
+            self.path.clear();
+            let mut cur = start;
+            let outcome = loop {
+                if cur == dst {
+                    break Terminal::Delivered;
+                }
+                if self.resolved[cur] == epoch || self.mark[cur] != epoch {
+                    // Freshly re-classified, or untouched by this
+                    // update: its cached terminal stands. A trapped or
+                    // on-cycle stop traps the whole path feeding it.
+                    break match state.term[cur] {
+                        Terminal::Delivered => Terminal::Delivered,
+                        Terminal::Dead => Terminal::Dead,
+                        Terminal::Trapped | Terminal::OnCycle => Terminal::Trapped,
+                    };
+                }
+                if let Some(at) = self.path.iter().position(|&p| p as NodeId == cur) {
+                    // Cycle: the path suffix from `cur` is on it, the
+                    // prefix feeds it.
+                    #[cfg(test)]
+                    let at = if self.sabotage == Some(Sabotage::SwappedCycleSplit) {
+                        (at + 1).min(self.path.len() - 1)
+                    } else {
+                        at
+                    };
+                    for &p in &self.path[at..] {
+                        Self::set_term(
+                            state,
+                            &mut self.loops_for,
+                            &mut self.looping_entries,
+                            p as NodeId,
+                            Terminal::OnCycle,
+                            #[cfg(test)]
+                            self.sabotage,
+                        );
+                        self.resolved[p as usize] = epoch;
+                    }
+                    self.path.truncate(at);
+                    break Terminal::Trapped;
+                }
+                self.path.push(cur as u32);
+                let next = state.succ[cur];
+                if next == NONE {
+                    break Terminal::Dead;
+                }
+                cur = next as NodeId;
+            };
+            for &p in &self.path {
+                Self::set_term(
+                    state,
+                    &mut self.loops_for,
+                    &mut self.looping_entries,
+                    p as NodeId,
+                    outcome,
+                    #[cfg(test)]
+                    self.sabotage,
+                );
+                self.resolved[p as usize] = epoch;
+            }
+        }
+        queue.clear();
+        self.affected = queue;
+        affected_len
+    }
+
+    /// Writes one terminal, keeping every counter consistent.
+    fn set_term(
+        state: &mut DstState,
+        loops_for: &mut [u32],
+        looping_entries: &mut u64,
+        node: NodeId,
+        new: Terminal,
+        #[cfg(test)] sabotage: Option<Sabotage>,
+    ) {
+        let old = state.term[node];
+        #[cfg(test)]
+        if sabotage == Some(Sabotage::FrozenCycleMark) && old == Terminal::OnCycle {
+            return;
+        }
+        if old == new {
+            return;
+        }
+        if old == Terminal::OnCycle {
+            state.on_cycle -= 1;
+            loops_for[node] -= 1;
+        }
+        if new == Terminal::OnCycle {
+            state.on_cycle += 1;
+            loops_for[node] += 1;
+        }
+        if old.looping() {
+            state.looping -= 1;
+            *looping_entries -= 1;
+        }
+        if new.looping() {
+            state.looping += 1;
+            *looping_entries += 1;
+        }
+        state.term[node] = new;
+    }
+
+    /// The cached terminal of `(node, dst)`.
+    pub fn terminal(&self, node: NodeId, dst: NodeId) -> Terminal {
+        self.dsts[dst].term[node]
+    }
+
+    /// True if the successor graph toward `dst` currently contains a
+    /// cycle. `O(1)`.
+    pub fn has_loop(&self, dst: NodeId) -> bool {
+        self.dsts[dst].on_cycle > 0
+    }
+
+    /// True if any destination currently has a forwarding loop. `O(1)`.
+    pub fn any_loop(&self) -> bool {
+        self.looping_entries > 0
+    }
+
+    /// The nodes on a cycle toward `dst`, ascending.
+    pub fn looping_nodes(&self, dst: NodeId) -> Vec<NodeId> {
+        let state = &self.dsts[dst];
+        (0..state.term.len())
+            .filter(|&v| state.term[v] == Terminal::OnCycle)
+            .collect()
+    }
+
+    /// The routers on a cycle toward *any* destination, ascending —
+    /// yarrp-toolkit's "looping router" set.
+    pub fn looping_routers(&self) -> Vec<NodeId> {
+        (0..self.loops_for.len())
+            .filter(|&v| self.loops_for[v] > 0)
+            .collect()
+    }
+
+    /// True if a packet from `src` toward `dst` never arrives because
+    /// its walk enters (or starts on) a forwarding cycle. `O(1)`.
+    pub fn flow_trapped(&self, src: NodeId, dst: NodeId) -> bool {
+        self.dsts[dst].term[src].looping()
+    }
+
+    /// True if the flow is *imperiled*: delivered today, but its route
+    /// transits a router that is looping toward some other destination
+    /// — one misdirected rewrite away from capture. `O(path length)`.
+    pub fn flow_imperiled(&self, src: NodeId, dst: NodeId) -> bool {
+        if self.dsts[dst].term[src] != Terminal::Delivered {
+            return false;
+        }
+        let succ = &self.dsts[dst].succ;
+        let mut cur = src;
+        loop {
+            if self.loops_for[cur] > 0 {
+                return true;
+            }
+            if cur == dst {
+                return false;
+            }
+            // A Delivered entry's walk reaches dst by definition.
+            cur = succ[cur] as NodeId;
+        }
+    }
+
+    /// The registered flows whose walk enters a loop.
+    pub fn looping_flows(&self) -> Vec<(NodeId, NodeId)> {
+        self.flows
+            .iter()
+            .copied()
+            .filter(|&(src, dst)| self.flow_trapped(src, dst))
+            .collect()
+    }
+
+    /// The registered flows that are imperiled (see
+    /// [`flow_imperiled`](Self::flow_imperiled)).
+    pub fn imperiled_flows(&self) -> Vec<(NodeId, NodeId)> {
+        self.flows
+            .iter()
+            .copied()
+            .filter(|&(src, dst)| self.flow_imperiled(src, dst))
+            .collect()
+    }
+
+    /// The installed successor column for `dst`.
+    pub fn succ_column(&self, dst: NodeId) -> Vec<Option<NodeId>> {
+        self.dsts[dst].succ.iter().map(|&s| unpack(s)).collect()
+    }
+
+    /// Differential cross-check: the checker's column for `dst` must
+    /// hold exactly `column` (the authoritative forwarding state), and
+    /// its cached terminals must equal a from-scratch
+    /// [`classify_column`] of it, bit for bit. Returns a description of
+    /// the first divergence.
+    pub fn check_column(&self, dst: NodeId, column: &[Option<NodeId>]) -> Result<(), String> {
+        let state = &self.dsts[dst];
+        for (node, &next) in column.iter().enumerate() {
+            if node == dst {
+                continue; // a destination's own entry is never tracked
+            }
+            if state.succ[node] != pack(next) {
+                return Err(format!(
+                    "dst {dst}: stale successor at node {node}: checker has {:?}, state has {next:?}",
+                    unpack(state.succ[node]),
+                ));
+            }
+        }
+        let fresh = classify_column(&self.graph, dst, column);
+        for (node, (&cached, &truth)) in state.term.iter().zip(&fresh).enumerate() {
+            if cached != truth {
+                return Err(format!(
+                    "dst {dst}: node {node} classified {cached:?}, recompute says {truth:?}"
+                ));
+            }
+        }
+        let on_cycle = fresh.iter().filter(|&&t| t == Terminal::OnCycle).count();
+        let looping = fresh.iter().filter(|&&t| t.looping()).count();
+        if state.on_cycle as usize != on_cycle || state.looping as usize != looping {
+            return Err(format!(
+                "dst {dst}: counters drifted: on_cycle {} vs {on_cycle}, looping {} vs {looping}",
+                state.on_cycle, state.looping
+            ));
+        }
+        Ok(())
+    }
+
+    /// Re-derives every column from scratch and compares — the full
+    /// differential sweep the mutation and property tests run.
+    pub fn check_all(
+        &self,
+        authoritative: impl Fn(NodeId) -> Vec<Option<NodeId>>,
+    ) -> Result<(), String> {
+        for dst in 0..self.dsts.len() {
+            self.check_column(dst, &authoritative(dst))?;
+        }
+        Ok(())
+    }
+
+    /// Timed wrapper around [`apply`](Self::apply) for the
+    /// detect-vs-verify benchmark: returns (affected-set size, ns).
+    pub fn apply_timed(&mut self, delta: &RuleDelta) -> (usize, u64) {
+        let start = Instant::now();
+        let affected = self.apply(delta);
+        (affected, start.elapsed().as_nanos() as u64)
+    }
+}
+
+#[inline]
+fn pack(next: Option<NodeId>) -> u32 {
+    match next {
+        Some(v) => v as u32,
+        None => NONE,
+    }
+}
+
+#[inline]
+fn unpack(packed: u32) -> Option<NodeId> {
+    (packed != NONE).then_some(packed as NodeId)
+}
+
+/// From-scratch classification of one forwarding column: the baseline
+/// a non-incremental checker pays per update, and the ground truth the
+/// differential suite compares [`FwdChecker`] against. Iterative
+/// three-color walk, `O(n)`.
+pub fn classify_column(graph: &Graph, dst: NodeId, column: &[Option<NodeId>]) -> Vec<Terminal> {
+    let n = graph.node_count();
+    assert_eq!(column.len(), n, "one entry per node");
+    // 0 = unvisited, 1 = on current walk, 2 = finished.
+    let mut color = vec![0u8; n];
+    let mut term = vec![Terminal::Dead; n];
+    term[dst] = Terminal::Delivered;
+    color[dst] = 2;
+    let mut walk: Vec<NodeId> = Vec::new();
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        walk.clear();
+        let mut cur = start;
+        let outcome = loop {
+            if color[cur] == 2 {
+                break match term[cur] {
+                    Terminal::Delivered => Terminal::Delivered,
+                    Terminal::Dead => Terminal::Dead,
+                    _ => Terminal::Trapped,
+                };
+            }
+            if color[cur] == 1 {
+                // `cur` is on this walk: the suffix from it is a cycle.
+                let at = walk
+                    .iter()
+                    .position(|&w| w == cur)
+                    .expect("on-walk nodes are in the walk");
+                for &w in &walk[at..] {
+                    term[w] = Terminal::OnCycle;
+                    color[w] = 2;
+                }
+                walk.truncate(at);
+                break Terminal::Trapped;
+            }
+            color[cur] = 1;
+            walk.push(cur);
+            match column[cur] {
+                Some(next) => cur = next,
+                None => break Terminal::Dead,
+            }
+        };
+        for &w in &walk {
+            term[w] = outcome;
+            color[w] = 2;
+        }
+    }
+    term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unroller_topology::generators::{grid, ring};
+
+    fn line(n: usize) -> Graph {
+        grid(n, 1)
+    }
+
+    /// A checker over `graph` with shortest-path columns installed,
+    /// mirroring what `DistanceVector::new` converges to.
+    fn converged(graph: Graph) -> (DistanceVector, FwdChecker) {
+        let dv = DistanceVector::new(graph, false);
+        let checker = FwdChecker::from_dv(&dv);
+        (dv, checker)
+    }
+
+    #[test]
+    fn converged_snapshot_is_loop_free_and_delivered() {
+        let (dv, checker) = converged(ring(8));
+        assert!(!checker.any_loop());
+        for dst in 0..8 {
+            assert!(checker.looping_nodes(dst).is_empty());
+            for node in 0..8 {
+                assert_eq!(checker.terminal(node, dst), Terminal::Delivered);
+            }
+            checker.check_column(dst, &dv.forwarding(dst)).unwrap();
+        }
+    }
+
+    #[test]
+    fn count_to_infinity_loop_appears_and_clears_incrementally() {
+        // The classic 0-1-2-3 line: fail 2-3, step once, the 0↔1
+        // micro-loop forms with node 2 feeding it; convergence clears
+        // everything. The checker tracks every stage from deltas alone.
+        let (mut dv, mut checker) = converged(line(4));
+        let mut deltas = Vec::new();
+        dv.fail_link_record(2, 3, |d| deltas.push(d));
+        dv.step_record(|d| deltas.push(d));
+        for d in &deltas {
+            checker.apply(d);
+        }
+        assert!(checker.has_loop(3));
+        assert_eq!(checker.looping_nodes(3), vec![0, 1]);
+        assert_eq!(checker.terminal(2, 3), Terminal::Trapped);
+        assert!(checker.flow_trapped(2, 3));
+        assert_eq!(checker.looping_routers(), vec![0, 1]);
+        checker.check_column(3, &dv.forwarding(3)).unwrap();
+
+        // Drain the transient: the loop must clear.
+        for _ in 0..200 {
+            let mut round = Vec::new();
+            if !dv.step_record(|d| round.push(d)) {
+                break;
+            }
+            for d in &round {
+                checker.apply(d);
+            }
+        }
+        assert!(!checker.any_loop());
+        assert_eq!(checker.terminal(0, 3), Terminal::Dead, "3 is partitioned");
+        checker.check_all(|dst| dv.forwarding(dst)).unwrap();
+    }
+
+    #[test]
+    fn imperiled_flows_transit_looping_routers() {
+        // Line 0-1-2-3-4-5 (tie-free routes): poison a 1↔2 cycle toward
+        // destination 5 only. Flows toward 5 through the cycle are
+        // trapped; flows toward other destinations that *transit* the
+        // looping routers 1 or 2 are imperiled.
+        let (_, mut checker) = converged(line(6));
+        checker.apply(&RuleDelta {
+            dst: 5,
+            node: 2,
+            old: checker.succ_column(5)[2],
+            new: Some(1),
+        });
+        assert!(checker.has_loop(5));
+        assert_eq!(checker.looping_nodes(5), vec![1, 2]);
+        assert_eq!(checker.looping_routers(), vec![1, 2]);
+        assert!(checker.flow_trapped(0, 5), "0 feeds the 1-2 cycle");
+        assert!(!checker.flow_trapped(3, 5), "3 routes 3,4,5 cleanly");
+        // 0 -> 3 routes 0,1,2,3: transits looping routers 1 and 2.
+        assert!(checker.flow_imperiled(0, 3));
+        // 4 -> 5 routes 4,5: touches no looping router.
+        assert!(!checker.flow_imperiled(4, 5));
+        // A trapped flow is not *also* imperiled.
+        assert!(!checker.flow_imperiled(0, 5));
+
+        checker.register_flows(vec![(0, 5), (4, 5), (0, 3)]);
+        assert_eq!(checker.looping_flows(), vec![(0, 5)]);
+        assert_eq!(checker.imperiled_flows(), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn apply_agrees_with_install_column_rebuild() {
+        // Random-ish churn on a grid: after every delta the applied
+        // state must match a column freshly classified from scratch.
+        let (mut dv, mut checker) = converged(grid(4, 4));
+        let mut deltas = Vec::new();
+        dv.fail_link_record(5, 6, |d| deltas.push(d));
+        for _ in 0..4 {
+            dv.step_record(|d| deltas.push(d));
+        }
+        dv.restore_link(5, 6);
+        dv.fail_link_record(9, 10, |d| deltas.push(d));
+        for _ in 0..8 {
+            dv.step_record(|d| deltas.push(d));
+        }
+        for d in &deltas {
+            checker.apply(d);
+        }
+        checker.check_all(|dst| dv.forwarding(dst)).unwrap();
+        assert!(checker.stats.updates > 0);
+        assert!(checker.stats.affected_mean() >= 1.0);
+    }
+
+    #[test]
+    fn redundant_delta_is_free() {
+        let (_, mut checker) = converged(ring(5));
+        let old = checker.succ_column(3)[1];
+        let affected = checker.apply(&RuleDelta {
+            dst: 3,
+            node: 1,
+            old,
+            new: old,
+        });
+        assert_eq!(affected, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a link")]
+    fn non_adjacent_next_hop_is_rejected() {
+        let (_, mut checker) = converged(ring(6));
+        checker.apply(&RuleDelta {
+            dst: 0,
+            node: 2,
+            old: checker.succ_column(0)[2],
+            new: Some(5),
+        });
+    }
+
+    #[test]
+    fn classify_column_three_terminals() {
+        // Line 0-1-2-3-4, dst 4: healthy delivery; then a 0↔1 cycle
+        // with 2 feeding it and 3 dead-ended.
+        let g = line(5);
+        let healthy = vec![Some(1), Some(2), Some(3), Some(4), None];
+        let t = classify_column(&g, 4, &healthy);
+        assert!(t[..4].iter().all(|&t| t == Terminal::Delivered));
+        assert_eq!(t[4], Terminal::Delivered);
+
+        let poisoned = vec![Some(1), Some(0), Some(1), None, None];
+        let t = classify_column(&g, 4, &poisoned);
+        assert_eq!(t[0], Terminal::OnCycle);
+        assert_eq!(t[1], Terminal::OnCycle);
+        assert_eq!(t[2], Terminal::Trapped);
+        assert_eq!(t[3], Terminal::Dead);
+        assert_eq!(t[4], Terminal::Delivered);
+    }
+}
+
+/// Mutation tests: each deliberately-seeded delta-handling bug must be
+/// caught by the differential cross-check on a short churn sequence —
+/// the same construction-by-contradiction the P4 passes use (seed a
+/// divergence, assert the checker reports it).
+#[cfg(test)]
+mod mutation {
+    use super::*;
+    use unroller_topology::generators::{grid, random_connected};
+
+    /// Runs a churn sequence with `sabotage` installed and returns the
+    /// first divergence the differential cross-check reports.
+    fn churn_divergence(sabotage: Option<Sabotage>) -> Option<String> {
+        // A topology + failure schedule chosen to exercise every code
+        // path: loops form (count-to-infinity on the grid), clear
+        // (convergence), and affected sets routinely exceed one node.
+        for (graph, failures) in [
+            (grid(4, 1), vec![(2, 3)]),
+            (grid(3, 3), vec![(4, 5), (7, 8)]),
+            (random_connected(10, 4, 3), vec![(0, 1)]),
+        ] {
+            let failures: Vec<(usize, usize)> = failures
+                .into_iter()
+                .filter(|&(u, v)| graph.has_edge(u, v))
+                .collect();
+            let mut dv = DistanceVector::new(graph, false);
+            let mut checker = FwdChecker::from_dv(&dv);
+            checker.sabotage = sabotage;
+            let mut deltas = Vec::new();
+            for &(u, v) in &failures {
+                dv.fail_link_record(u, v, |d| deltas.push(d));
+            }
+            for _ in 0..40 {
+                if !dv.step_record(|d| deltas.push(d)) {
+                    break;
+                }
+            }
+            for d in &deltas {
+                checker.apply(d);
+                if let Err(e) = checker.check_column(d.dst, &dv_column_after(&dv, &deltas, d)) {
+                    return Some(e);
+                }
+            }
+            if let Err(e) = checker.check_all(|dst| dv.forwarding(dst)) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// The authoritative column for `d.dst` at the moment `d` was
+    /// applied: replay the recorded prefix over the *final* DV state is
+    /// wrong, so rebuild it from the delta stream itself.
+    fn dv_column_after(
+        dv: &DistanceVector,
+        deltas: &[RuleDelta],
+        upto: &RuleDelta,
+    ) -> Vec<Option<NodeId>> {
+        let n = dv.graph().node_count();
+        let mut column = dv.forwarding(upto.dst);
+        // Rewind: undo every delta *after* `upto` (scan from the end to
+        // the first occurrence of `upto`, exclusive).
+        let pos = deltas
+            .iter()
+            .position(|d| std::ptr::eq(d, upto))
+            .expect("delta from the stream");
+        for d in deltas[pos + 1..].iter().rev() {
+            if d.dst == upto.dst {
+                column[d.node] = d.old;
+            }
+        }
+        assert_eq!(column.len(), n);
+        column
+    }
+
+    #[test]
+    fn clean_checker_never_diverges() {
+        assert_eq!(churn_divergence(None), None);
+    }
+
+    #[test]
+    fn stale_successor_is_caught() {
+        let e = churn_divergence(Some(Sabotage::StaleSuccessor)).expect("must diverge");
+        assert!(
+            e.contains("stale successor") || e.contains("classified"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn missed_invalidation_is_caught() {
+        churn_divergence(Some(Sabotage::MissedInvalidation)).expect("must diverge");
+    }
+
+    #[test]
+    fn truncated_affected_set_is_caught() {
+        churn_divergence(Some(Sabotage::TruncatedAffected)).expect("must diverge");
+    }
+
+    #[test]
+    fn frozen_cycle_mark_is_caught() {
+        churn_divergence(Some(Sabotage::FrozenCycleMark)).expect("must diverge");
+    }
+
+    #[test]
+    fn swapped_cycle_split_is_caught() {
+        churn_divergence(Some(Sabotage::SwappedCycleSplit)).expect("must diverge");
+    }
+}

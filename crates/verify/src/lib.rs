@@ -30,18 +30,31 @@
 //! The `verify-p4` binary sweeps the Table 4 parameter grid and exits
 //! non-zero with structured diagnostics on any mismatch.
 //!
+//! Alongside the P4 verifier, this crate hosts the *forwarding-state*
+//! verifier ([`fwdcheck`]): an incremental per-destination loop checker
+//! maintained under single next-hop rule updates (Delta-net-style
+//! affected-set maintenance) that serves as a ground-truth oracle for
+//! data-plane detection recall, plus a seeded churn harness ([`churn`])
+//! that differentially cross-checks it against from-scratch
+//! recomputation. The `verify-fwd` binary drives the harness from the
+//! command line.
+//!
 //! Note one deliberate asymmetry: the generator always implements the
 //! paper's `PowerBoundary` schedule in the bitwise path
 //! ([`unroller_dataplane::p4gen::GENERATED_SCHEDULE`]), so verifying a
 //! power-of-two configuration whose parameters request the analysis
 //! schedule (`CumulativeGeometric`) reports a genuine divergence.
 
+pub mod churn;
 pub mod eval;
+pub mod fwdcheck;
 pub mod ir;
 pub mod lexer;
 pub mod parser;
 pub mod passes;
 
+pub use churn::{run_churn, ChurnConfig, ChurnReport};
+pub use fwdcheck::{classify_column, FwdChecker, Terminal};
 pub use passes::{Diagnostic, PASS_NAMES};
 
 use passes::CheckInput;
