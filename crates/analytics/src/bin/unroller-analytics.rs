@@ -1,0 +1,171 @@
+//! `unroller-analytics` — stream engine loop-event logs and pcap
+//! captures into a classified loop report.
+//!
+//! Inputs stream one record at a time (peak memory is independent of
+//! input size). Loops dedupe into a canonical-cycle store, optionally
+//! persisted across invocations with `--store`, and classify as
+//! transient vs persistent across epochs, by cycle length, and by
+//! topology region; the report adds looping routers, imperiled flows
+//! (delivered through a looping router but never caught), and
+//! bounded-memory top-k heavy loopers. `--cross-check` rebuilds the
+//! runs' routing state and verifies the flow classification against
+//! `verify::fwdcheck`, exiting non-zero on any disagreement.
+
+use unroller_analytics::{LoopStore, Pipeline};
+
+struct Options {
+    events: Vec<String>,
+    captures: Vec<String>,
+    store: Option<String>,
+    out: Option<String>,
+    top: usize,
+    cross_check: bool,
+}
+
+fn usage() -> ! {
+    eprint!(
+        "usage: unroller-analytics [options]\n\
+         \n\
+         inputs (repeatable, streamed in argument order):\n\
+         \x20 --events FILE    engine loop-event log (JSONL, --events-out)\n\
+         \x20 --capture FILE   pcap capture (engine --capture)\n\
+         \n\
+         options:\n\
+         \x20 --store PATH     persistent loop store: load + merge before\n\
+         \x20                  classifying, save the merged store back\n\
+         \x20 --out PATH       write the report JSON here (default stdout)\n\
+         \x20 --top K          length of the top-flow/top-switch lists (8)\n\
+         \x20 --cross-check    verify flow classification against\n\
+         \x20                  verify::fwdcheck; exit 1 on disagreement\n\
+         \x20 --help           this text\n"
+    );
+    std::process::exit(0);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        events: Vec::new(),
+        captures: Vec::new(),
+        store: None,
+        out: None,
+        top: 8,
+        cross_check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--events" => opts.events.push(value(&mut args, "--events")),
+            "--capture" => opts.captures.push(value(&mut args, "--capture")),
+            "--store" => opts.store = Some(value(&mut args, "--store")),
+            "--out" => opts.out = Some(value(&mut args, "--out")),
+            "--top" => {
+                let v = value(&mut args, "--top");
+                opts.top = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--top wants an integer, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--cross-check" => opts.cross_check = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.events.is_empty() && opts.captures.is_empty() {
+        eprintln!("nothing to analyze: pass --events and/or --capture (try --help)");
+        std::process::exit(2);
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut pipeline = Pipeline::new();
+    for path in &opts.events {
+        if let Err(e) = pipeline.ingest_event_log(path) {
+            eprintln!("error: event log {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    for path in &opts.captures {
+        if let Err(e) = pipeline.ingest_capture(path) {
+            eprintln!("error: capture {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(store_path) = &opts.store {
+        match LoopStore::load(store_path) {
+            Ok(prior) => pipeline.merge_prior(&prior),
+            Err(e) => {
+                eprintln!("error: store {store_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let report = pipeline.finish(opts.top, opts.cross_check);
+
+    if let Some(store_path) = &opts.store {
+        if let Err(e) = report.store.save(store_path) {
+            eprintln!("error: saving store {store_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "store: {} loops persisted to {store_path}",
+            report.store.len()
+        );
+    }
+
+    let rendered = report.to_json().render_pretty();
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered + "\n") {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("report written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+
+    eprintln!(
+        "{} events, {} frames -> {} loops ({} persistent), {} looping routers, \
+         {} trapped, {} imperiled",
+        report.stats.events,
+        report.stats.frames,
+        report.store.len(),
+        report.persistent,
+        report.flows.looping_nodes.len(),
+        report.flows.trapped.len(),
+        report.flows.imperiled.len(),
+    );
+    if let Some(cc) = &report.flows.cross_check {
+        if cc.agrees() {
+            eprintln!("cross-check: fwdcheck agrees");
+        } else {
+            eprintln!(
+                "cross-check FAILED: imperiled_agree={} trapped_agree={} routers_agree={}",
+                cc.imperiled_agree, cc.trapped_agree, cc.routers_agree
+            );
+            std::process::exit(1);
+        }
+    } else if opts.cross_check {
+        eprintln!(
+            "cross-check requested but flow analysis did not run: {}",
+            report
+                .flows
+                .skipped
+                .as_deref()
+                .unwrap_or("no reason recorded")
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,384 @@
+//! Streaming reader for engine loop-event logs (JSONL).
+//!
+//! The engine writes one header line per run ([`RunHeader`]) followed
+//! by one line per deduplicated loop event — see
+//! `unroller_engine::eventlog`. Logs concatenate: each header line
+//! switches the run context for the events that follow, so a multi-run
+//! archive is just `cat run1.jsonl run2.jsonl`. The reader holds one
+//! line in memory at a time and never rewinds, so arbitrarily large
+//! logs stream in `O(longest line)` space.
+//!
+//! Robustness mirrors `dataplane::pcap`'s truncation story: a final
+//! line cut off mid-record (the capturing engine died) is counted, not
+//! fatal; interior lines that fail to parse are counted and skipped.
+
+use crate::jsonin::{parse, Value};
+use std::io::BufRead;
+use unroller_engine::FlowKey;
+
+/// A run's identity, parsed from an event-log header line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHeader {
+    /// Stable identifier joining this run's artifacts.
+    pub run_id: String,
+    /// Traffic seed.
+    pub seed: u64,
+    /// Topology spec string (`ring:32`, `fat-tree:4`, ...).
+    pub topology: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Concurrent flows offered.
+    pub flows: u64,
+    /// Packets offered.
+    pub packets: u64,
+    /// Worker shard count.
+    pub shards: u64,
+    /// Epoch of the run.
+    pub epoch: u64,
+    /// Base of the sequential switch-ID assignment.
+    pub id_base: u32,
+    /// The injected loop, if any: (cycle nodes, poisoned destination,
+    /// activation packet index).
+    pub injection: Option<(Vec<usize>, usize, u64)>,
+}
+
+/// One loop-event record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// The flow whose packet tripped the detector.
+    pub flow: FlowKey,
+    /// The packet's per-flow sequence number.
+    pub seq: u64,
+    /// The shard that processed it.
+    pub shard: u64,
+    /// The switch ID whose pipeline reported the loop.
+    pub trigger: u32,
+    /// Hop count at the report.
+    pub hop: u32,
+    /// Loop membership (switch IDs, §3.5 collection).
+    pub members: Vec<u32>,
+    /// Whether membership collection closed the cycle.
+    pub complete: bool,
+    /// The record's own epoch stamp, if present (else the header's).
+    pub epoch: Option<u64>,
+}
+
+/// An item from the log: a run-context switch or an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogItem {
+    /// A header line — events that follow belong to this run.
+    Header(RunHeader),
+    /// One loop event.
+    Event(EventRecord),
+}
+
+/// Why a line was not yielded as a [`LogItem`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReaderStats {
+    /// Interior lines that failed to parse (skipped).
+    pub malformed_lines: u64,
+    /// A final line cut off mid-record (at most 1 per file).
+    pub truncated_tail: u64,
+    /// Event lines yielded.
+    pub events: u64,
+    /// Header lines yielded.
+    pub headers: u64,
+}
+
+/// Streams [`LogItem`]s off a buffered reader.
+#[derive(Debug)]
+pub struct EventLogReader<R: BufRead> {
+    input: std::io::Lines<R>,
+    lookahead: Option<String>,
+    /// Parse/shape accounting.
+    pub stats: ReaderStats,
+    pending_error: Option<String>,
+    done: bool,
+}
+
+fn u64_field(v: &Value, key: &str) -> Option<u64> {
+    v.get(key)?.as_u64()
+}
+
+fn parse_header(v: &Value) -> Option<RunHeader> {
+    let run = v.get("run")?;
+    let injection = match run.get("injection") {
+        Some(Value::Null) | None => None,
+        Some(inj) => {
+            let cycle = inj
+                .get("cycle")?
+                .as_array()?
+                .iter()
+                .map(|n| n.as_u64().map(|u| u as usize))
+                .collect::<Option<Vec<_>>>()?;
+            Some((
+                cycle,
+                u64_field(inj, "dst")? as usize,
+                u64_field(inj, "at_packet")?,
+            ))
+        }
+    };
+    Some(RunHeader {
+        run_id: run.get("run_id")?.as_str()?.to_string(),
+        seed: u64_field(run, "seed")?,
+        topology: run.get("topology")?.as_str()?.to_string(),
+        nodes: u64_field(run, "nodes")? as usize,
+        flows: u64_field(run, "flows")?,
+        packets: u64_field(run, "packets")?,
+        shards: u64_field(run, "shards")?,
+        epoch: u64_field(run, "epoch")?,
+        id_base: u64_field(run, "id_base")? as u32,
+        injection,
+    })
+}
+
+fn parse_event(v: &Value) -> Option<EventRecord> {
+    let flow = v.get("flow")?;
+    let key = FlowKey {
+        src_ip: u64_field(flow, "src_ip")? as u32,
+        dst_ip: u64_field(flow, "dst_ip")? as u32,
+        src_port: u64_field(flow, "src_port")? as u16,
+        dst_port: u64_field(flow, "dst_port")? as u16,
+        proto: u64_field(flow, "proto")? as u8,
+    };
+    let members = v
+        .get("members")?
+        .as_array()?
+        .iter()
+        .map(|m| m.as_u64().map(|u| u as u32))
+        .collect::<Option<Vec<_>>>()?;
+    Some(EventRecord {
+        flow: key,
+        seq: u64_field(v, "seq")?,
+        shard: u64_field(v, "shard")?,
+        trigger: u64_field(v, "trigger")? as u32,
+        hop: u64_field(v, "hop")? as u32,
+        members,
+        complete: v.get("complete")?.as_bool()?,
+        epoch: u64_field(v, "epoch"),
+    })
+}
+
+impl<R: BufRead> EventLogReader<R> {
+    /// Wraps a buffered reader positioned at the start of a log.
+    pub fn new(input: R) -> Self {
+        EventLogReader {
+            input: input.lines(),
+            lookahead: None,
+            stats: ReaderStats::default(),
+            pending_error: None,
+            done: false,
+        }
+    }
+
+    /// The I/O error that ended iteration, if any.
+    pub fn io_error(&self) -> Option<&str> {
+        self.pending_error.as_deref()
+    }
+}
+
+impl EventLogReader<std::io::BufReader<std::fs::File>> {
+    /// Opens a log file for streaming.
+    pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(Self::new(std::io::BufReader::new(std::fs::File::open(
+            path,
+        )?)))
+    }
+}
+
+impl<R: BufRead> Iterator for EventLogReader<R> {
+    type Item = LogItem;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            let line = match self.lookahead.take() {
+                Some(line) => line,
+                None => match self.input.next() {
+                    None => break,
+                    Some(Err(e)) => {
+                        self.pending_error = Some(e.to_string());
+                        self.done = true;
+                        break;
+                    }
+                    Some(Ok(line)) => line,
+                },
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed = match parse(&line) {
+                Ok(v) => v,
+                Err(_) => {
+                    // A parse failure on the last line is the truncated
+                    // tail of a dying writer; anywhere else it's a
+                    // malformed interior line to skip. Peeking one line
+                    // tells the two apart; the peeked line is stashed
+                    // and processed on the next iteration.
+                    match self.input.next() {
+                        None => {
+                            self.stats.truncated_tail += 1;
+                            self.done = true;
+                            break;
+                        }
+                        Some(Err(e)) => {
+                            self.pending_error = Some(e.to_string());
+                            self.stats.malformed_lines += 1;
+                            self.done = true;
+                            break;
+                        }
+                        Some(Ok(next_line)) => {
+                            self.lookahead = Some(next_line);
+                            self.stats.malformed_lines += 1;
+                            continue;
+                        }
+                    }
+                }
+            };
+            if parsed.get("unroller_event_log").is_some() {
+                match parse_header(&parsed) {
+                    Some(h) => {
+                        self.stats.headers += 1;
+                        return Some(LogItem::Header(h));
+                    }
+                    None => {
+                        self.stats.malformed_lines += 1;
+                        continue;
+                    }
+                }
+            }
+            match parse_event(&parsed) {
+                Some(ev) => {
+                    self.stats.events += 1;
+                    return Some(LogItem::Event(ev));
+                }
+                None => {
+                    self.stats.malformed_lines += 1;
+                    continue;
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unroller_engine::eventlog::{event_line, RunMeta};
+    use unroller_engine::LoopEvent;
+
+    fn meta(epoch: u64) -> RunMeta {
+        RunMeta {
+            run_id: format!("t-{epoch}"),
+            seed: 3,
+            topology: "ring:8".to_string(),
+            nodes: 8,
+            flows: 4,
+            packets: 100,
+            shards: 2,
+            epoch,
+            id_base: 100,
+            injection: Some((vec![1, 2], 4, 25)).map(|(cycle, dst, at_packet)| {
+                unroller_engine::LoopInjection {
+                    cycle,
+                    dst,
+                    at_packet,
+                }
+            }),
+        }
+    }
+
+    fn event(flow_index: u32, seq: u64) -> LoopEvent {
+        LoopEvent {
+            flow: FlowKey::synthetic(1, 4, flow_index),
+            seq,
+            shard: 0,
+            trigger: 101,
+            hop: 9,
+            members: vec![101, 102],
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn reads_back_what_the_engine_writes() {
+        let mut log = String::new();
+        log.push_str(&meta(0).header_line());
+        log.push('\n');
+        log.push_str(&event_line(&event(0, 7), 0));
+        log.push('\n');
+        log.push_str(&meta(1).header_line());
+        log.push('\n');
+        log.push_str(&event_line(&event(1, 9), 1));
+        log.push('\n');
+        let mut r = EventLogReader::new(log.as_bytes());
+        match r.next().unwrap() {
+            LogItem::Header(h) => {
+                assert_eq!(h.epoch, 0);
+                assert_eq!(h.topology, "ring:8");
+                assert_eq!(h.injection, Some((vec![1, 2], 4, 25)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match r.next().unwrap() {
+            LogItem::Event(ev) => {
+                assert_eq!(ev.seq, 7);
+                assert_eq!(ev.members, vec![101, 102]);
+                assert_eq!(ev.epoch, Some(0));
+                assert_eq!(ev.flow.synthetic_endpoints(), (1, 4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(r.next().unwrap(), LogItem::Header(h) if h.epoch == 1));
+        assert!(matches!(r.next().unwrap(), LogItem::Event(ev) if ev.epoch == Some(1)));
+        assert!(r.next().is_none());
+        assert_eq!(r.stats.headers, 2);
+        assert_eq!(r.stats.events, 2);
+        assert_eq!(r.stats.truncated_tail, 0);
+    }
+
+    #[test]
+    fn truncated_tail_is_counted_not_fatal() {
+        let mut log = String::new();
+        log.push_str(&meta(0).header_line());
+        log.push('\n');
+        log.push_str(&event_line(&event(0, 7), 0));
+        log.push('\n');
+        let full = event_line(&event(1, 8), 0);
+        log.push_str(&full[..full.len() / 2]); // writer died mid-line
+        let mut r = EventLogReader::new(log.as_bytes());
+        assert_eq!(r.by_ref().count(), 2);
+        assert_eq!(r.stats.truncated_tail, 1);
+        assert_eq!(r.stats.events, 1);
+    }
+
+    #[test]
+    fn no_injection_and_blank_lines() {
+        let mut m = meta(0);
+        m.injection = None;
+        let log = format!("{}\n\n", m.header_line());
+        let mut r = EventLogReader::new(log.as_bytes());
+        assert!(matches!(
+            r.next().unwrap(),
+            LogItem::Header(h) if h.injection.is_none()
+        ));
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn interior_garbage_is_skipped() {
+        let mut log = String::new();
+        log.push_str(&meta(0).header_line());
+        log.push('\n');
+        log.push_str("{not json}\n");
+        log.push_str(&event_line(&event(0, 7), 0));
+        log.push('\n');
+        log.push_str(&event_line(&event(1, 8), 0));
+        log.push('\n');
+        let mut r = EventLogReader::new(log.as_bytes());
+        let items: Vec<LogItem> = r.by_ref().collect();
+        assert_eq!(items.len(), 3, "both events survive the garbage line");
+        assert_eq!(r.stats.malformed_lines, 1);
+        assert_eq!(r.stats.events, 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Streaming loop analytics for Unroller (DESIGN.md §14).
+//!
+//! The engine detects loops packet by packet; this crate answers the
+//! operator's next questions from the artifacts a run leaves behind —
+//! loop-event logs (`unroller_engine::eventlog` JSONL) and pcap
+//! captures — without ever holding an input file in memory:
+//!
+//! - [`events`]: line-at-a-time event-log reader, tolerant of
+//!   truncated tails and malformed interior lines.
+//! - [`jsonin`]: the minimal JSON parser backing it (the workspace's
+//!   vendored serde is an API stub, so parsing is hand-rolled).
+//! - [`store`]: the persistent [`store::LoopStore`], keyed by
+//!   canonicalized membership cycle, merged idempotently across runs —
+//!   the basis for transient-vs-persistent classification.
+//! - [`topk`]: a bounded-memory HashPipe-style heavy-hitter tracker
+//!   for top looping flows and switches.
+//! - [`pipeline`]: the streaming [`pipeline::Pipeline`] that ties the
+//!   inputs together, classifies loops (by epoch persistence, length,
+//!   topology region), derives trapped and imperiled flows from
+//!   rebuilt routing state, and cross-checks the flow classification
+//!   against `verify::fwdcheck`.
+//!
+//! The `unroller-analytics` binary is the CLI front end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod jsonin;
+pub mod pipeline;
+pub mod store;
+pub mod topk;
+
+pub use events::{EventLogReader, EventRecord, LogItem, RunHeader};
+pub use pipeline::{CrossCheck, FlowAnalysis, InputStats, Pipeline, Report};
+pub use store::{CycleKey, LoopRecord, LoopStore, RunStats};
+pub use topk::{Hitter, TopK};

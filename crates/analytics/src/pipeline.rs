@@ -1,0 +1,697 @@
+//! The streaming analytics pipeline: event logs and captures in,
+//! classified loop report out.
+//!
+//! Everything here is single-pass and bounded: event logs stream line
+//! by line ([`crate::events`]), captures record by record
+//! (`dataplane::PcapStream`), and the working state is the loop store
+//! (capped per-run flow lists), two HashPipe-style top-k trackers, and
+//! capped observed/caught flow sets — peak memory is independent of
+//! input size, which the analytics benchmark asserts by RSS.
+
+use crate::events::{EventLogReader, LogItem, RunHeader};
+use crate::store::{CycleKey, LoopStore};
+use crate::topk::TopK;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use unroller_dataplane::{EthernetHeader, PcapItem, PcapStream};
+use unroller_engine::Json;
+use unroller_sim::{NullDetector, SimConfig, Simulator};
+use unroller_topology::{generators, NodeId};
+use unroller_verify::FwdChecker;
+
+/// Cap on the distinct endpoint pairs tracked for imperiled-flow
+/// analysis; pairs beyond it are counted but not classified.
+pub const OBSERVED_PAIRS_CAP: usize = 65_536;
+
+/// An endpoint pair (source node, destination node).
+pub type Pair = (u32, u32);
+
+/// Input-side accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InputStats {
+    /// Event-log files ingested.
+    pub event_files: u64,
+    /// Event records ingested.
+    pub events: u64,
+    /// Header (run-context) lines seen.
+    pub headers: u64,
+    /// Lines skipped as malformed.
+    pub malformed_lines: u64,
+    /// Event logs whose final line was cut off mid-record.
+    pub truncated_event_logs: u64,
+    /// Capture files ingested.
+    pub captures: u64,
+    /// Frames read from captures.
+    pub frames: u64,
+    /// Frames without the Unroller MAC convention (skipped).
+    pub unattributed_frames: u64,
+    /// Captures that ended mid-record (recovered, counted).
+    pub truncated_captures: u64,
+    /// Captured frames attributed to a caught (looping) flow.
+    pub looped_frames: u64,
+}
+
+/// The streaming pipeline. Feed it inputs in any order (all event logs
+/// first is conventional — capture frames attribute looped packets to
+/// the loops the logs established), then [`finish`](Pipeline::finish).
+#[derive(Debug)]
+pub struct Pipeline {
+    /// The loops observed by the inputs of this invocation.
+    pub store: LoopStore,
+    /// Input accounting.
+    pub stats: InputStats,
+    runs: Vec<RunHeader>,
+    current: Option<RunHeader>,
+    /// Endpoint pair → the cycle (and run) its flow was caught in.
+    caught: HashMap<Pair, (CycleKey, String)>,
+    observed: BTreeSet<Pair>,
+    observed_overflow: u64,
+    top_flows: TopK<Pair>,
+    top_switches: TopK<u32>,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    /// An empty pipeline with the default top-k geometry.
+    pub fn new() -> Self {
+        Pipeline {
+            store: LoopStore::new(),
+            stats: InputStats::default(),
+            runs: Vec::new(),
+            current: None,
+            caught: HashMap::new(),
+            observed: BTreeSet::new(),
+            observed_overflow: 0,
+            top_flows: TopK::default_geometry(),
+            top_switches: TopK::default_geometry(),
+        }
+    }
+
+    fn observe_pair(&mut self, pair: Pair) {
+        if self.observed.len() < OBSERVED_PAIRS_CAP || self.observed.contains(&pair) {
+            self.observed.insert(pair);
+        } else {
+            self.observed_overflow += 1;
+        }
+    }
+
+    /// Ingests one log item (the unit the bench drives directly).
+    pub fn ingest_item(&mut self, item: LogItem) {
+        match item {
+            LogItem::Header(h) => {
+                self.stats.headers += 1;
+                self.runs.push(h.clone());
+                self.current = Some(h);
+            }
+            LogItem::Event(ev) => {
+                self.stats.events += 1;
+                let (run_id, epoch) = match &self.current {
+                    Some(h) => (h.run_id.clone(), ev.epoch.unwrap_or(h.epoch)),
+                    None => ("unknown".to_string(), ev.epoch.unwrap_or(0)),
+                };
+                let pair = ev.flow.synthetic_endpoints();
+                self.observe_pair(pair);
+                // One event = one detected looped packet at minimum;
+                // captures add the rest of the flow's looped frames.
+                let key = self
+                    .store
+                    .observe(&ev.members, &run_id, epoch, Some(ev.flow), 1);
+                self.caught.entry(pair).or_insert((key, run_id));
+                self.top_flows.update(pair, 1);
+                for &m in &ev.members {
+                    self.top_switches.update(m, 1);
+                }
+            }
+        }
+    }
+
+    /// Streams one event-log file.
+    pub fn ingest_event_log(&mut self, path: &str) -> std::io::Result<()> {
+        let mut reader = EventLogReader::open(path)?;
+        for item in reader.by_ref() {
+            self.ingest_item(item);
+        }
+        if let Some(e) = reader.io_error() {
+            return Err(std::io::Error::other(e.to_string()));
+        }
+        self.stats.event_files += 1;
+        self.stats.malformed_lines += reader.stats.malformed_lines;
+        self.stats.truncated_event_logs += reader.stats.truncated_tail;
+        Ok(())
+    }
+
+    /// Streams one pcap capture, chunked — the file is never loaded
+    /// whole. Frames are attributed to endpoint pairs by the Unroller
+    /// MAC convention; frames of caught flows count as looped packets.
+    pub fn ingest_capture(&mut self, path: &str) -> Result<(), String> {
+        let stream = PcapStream::open(path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .map_err(|e| format!("{path}: {e}"))?;
+        for item in stream {
+            match item.map_err(|e| format!("{path}: {e}"))? {
+                PcapItem::Truncated { .. } => {
+                    self.stats.truncated_captures += 1;
+                }
+                PcapItem::Record(rec) => {
+                    self.stats.frames += 1;
+                    let pair = EthernetHeader::decode(&rec.data).and_then(|h| h.host_pair());
+                    let Some(pair) = pair else {
+                        self.stats.unattributed_frames += 1;
+                        continue;
+                    };
+                    self.observe_pair(pair);
+                    if let Some((key, run_id)) = self.caught.get(&pair) {
+                        self.stats.looped_frames += 1;
+                        let (key, run_id) = (key.clone(), run_id.clone());
+                        self.store.attribute_packets(&key, &run_id, 1);
+                        self.top_flows.update(pair, 1);
+                        for &m in key.members() {
+                            self.top_switches.update(m, 1);
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.captures += 1;
+        Ok(())
+    }
+
+    /// Folds a previously persisted store into this invocation's view
+    /// (for cross-run transient/persistent classification) and returns
+    /// the merged store to persist back.
+    pub fn merge_prior(&mut self, prior: &LoopStore) {
+        self.store.merge(prior);
+    }
+
+    /// Closes the pipeline: classify, cross-check, render the report.
+    pub fn finish(self, top_k: usize, cross_check: bool) -> Report {
+        Report::build(self, top_k, cross_check)
+    }
+}
+
+/// How a walked flow ended, per the analytics-side forwarding walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WalkOutcome {
+    Delivered { transits_loop: bool },
+    Trapped,
+    Dead,
+}
+
+/// Walks `src → dst` through the simulator's forwarding state,
+/// flagging transit of any node in `looping`.
+fn walk(
+    sim: &Simulator<NullDetector>,
+    src: NodeId,
+    dst: NodeId,
+    looping: &BTreeSet<NodeId>,
+) -> WalkOutcome {
+    let n = sim.graph().node_count();
+    let column = sim.forwarding(dst);
+    let mut transits = looping.contains(&src);
+    let mut cur = src;
+    for _ in 0..=n {
+        if cur == dst {
+            return WalkOutcome::Delivered {
+                transits_loop: transits,
+            };
+        }
+        match column[cur] {
+            None => return WalkOutcome::Dead,
+            Some(next) => cur = next,
+        }
+        if looping.contains(&cur) {
+            transits = true;
+        }
+    }
+    // More hops than nodes: the walk revisited something.
+    WalkOutcome::Trapped
+}
+
+/// The flow-level classification derived from rebuilt routing state.
+#[derive(Debug, Default)]
+pub struct FlowAnalysis {
+    /// Whether the analysis ran (all runs share one routing state).
+    pub ran: bool,
+    /// Why it did not run, if it did not.
+    pub skipped: Option<String>,
+    /// Pairs whose walk enters a loop.
+    pub trapped: BTreeSet<Pair>,
+    /// Pairs delivered today but transiting a looping router, never
+    /// themselves caught — the imperiled set.
+    pub imperiled: BTreeSet<Pair>,
+    /// Looping routers as node indices (store memberships, de-based).
+    pub looping_nodes: BTreeSet<NodeId>,
+    /// The fwdcheck cross-check, if requested.
+    pub cross_check: Option<CrossCheck>,
+}
+
+/// Agreement between the analytics classification and
+/// `verify::fwdcheck` over the same rebuilt routing state.
+#[derive(Debug)]
+pub struct CrossCheck {
+    /// Imperiled sets match exactly.
+    pub imperiled_agree: bool,
+    /// Trapped set matches fwdcheck's looping flows.
+    pub trapped_agree: bool,
+    /// Looping-router node sets match.
+    pub routers_agree: bool,
+    /// fwdcheck's imperiled count.
+    pub imperiled_fwdcheck: usize,
+    /// fwdcheck's looping-flow count.
+    pub trapped_fwdcheck: usize,
+    /// fwdcheck's looping-router count.
+    pub routers_fwdcheck: usize,
+}
+
+impl CrossCheck {
+    /// Every compared set agreed.
+    pub fn agrees(&self) -> bool {
+        self.imperiled_agree && self.trapped_agree && self.routers_agree
+    }
+}
+
+fn flow_analysis(
+    runs: &[RunHeader],
+    store: &LoopStore,
+    observed: &BTreeSet<Pair>,
+    caught: &HashMap<Pair, (CycleKey, String)>,
+    cross_check: bool,
+) -> FlowAnalysis {
+    let mut out = FlowAnalysis::default();
+    let Some(first) = runs.first() else {
+        out.skipped = Some("no run headers ingested".to_string());
+        return out;
+    };
+    if runs.iter().any(|r| {
+        r.topology != first.topology || r.injection != first.injection || r.id_base != first.id_base
+    }) {
+        out.skipped = Some(
+            "runs span different topologies or injections; flow analysis needs one routing state"
+                .to_string(),
+        );
+        return out;
+    }
+    let Some(graph) = generators::from_spec(&first.topology) else {
+        out.skipped = Some(format!("unknown topology spec `{}`", first.topology));
+        return out;
+    };
+    let n = graph.node_count();
+    let ids: Vec<u32> = (0..n as u32).map(|i| first.id_base + i).collect();
+    let mut sim = Simulator::new(graph.clone(), ids, NullDetector, SimConfig::default());
+    if let Some((cycle, dst, _)) = &first.injection {
+        sim.inject_cycle(cycle, *dst);
+    }
+    out.looping_nodes = store
+        .looping_switches()
+        .into_iter()
+        .filter_map(|id| {
+            let node = id.checked_sub(first.id_base)? as usize;
+            (node < n).then_some(node)
+        })
+        .collect();
+    for &(s, d) in observed {
+        let (s_n, d_n) = (s as usize, d as usize);
+        if s_n >= n || d_n >= n || s_n == d_n {
+            continue;
+        }
+        match walk(&sim, s_n, d_n, &out.looping_nodes) {
+            WalkOutcome::Trapped => {
+                out.trapped.insert((s, d));
+            }
+            WalkOutcome::Delivered { transits_loop } => {
+                if transits_loop && !caught.contains_key(&(s, d)) {
+                    out.imperiled.insert((s, d));
+                }
+            }
+            WalkOutcome::Dead => {}
+        }
+    }
+    out.ran = true;
+    if cross_check {
+        let mut checker = FwdChecker::from_columns(graph, |dst| sim.forwarding(dst).to_vec());
+        let flows: Vec<(NodeId, NodeId)> = observed
+            .iter()
+            .filter(|&&(s, d)| (s as usize) < n && (d as usize) < n && s != d)
+            .map(|&(s, d)| (s as usize, d as usize))
+            .collect();
+        checker.register_flows(flows);
+        let imperiled_fw: BTreeSet<Pair> = checker
+            .imperiled_flows()
+            .into_iter()
+            .map(|(s, d)| (s as u32, d as u32))
+            .collect();
+        let trapped_fw: BTreeSet<Pair> = checker
+            .looping_flows()
+            .into_iter()
+            .map(|(s, d)| (s as u32, d as u32))
+            .collect();
+        let routers_fw: BTreeSet<NodeId> = checker.looping_routers().into_iter().collect();
+        out.cross_check = Some(CrossCheck {
+            imperiled_agree: imperiled_fw == out.imperiled,
+            trapped_agree: trapped_fw == out.trapped,
+            routers_agree: routers_fw == out.looping_nodes,
+            imperiled_fwdcheck: imperiled_fw.len(),
+            trapped_fwdcheck: trapped_fw.len(),
+            routers_fwdcheck: routers_fw.len(),
+        });
+    }
+    out
+}
+
+/// Maps a loop's member nodes to a topology region label.
+fn region_label(topology: &str, nodes: usize, members: &[Option<NodeId>]) -> String {
+    if members.iter().any(|m| m.is_none()) {
+        return "unknown".to_string();
+    }
+    let members: Vec<NodeId> = members.iter().map(|m| m.expect("checked")).collect();
+    if let Some(k) = topology
+        .strip_prefix("fat-tree:")
+        .and_then(|k| k.parse::<usize>().ok())
+    {
+        if k >= 2 && k % 2 == 0 {
+            let fabric = generators::fat_tree(k);
+            if fabric.graph.node_count() == nodes {
+                let layer_name = |l: u8| match l {
+                    0 => "edge",
+                    1 => "agg",
+                    _ => "core",
+                };
+                let mut layers: BTreeSet<u8> = BTreeSet::new();
+                for &m in &members {
+                    match fabric.layers.get(m) {
+                        Some(&l) => {
+                            layers.insert(l);
+                        }
+                        None => return "unknown".to_string(),
+                    }
+                }
+                return match layers.len() {
+                    1 => layer_name(*layers.iter().next().expect("non-empty")).to_string(),
+                    _ => "cross-layer".to_string(),
+                };
+            }
+        }
+    }
+    // Generic topologies: index-quartile bands.
+    if nodes == 0 {
+        return "unknown".to_string();
+    }
+    let band = |m: NodeId| (m.min(nodes - 1) * 4 / nodes).min(3);
+    let mut bands: BTreeSet<usize> = BTreeSet::new();
+    for &m in &members {
+        if m >= nodes {
+            return "unknown".to_string();
+        }
+        bands.insert(band(m));
+    }
+    match bands.len() {
+        1 => format!("q{}", bands.iter().next().expect("non-empty")),
+        _ => "mixed".to_string(),
+    }
+}
+
+/// The finished report.
+#[derive(Debug)]
+pub struct Report {
+    /// Input accounting.
+    pub stats: InputStats,
+    /// Run headers seen.
+    pub runs: Vec<RunHeader>,
+    /// The merged loop store (persist this back with `--store`).
+    pub store: LoopStore,
+    /// Distinct loops that recurred across ≥ 2 epochs.
+    pub persistent: u64,
+    /// Distinct loops seen in exactly one epoch.
+    pub transient: u64,
+    /// Loop count by cycle length.
+    pub by_length: BTreeMap<usize, u64>,
+    /// Loop count by topology region.
+    pub by_region: BTreeMap<String, u64>,
+    /// Flow-level classification.
+    pub flows: FlowAnalysis,
+    /// Endpoint pairs observed (capped) and overflow beyond the cap.
+    pub observed_pairs: usize,
+    /// Pairs beyond [`OBSERVED_PAIRS_CAP`] (counted, unclassified).
+    pub observed_overflow: u64,
+    /// Caught (detected-looping) pair count.
+    pub caught_pairs: usize,
+    /// Top flows by looped packets (pair, weight).
+    pub top_flows: Vec<(Pair, u64)>,
+    /// Top switches by loop involvement (switch ID, weight).
+    pub top_switches: Vec<(u32, u64)>,
+}
+
+impl Report {
+    fn build(pipeline: Pipeline, top_k: usize, cross_check: bool) -> Report {
+        let Pipeline {
+            store,
+            stats,
+            runs,
+            caught,
+            observed,
+            observed_overflow,
+            top_flows,
+            top_switches,
+            ..
+        } = pipeline;
+        let flows = flow_analysis(&runs, &store, &observed, &caught, cross_check);
+        let mut persistent = 0;
+        let mut transient = 0;
+        let mut by_length: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut by_region: BTreeMap<String, u64> = BTreeMap::new();
+        let (topology, nodes, id_base) = runs
+            .first()
+            .map(|r| (r.topology.clone(), r.nodes, r.id_base))
+            .unwrap_or_default();
+        for (key, record) in store.iter() {
+            if record.persistent() {
+                persistent += 1;
+            } else {
+                transient += 1;
+            }
+            *by_length.entry(key.len()).or_default() += 1;
+            let members: Vec<Option<NodeId>> = key
+                .members()
+                .iter()
+                .map(|&id| {
+                    id.checked_sub(id_base)
+                        .map(|v| v as usize)
+                        .filter(|&v| v < nodes)
+                })
+                .collect();
+            *by_region
+                .entry(region_label(&topology, nodes, &members))
+                .or_default() += 1;
+        }
+        Report {
+            stats,
+            runs,
+            persistent,
+            transient,
+            by_length,
+            by_region,
+            flows,
+            observed_pairs: observed.len(),
+            observed_overflow,
+            caught_pairs: caught.len(),
+            top_flows: top_flows
+                .top(top_k)
+                .into_iter()
+                .map(|h| (h.key, h.weight))
+                .collect(),
+            top_switches: top_switches
+                .top(top_k)
+                .into_iter()
+                .map(|h| (h.key, h.weight))
+                .collect(),
+            store,
+        }
+    }
+
+    /// Renders the report as JSON.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.set("unroller_analytics", Json::UInt(1));
+
+        let mut inputs = Json::object();
+        inputs.set("event_files", Json::UInt(self.stats.event_files));
+        inputs.set("events", Json::UInt(self.stats.events));
+        inputs.set("headers", Json::UInt(self.stats.headers));
+        inputs.set("malformed_lines", Json::UInt(self.stats.malformed_lines));
+        inputs.set(
+            "truncated_event_logs",
+            Json::UInt(self.stats.truncated_event_logs),
+        );
+        inputs.set("captures", Json::UInt(self.stats.captures));
+        inputs.set("frames", Json::UInt(self.stats.frames));
+        inputs.set(
+            "unattributed_frames",
+            Json::UInt(self.stats.unattributed_frames),
+        );
+        inputs.set(
+            "truncated_captures",
+            Json::UInt(self.stats.truncated_captures),
+        );
+        inputs.set("looped_frames", Json::UInt(self.stats.looped_frames));
+        root.set("inputs", inputs);
+
+        root.set(
+            "runs",
+            Json::Array(
+                self.runs
+                    .iter()
+                    .map(|r| {
+                        let mut j = Json::object();
+                        j.set("run_id", Json::Str(r.run_id.clone()));
+                        j.set("topology", Json::Str(r.topology.clone()));
+                        j.set("seed", Json::UInt(r.seed));
+                        j.set("epoch", Json::UInt(r.epoch));
+                        j.set("shards", Json::UInt(r.shards));
+                        j
+                    })
+                    .collect(),
+            ),
+        );
+
+        let mut loops = Json::object();
+        loops.set("total", Json::UInt(self.store.len() as u64));
+        loops.set("persistent", Json::UInt(self.persistent));
+        loops.set("transient", Json::UInt(self.transient));
+        let mut by_len = Json::object();
+        for (len, count) in &self.by_length {
+            by_len.set(&len.to_string(), Json::UInt(*count));
+        }
+        loops.set("by_length", by_len);
+        let mut by_region = Json::object();
+        for (region, count) in &self.by_region {
+            by_region.set(region, Json::UInt(*count));
+        }
+        loops.set("by_region", by_region);
+        loops.set(
+            "records",
+            Json::Array(
+                self.store
+                    .iter()
+                    .take(64)
+                    .map(|(key, record)| {
+                        let mut j = Json::object();
+                        j.set(
+                            "cycle",
+                            Json::Array(
+                                key.members()
+                                    .iter()
+                                    .map(|&m| Json::UInt(m as u64))
+                                    .collect(),
+                            ),
+                        );
+                        j.set("length", Json::UInt(key.len() as u64));
+                        j.set("persistent", Json::Bool(record.persistent()));
+                        j.set(
+                            "epochs",
+                            Json::Array(record.epochs().into_iter().map(Json::UInt).collect()),
+                        );
+                        j.set("runs", Json::UInt(record.runs.len() as u64));
+                        j.set("events", Json::UInt(record.events()));
+                        j.set("packets", Json::UInt(record.packets()));
+                        j
+                    })
+                    .collect(),
+            ),
+        );
+        root.set("loops", loops);
+
+        let mut routers = Json::object();
+        let switches = self.store.looping_switches();
+        routers.set("count", Json::UInt(switches.len() as u64));
+        routers.set(
+            "switch_ids",
+            Json::Array(
+                switches
+                    .iter()
+                    .take(64)
+                    .map(|&s| Json::UInt(s as u64))
+                    .collect(),
+            ),
+        );
+        root.set("looping_routers", routers);
+
+        let mut flows = Json::object();
+        flows.set("observed_pairs", Json::UInt(self.observed_pairs as u64));
+        flows.set("observed_overflow", Json::UInt(self.observed_overflow));
+        flows.set("caught", Json::UInt(self.caught_pairs as u64));
+        flows.set("analysis_ran", Json::Bool(self.flows.ran));
+        if let Some(reason) = &self.flows.skipped {
+            flows.set("analysis_skipped", Json::Str(reason.clone()));
+        }
+        flows.set("trapped", Json::UInt(self.flows.trapped.len() as u64));
+        flows.set("imperiled", Json::UInt(self.flows.imperiled.len() as u64));
+        let pair_json =
+            |&(s, d): &Pair| Json::Array(vec![Json::UInt(s as u64), Json::UInt(d as u64)]);
+        flows.set(
+            "imperiled_sample",
+            Json::Array(
+                self.flows
+                    .imperiled
+                    .iter()
+                    .take(32)
+                    .map(pair_json)
+                    .collect(),
+            ),
+        );
+        root.set("flows", flows);
+
+        if let Some(cc) = &self.flows.cross_check {
+            let mut j = Json::object();
+            j.set("agrees", Json::Bool(cc.agrees()));
+            j.set("imperiled_agree", Json::Bool(cc.imperiled_agree));
+            j.set("trapped_agree", Json::Bool(cc.trapped_agree));
+            j.set("routers_agree", Json::Bool(cc.routers_agree));
+            j.set(
+                "imperiled_fwdcheck",
+                Json::UInt(cc.imperiled_fwdcheck as u64),
+            );
+            j.set(
+                "imperiled_analytics",
+                Json::UInt(self.flows.imperiled.len() as u64),
+            );
+            j.set("trapped_fwdcheck", Json::UInt(cc.trapped_fwdcheck as u64));
+            j.set("routers_fwdcheck", Json::UInt(cc.routers_fwdcheck as u64));
+            root.set("cross_check", j);
+        }
+
+        root.set(
+            "top_flows",
+            Json::Array(
+                self.top_flows
+                    .iter()
+                    .map(|&((s, d), w)| {
+                        let mut j = Json::object();
+                        j.set("src", Json::UInt(s as u64));
+                        j.set("dst", Json::UInt(d as u64));
+                        j.set("looped_packets", Json::UInt(w));
+                        j
+                    })
+                    .collect(),
+            ),
+        );
+        root.set(
+            "top_switches",
+            Json::Array(
+                self.top_switches
+                    .iter()
+                    .map(|&(id, w)| {
+                        let mut j = Json::object();
+                        j.set("switch_id", Json::UInt(id as u64));
+                        j.set("loop_events", Json::UInt(w));
+                        j
+                    })
+                    .collect(),
+            ),
+        );
+        root
+    }
+}

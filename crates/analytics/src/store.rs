@@ -1,0 +1,508 @@
+//! The persistent loop store: every distinct forwarding cycle ever
+//! observed, keyed by its canonicalized membership, with per-run
+//! statistics — the repo's analogue of yarrp-toolkit's persistent loop
+//! storage (PAPERS.md).
+//!
+//! A loop event's membership is the cycle's switch IDs *in traversal
+//! order from whichever switch happened to trigger* — two detections of
+//! the same loop arrive as rotations of one another. [`CycleKey`]
+//! canonicalizes rotation away (and only rotation: a cycle and its
+//! reversal are different forwarding states), so every starting point
+//! maps to one store entry. Merging stores from different runs is
+//! idempotent by construction: counters take field-wise max per
+//! `(cycle, run)` and flow sets union, so re-merging an
+//! already-absorbed run changes nothing.
+
+use crate::jsonin::{parse, Value};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use unroller_engine::{FlowKey, Json};
+
+/// Per-run flow lists are capped so the store stays bounded no matter
+/// how many flows a run traps; the count keeps counting.
+pub const FLOWS_PER_RUN_CAP: usize = 1024;
+
+/// A forwarding cycle in canonical rotation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CycleKey(Vec<u32>);
+
+impl CycleKey {
+    /// Canonicalizes `members`: among all rotations, the
+    /// lexicographically smallest (so the minimal switch ID comes
+    /// first; ties between equal minimal IDs resolve by comparing whole
+    /// rotations). Every rotation of the same cycle maps to the same
+    /// key; reversals do not, deliberately — the reverse cycle is a
+    /// different forwarding state.
+    pub fn canonicalize(members: &[u32]) -> CycleKey {
+        if members.is_empty() {
+            return CycleKey(Vec::new());
+        }
+        let min = *members.iter().min().expect("non-empty");
+        let mut best: Option<Vec<u32>> = None;
+        for (i, &m) in members.iter().enumerate() {
+            if m != min {
+                continue;
+            }
+            let mut rotation = Vec::with_capacity(members.len());
+            rotation.extend_from_slice(&members[i..]);
+            rotation.extend_from_slice(&members[..i]);
+            if best.as_ref().is_none_or(|b| rotation < *b) {
+                best = Some(rotation);
+            }
+        }
+        CycleKey(best.expect("at least one rotation starts at the minimum"))
+    }
+
+    /// The canonical member sequence.
+    pub fn members(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Cycle length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the cycle is empty (an event with no membership).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// What one run saw of one loop.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// The run's epoch.
+    pub epoch: u64,
+    /// Deduplicated loop events attributing to this cycle.
+    pub events: u64,
+    /// Looped packets attributed (captured frames of caught flows, or
+    /// the event count when no capture is available).
+    pub packets: u64,
+    /// Flows caught in this cycle (capped at [`FLOWS_PER_RUN_CAP`]).
+    pub flows: BTreeSet<FlowKey>,
+    /// Total flows observed, including those beyond the cap.
+    pub flow_count: u64,
+}
+
+impl RunStats {
+    fn absorb(&mut self, other: &RunStats) {
+        self.epoch = self.epoch.max(other.epoch);
+        self.events = self.events.max(other.events);
+        self.packets = self.packets.max(other.packets);
+        for f in &other.flows {
+            if self.flows.len() >= FLOWS_PER_RUN_CAP && !self.flows.contains(f) {
+                break;
+            }
+            self.flows.insert(*f);
+        }
+        self.flow_count = self
+            .flow_count
+            .max(other.flow_count)
+            .max(self.flows.len() as u64);
+    }
+}
+
+/// One stored loop: a canonical cycle plus everything every run saw of
+/// it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoopRecord {
+    /// Per-run statistics, keyed by run ID.
+    pub runs: BTreeMap<String, RunStats>,
+}
+
+impl LoopRecord {
+    /// Distinct epochs across runs.
+    pub fn epochs(&self) -> BTreeSet<u64> {
+        self.runs.values().map(|r| r.epoch).collect()
+    }
+
+    /// Whether the loop recurred across ≥ 2 epochs (persistent) rather
+    /// than appearing in one (transient).
+    pub fn persistent(&self) -> bool {
+        self.epochs().len() >= 2
+    }
+
+    /// Total events across runs.
+    pub fn events(&self) -> u64 {
+        self.runs.values().map(|r| r.events).sum()
+    }
+
+    /// Total attributed looped packets across runs.
+    pub fn packets(&self) -> u64 {
+        self.runs.values().map(|r| r.packets).sum()
+    }
+}
+
+/// Errors loading a persisted store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// A line did not parse or had the wrong shape.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O: {e}"),
+            StoreError::Malformed { line, reason } => {
+                write!(f, "store line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// The on-disk loop store (JSONL: one header line, one line per loop).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoopStore {
+    loops: BTreeMap<CycleKey, LoopRecord>,
+}
+
+/// The store file format version.
+pub const STORE_VERSION: u64 = 1;
+
+fn flow_json(f: &FlowKey) -> Json {
+    Json::Array(vec![
+        Json::UInt(f.src_ip as u64),
+        Json::UInt(f.dst_ip as u64),
+        Json::UInt(f.src_port as u64),
+        Json::UInt(f.dst_port as u64),
+        Json::UInt(f.proto as u64),
+    ])
+}
+
+fn flow_from(v: &Value) -> Option<FlowKey> {
+    let a = v.as_array()?;
+    if a.len() != 5 {
+        return None;
+    }
+    Some(FlowKey {
+        src_ip: a[0].as_u64()? as u32,
+        dst_ip: a[1].as_u64()? as u32,
+        src_port: a[2].as_u64()? as u16,
+        dst_port: a[3].as_u64()? as u16,
+        proto: a[4].as_u64()? as u8,
+    })
+}
+
+impl LoopStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the store holds no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Iterates loops in canonical-key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CycleKey, &LoopRecord)> {
+        self.loops.iter()
+    }
+
+    /// Looks up one loop.
+    pub fn get(&self, key: &CycleKey) -> Option<&LoopRecord> {
+        self.loops.get(key)
+    }
+
+    /// Records one observation of `members` (any rotation) by `run_id`
+    /// at `epoch`, attributing `flow` and `packets` looped packets.
+    pub fn observe(
+        &mut self,
+        members: &[u32],
+        run_id: &str,
+        epoch: u64,
+        flow: Option<FlowKey>,
+        packets: u64,
+    ) -> CycleKey {
+        let key = CycleKey::canonicalize(members);
+        let record = self.loops.entry(key.clone()).or_default();
+        let stats = match record.runs.entry(run_id.to_string()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(RunStats {
+                epoch,
+                ..RunStats::default()
+            }),
+        };
+        stats.epoch = epoch;
+        stats.events += 1;
+        stats.packets += packets;
+        if let Some(f) = flow {
+            if !stats.flows.contains(&f) {
+                stats.flow_count += 1;
+                if stats.flows.len() < FLOWS_PER_RUN_CAP {
+                    stats.flows.insert(f);
+                }
+            }
+        }
+        key
+    }
+
+    /// Adds `packets` looped packets to an existing `(loop, run)`
+    /// attribution (capture frames arriving after the event pass).
+    pub fn attribute_packets(&mut self, key: &CycleKey, run_id: &str, packets: u64) {
+        if let Some(record) = self.loops.get_mut(key) {
+            if let Some(stats) = record.runs.get_mut(run_id) {
+                stats.packets += packets;
+            }
+        }
+    }
+
+    /// Every switch ID appearing in any stored cycle.
+    pub fn looping_switches(&self) -> BTreeSet<u32> {
+        self.loops
+            .keys()
+            .flat_map(|k| k.members().iter().copied())
+            .collect()
+    }
+
+    /// Merges `other` into `self`: union by `(cycle, run)`, field-wise
+    /// max within a run. Idempotent — `merge(x)` twice equals once —
+    /// and commutative up to the flow-list cap.
+    pub fn merge(&mut self, other: &LoopStore) {
+        for (key, record) in &other.loops {
+            let mine = self.loops.entry(key.clone()).or_default();
+            for (run_id, stats) in &record.runs {
+                match mine.runs.entry(run_id.clone()) {
+                    Entry::Occupied(mut e) => e.get_mut().absorb(stats),
+                    Entry::Vacant(e) => {
+                        e.insert(stats.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serializes the store as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut header = Json::object();
+        header.set("unroller_loop_store", Json::UInt(STORE_VERSION));
+        header.set("loops", Json::UInt(self.loops.len() as u64));
+        out.push_str(&header.render());
+        out.push('\n');
+        for (key, record) in &self.loops {
+            let mut line = Json::object();
+            line.set(
+                "cycle",
+                Json::Array(
+                    key.members()
+                        .iter()
+                        .map(|&m| Json::UInt(m as u64))
+                        .collect(),
+                ),
+            );
+            let mut runs = Json::object();
+            for (run_id, stats) in &record.runs {
+                let mut r = Json::object();
+                r.set("epoch", Json::UInt(stats.epoch));
+                r.set("events", Json::UInt(stats.events));
+                r.set("packets", Json::UInt(stats.packets));
+                r.set("flow_count", Json::UInt(stats.flow_count));
+                r.set(
+                    "flows",
+                    Json::Array(stats.flows.iter().map(flow_json).collect()),
+                );
+                runs.set(run_id, r);
+            }
+            line.set("runs", runs);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a store from its JSONL serialization.
+    pub fn from_jsonl(text: &str) -> Result<Self, StoreError> {
+        let mut store = LoopStore::new();
+        let mut lines = text.lines().enumerate();
+        let Some((_, header)) = lines.next() else {
+            return Ok(store);
+        };
+        let parsed = parse(header).map_err(|e| StoreError::Malformed {
+            line: 1,
+            reason: e.to_string(),
+        })?;
+        if parsed.get("unroller_loop_store").and_then(|v| v.as_u64()) != Some(STORE_VERSION) {
+            return Err(StoreError::Malformed {
+                line: 1,
+                reason: "not a loop-store file".to_string(),
+            });
+        }
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let lineno = i + 1;
+            let bad = |reason: &str| StoreError::Malformed {
+                line: lineno,
+                reason: reason.to_string(),
+            };
+            let v = parse(line).map_err(|e| StoreError::Malformed {
+                line: lineno,
+                reason: e.to_string(),
+            })?;
+            let cycle = v
+                .get("cycle")
+                .and_then(|c| c.as_array())
+                .ok_or_else(|| bad("missing cycle"))?
+                .iter()
+                .map(|m| m.as_u64().map(|u| u as u32))
+                .collect::<Option<Vec<u32>>>()
+                .ok_or_else(|| bad("bad cycle member"))?;
+            let key = CycleKey::canonicalize(&cycle);
+            let record = store.loops.entry(key).or_default();
+            let Some(Value::Object(runs)) = v.get("runs") else {
+                return Err(bad("missing runs"));
+            };
+            for (run_id, r) in runs {
+                let stats = RunStats {
+                    epoch: r.get("epoch").and_then(|x| x.as_u64()).unwrap_or(0),
+                    events: r.get("events").and_then(|x| x.as_u64()).unwrap_or(0),
+                    packets: r.get("packets").and_then(|x| x.as_u64()).unwrap_or(0),
+                    flow_count: r.get("flow_count").and_then(|x| x.as_u64()).unwrap_or(0),
+                    flows: r
+                        .get("flows")
+                        .and_then(|f| f.as_array())
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(flow_from)
+                        .collect(),
+                };
+                match record.runs.entry(run_id.clone()) {
+                    Entry::Occupied(mut e) => e.get_mut().absorb(&stats),
+                    Entry::Vacant(e) => {
+                        e.insert(stats);
+                    }
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// Loads a store file; a missing file is an empty store.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, StoreError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::from_jsonl(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Writes the store to `path`, creating parent directories.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), StoreError> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_jsonl())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotations_share_one_key() {
+        let base = CycleKey::canonicalize(&[104, 101, 103]);
+        assert_eq!(base.members(), &[101, 103, 104]);
+        assert_eq!(CycleKey::canonicalize(&[101, 103, 104]), base);
+        assert_eq!(CycleKey::canonicalize(&[103, 104, 101]), base);
+        // The reversal is a *different* forwarding cycle.
+        assert_ne!(CycleKey::canonicalize(&[104, 103, 101]), base);
+    }
+
+    #[test]
+    fn duplicate_minimum_ties_break_lexicographically() {
+        // Rotations of [1, 9, 1, 2]: starting at either 1 gives
+        // [1, 9, 1, 2] and [1, 2, 1, 9]; the latter is smaller.
+        let k = CycleKey::canonicalize(&[1, 9, 1, 2]);
+        assert_eq!(k.members(), &[1, 2, 1, 9]);
+        assert_eq!(CycleKey::canonicalize(&[9, 1, 2, 1]), k);
+        assert_eq!(CycleKey::canonicalize(&[2, 1, 9, 1]), k);
+    }
+
+    #[test]
+    fn observe_accumulates_per_run() {
+        let mut s = LoopStore::new();
+        let f0 = FlowKey::synthetic(1, 4, 0);
+        let f1 = FlowKey::synthetic(2, 4, 1);
+        s.observe(&[102, 101], "r1", 0, Some(f0), 10);
+        s.observe(&[101, 102], "r1", 0, Some(f1), 5);
+        s.observe(&[101, 102], "r2", 1, Some(f0), 7);
+        assert_eq!(s.len(), 1);
+        let rec = s.iter().next().unwrap().1;
+        assert_eq!(rec.runs["r1"].events, 2);
+        assert_eq!(rec.runs["r1"].packets, 15);
+        assert_eq!(rec.runs["r1"].flow_count, 2);
+        assert_eq!(rec.runs["r2"].epoch, 1);
+        assert!(rec.persistent());
+        assert_eq!(rec.events(), 3);
+        assert_eq!(s.looping_switches(), BTreeSet::from([101, 102]));
+    }
+
+    #[test]
+    fn single_epoch_is_transient() {
+        let mut s = LoopStore::new();
+        s.observe(&[101, 102], "r1", 3, None, 1);
+        s.observe(&[101, 102], "r2", 3, None, 1);
+        assert!(!s.iter().next().unwrap().1.persistent());
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_serialization_round_trips() {
+        let mut a = LoopStore::new();
+        a.observe(&[102, 101], "r1", 0, Some(FlowKey::synthetic(1, 4, 0)), 10);
+        a.observe(&[105, 103, 104], "r1", 0, None, 2);
+        let mut b = LoopStore::new();
+        b.observe(&[101, 102], "r2", 1, Some(FlowKey::synthetic(2, 4, 1)), 4);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut twice = merged.clone();
+        twice.merge(&b);
+        twice.merge(&a);
+        assert_eq!(merged, twice, "re-merging absorbed runs changes nothing");
+
+        let round = LoopStore::from_jsonl(&merged.to_jsonl()).unwrap();
+        assert_eq!(round, merged);
+    }
+
+    #[test]
+    fn load_missing_file_is_empty() {
+        let s = LoopStore::load("/nonexistent/loopstore.jsonl").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn malformed_store_is_rejected() {
+        assert!(LoopStore::from_jsonl("{\"wrong\":1}\n").is_err());
+        assert!(
+            LoopStore::from_jsonl("{\"unroller_loop_store\":1}\n{\"cycle\":\"oops\"}\n").is_err()
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! A bounded-memory heavy-hitter tracker in the HashPipe mold
+//! (Sivaraman et al., SOSP 2017 — see PAPERS.md): `d` pipelined stages
+//! of `w` slots each, every slot holding one `(key, count)` pair.
+//!
+//! Updates touch at most `d` slots. The first stage always inserts —
+//! evicting whatever it finds and carrying the evicted pair down the
+//! pipeline — and later stages keep whichever of the resident and
+//! carried pair has the larger count, so heavy keys settle into slots
+//! while mice wash out the end of the pipeline. Memory is `d · w`
+//! slots, independent of how many distinct keys stream through — which
+//! is the property the analytics pipeline needs to rank looping flows
+//! and switches over multi-million-event logs without a per-key map.
+
+use std::hash::{Hash, Hasher};
+
+/// A SplitMix64-based `Hasher` with a fixed per-stage seed, so slot
+/// placement is deterministic across runs and hosts (std's default
+/// hasher is randomly seeded per process — useless for reproducible
+/// reports).
+struct FixedHasher {
+    state: u64,
+}
+
+impl Hasher for FixedHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+/// One tracked heavy hitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hitter<K> {
+    /// The key.
+    pub key: K,
+    /// Its (approximate, never over-counted per slot) weight.
+    pub weight: u64,
+}
+
+/// The d-stage × w-slot tracker.
+#[derive(Debug, Clone)]
+pub struct TopK<K> {
+    stages: Vec<Vec<Option<(K, u64)>>>,
+    width: usize,
+    updates: u64,
+}
+
+impl<K: Hash + Eq + Clone> TopK<K> {
+    /// A tracker with `stages` pipeline stages of `width` slots each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(stages: usize, width: usize) -> Self {
+        assert!(stages >= 1 && width >= 1, "non-degenerate tracker");
+        TopK {
+            stages: vec![vec![None; width]; stages],
+            width,
+            updates: 0,
+        }
+    }
+
+    /// A default geometry good for the report's top lists: 4 stages of
+    /// 256 slots (≤ 1024 resident keys).
+    pub fn default_geometry() -> Self {
+        Self::new(4, 256)
+    }
+
+    fn slot(&self, stage: usize, key: &K) -> usize {
+        let mut h = FixedHasher {
+            state: 0xcbf2_9ce4_8422_2325 ^ (stage as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        };
+        key.hash(&mut h);
+        (h.finish() % self.width as u64) as usize
+    }
+
+    /// Observes `key` with additional `weight`.
+    pub fn update(&mut self, key: K, weight: u64) {
+        self.updates += 1;
+        // Stage 0: if resident, add; else always insert and carry the
+        // evicted pair onward.
+        let i = self.slot(0, &key);
+        let mut carried: (K, u64) = match &mut self.stages[0][i] {
+            Some((k, c)) if *k == key => {
+                *c += weight;
+                return;
+            }
+            slot => match slot.replace((key, weight)) {
+                Some(prev) => prev,
+                None => return,
+            },
+        };
+        // Later stages: coalesce on match, fill empties, otherwise keep
+        // the heavier pair and carry the lighter one on.
+        for stage in 1..self.stages.len() {
+            let i = self.slot(stage, &carried.0);
+            match &mut self.stages[stage][i] {
+                Some((k, c)) if *k == carried.0 => {
+                    *c += carried.1;
+                    return;
+                }
+                Some((_, c)) if *c >= carried.1 => continue,
+                slot => {
+                    match slot.replace(carried) {
+                        Some(prev) => carried = prev,
+                        None => return,
+                    };
+                }
+            }
+        }
+        // The pair washed out of the last stage: dropped (bounded
+        // memory means the tail is lossy, exactly like HashPipe).
+    }
+
+    /// Total update calls.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Resident slot capacity (`d · w`).
+    pub fn capacity(&self) -> usize {
+        self.stages.len() * self.width
+    }
+
+    /// The top `k` keys by aggregated resident weight, heaviest first
+    /// (ties broken arbitrarily but deterministically).
+    pub fn top(&self, k: usize) -> Vec<Hitter<K>> {
+        let mut agg: Vec<(K, u64)> = Vec::new();
+        for stage in &self.stages {
+            for slot in stage.iter().flatten() {
+                match agg.iter_mut().find(|(key, _)| *key == slot.0) {
+                    Some((_, w)) => *w += slot.1,
+                    None => agg.push(slot.clone()),
+                }
+            }
+        }
+        agg.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
+        agg.truncate(k);
+        agg.into_iter()
+            .map(|(key, weight)| Hitter { key, weight })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_keys_dominate_the_report() {
+        let mut t: TopK<u32> = TopK::new(3, 32);
+        // 4 heavy keys at 1000 updates each, 500 mice at 1 each.
+        for round in 0..1000 {
+            for heavy in 0..4u32 {
+                t.update(heavy, 1);
+            }
+            if round < 500 {
+                t.update(1000 + round, 1);
+            }
+        }
+        let top = t.top(4);
+        assert_eq!(top.len(), 4);
+        let keys: Vec<u32> = top.iter().map(|h| h.key).collect();
+        for heavy in 0..4u32 {
+            assert!(keys.contains(&heavy), "heavy key {heavy} missing: {keys:?}");
+        }
+        for h in &top {
+            assert!(h.weight >= 900, "heavy key undercounted: {h:?}");
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_geometry() {
+        let mut t: TopK<u64> = TopK::new(2, 8);
+        for key in 0..100_000u64 {
+            t.update(key, 1);
+        }
+        assert_eq!(t.capacity(), 16);
+        assert!(t.top(1000).len() <= 16);
+        assert_eq!(t.updates(), 100_000);
+    }
+
+    #[test]
+    fn weights_aggregate_across_stages() {
+        let mut t: TopK<&'static str> = TopK::new(2, 2);
+        for _ in 0..10 {
+            t.update("a", 5);
+        }
+        let top = t.top(1);
+        assert_eq!(top[0].key, "a");
+        assert_eq!(top[0].weight, 50);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let feed = |t: &mut TopK<u32>| {
+            for i in 0..5000u32 {
+                t.update(i % 97, (i % 7) as u64 + 1);
+            }
+        };
+        let mut a = TopK::new(4, 16);
+        let mut b = TopK::new(4, 16);
+        feed(&mut a);
+        feed(&mut b);
+        let (ta, tb) = (a.top(10), b.top(10));
+        assert_eq!(ta, tb);
+        assert!(!ta.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the loop store: cycle canonicalization is
+//! rotation-invariant (every rotation of the same cycle maps to one
+//! key) and store merge is idempotent across runs — merging the same
+//! run's store twice, in either order, yields the same persisted state.
+
+use proptest::prelude::*;
+use unroller_analytics::store::{CycleKey, LoopStore};
+use unroller_engine::FlowKey;
+
+/// One synthetic observation, driven from proptest-generated scalars.
+#[derive(Debug, Clone)]
+struct Obs {
+    cycle: Vec<u32>,
+    run: usize,
+    epoch: u64,
+    flow: u32,
+    packets: u64,
+}
+
+fn apply(store: &mut LoopStore, obs: &[Obs]) {
+    for o in obs {
+        let run_id = format!("run-{}", o.run);
+        store.observe(
+            &o.cycle,
+            &run_id,
+            o.epoch,
+            Some(FlowKey::synthetic(o.flow, o.flow + 1, 0)),
+            o.packets,
+        );
+    }
+}
+
+fn observations(raw: &[(Vec<u32>, u8, u8, u8, u8)]) -> Vec<Obs> {
+    raw.iter()
+        .filter(|(cycle, ..)| !cycle.is_empty())
+        .map(|(cycle, run, epoch, flow, packets)| Obs {
+            cycle: cycle.clone(),
+            run: (*run % 3) as usize,
+            epoch: (*epoch % 4) as u64,
+            flow: *flow as u32,
+            packets: *packets as u64,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every rotation of a cycle canonicalizes to the same key, and the
+    /// key itself is one of the input's rotations (no members invented
+    /// or lost, cyclic order preserved).
+    #[test]
+    fn rotations_share_one_key(
+        cycle in prop::collection::vec(0u32..500, 1..12),
+        shift in any::<u64>(),
+    ) {
+        let base = CycleKey::canonicalize(&cycle);
+        let k = (shift as usize) % cycle.len();
+        let mut rotated = cycle[k..].to_vec();
+        rotated.extend_from_slice(&cycle[..k]);
+        prop_assert_eq!(&CycleKey::canonicalize(&rotated), &base);
+
+        let canonical_is_a_rotation = (0..cycle.len()).any(|r| {
+            cycle[r..]
+                .iter()
+                .chain(cycle[..r].iter())
+                .eq(base.members().iter())
+        });
+        prop_assert!(
+            canonical_is_a_rotation,
+            "canonical form {:?} is not a rotation of {:?}",
+            base.members(),
+            &cycle
+        );
+    }
+
+    /// Observing through rotated member lists dedupes into one loop.
+    #[test]
+    fn rotated_observations_dedupe(
+        cycle in prop::collection::vec(0u32..200, 1..8),
+        shifts in prop::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let mut store = LoopStore::new();
+        for (i, shift) in shifts.iter().enumerate() {
+            let k = (*shift as usize) % cycle.len();
+            let mut rotated = cycle[k..].to_vec();
+            rotated.extend_from_slice(&cycle[..k]);
+            store.observe(&rotated, "r", i as u64, None, 1);
+        }
+        prop_assert_eq!(store.len(), 1, "rotations created distinct loops");
+    }
+
+    /// Merge is idempotent and the persisted form is stable: merging
+    /// another run's store once or many times gives identical JSONL,
+    /// and a round-trip through serialization preserves it.
+    #[test]
+    fn merge_across_runs_is_idempotent(
+        raw_a in prop::collection::vec(
+            (prop::collection::vec(0u32..50, 1..5), any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            0..12,
+        ),
+        raw_b in prop::collection::vec(
+            (prop::collection::vec(0u32..50, 1..5), any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            0..12,
+        ),
+    ) {
+        let (obs_a, obs_b) = (observations(&raw_a), observations(&raw_b));
+        let mut a = LoopStore::new();
+        let mut b = LoopStore::new();
+        apply(&mut a, &obs_a);
+        apply(&mut b, &obs_b);
+
+        let mut once = a.clone();
+        once.merge(&b);
+        let mut thrice = a.clone();
+        thrice.merge(&b);
+        thrice.merge(&b);
+        thrice.merge(&b);
+        prop_assert_eq!(once.to_jsonl(), thrice.to_jsonl(), "re-merge changed the store");
+
+        // Self-merge is a no-op.
+        let mut self_merged = once.clone();
+        self_merged.merge(&once);
+        prop_assert_eq!(self_merged.to_jsonl(), once.to_jsonl(), "self-merge changed the store");
+
+        // And the persisted form round-trips.
+        let reloaded = LoopStore::from_jsonl(&once.to_jsonl()).expect("own output parses");
+        prop_assert_eq!(reloaded.to_jsonl(), once.to_jsonl());
+    }
+}

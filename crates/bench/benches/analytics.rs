@@ -1,0 +1,242 @@
+//! The streaming-analytics benchmark: events/sec and peak RSS for
+//! `unroller-analytics`' pipeline over a synthetically generated
+//! multi-million-event loop-event log.
+//!
+//! The workload is written to disk first (a multi-run JSONL log in the
+//! engine's `--events-out` format: headers across several epochs,
+//! events drawing cycles from a pool — rotated per event to exercise
+//! canonical deduplication — and flows from a wide pair space to
+//! exercise the bounded observed/top-k structures), then streamed
+//! through [`unroller_analytics::Pipeline`].
+//!
+//! Memory-boundedness is measured, not assumed: the process streams a
+//! small log, records `VmHWM` from `/proc/self/status`, then streams a
+//! log 10× larger and records `VmHWM` again. A streaming pipeline's
+//! peak is set by its bounded state, not input size, so the ratio must
+//! stay ≈ 1; the committed gate is < 1.5.
+//!
+//! ```text
+//! cargo bench -p unroller-bench --bench analytics -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the event counts for CI's smoke job; the committed
+//! baseline `results/BENCH_analytics.json` is a full run (2M events in
+//! the large log).
+
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::time::Instant;
+use unroller_analytics::Pipeline;
+use unroller_engine::eventlog::{event_line, RunMeta};
+use unroller_engine::{FlowKey, Json, LoopEvent};
+
+/// Peak resident set (kB) from `/proc/self/status`, 0 if unavailable.
+fn vmhwm_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Writes a multi-run synthetic event log: `events` records spread
+/// over `runs` headers (epochs cycle 0..4), cycles drawn from a pool
+/// of `cycles` distinct loops and rotated per event. Each run offers a
+/// fixed population of `FLOWS_PER_RUN` flows (as the engine does —
+/// `--flows` fixes the population regardless of packet count) and each
+/// flow loops in one cycle, so a larger log means more *events*, not
+/// more distinct state.
+const FLOWS_PER_RUN: u64 = 1024;
+
+fn generate_log(path: &str, events: u64, runs: u64, cycles: usize, seed: u64) {
+    let nodes = 64u32;
+    let id_base = 100u32;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // A pool of distinct cycles, lengths 2..=6, members unique per cycle.
+    let pool: Vec<Vec<u32>> = (0..cycles)
+        .map(|i| {
+            let len = 2 + i % 5;
+            let start = (i * 7) as u32 % nodes;
+            (0..len as u32)
+                .map(|j| id_base + (start + j * 3) % nodes)
+                .collect()
+        })
+        .collect();
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path).expect("create log"));
+    let per_run = events / runs.max(1);
+    for run in 0..runs {
+        let meta = RunMeta {
+            run_id: format!("bench-run-{run}"),
+            seed: seed ^ run,
+            topology: "ring:64".to_string(),
+            nodes: nodes as usize,
+            flows: FLOWS_PER_RUN as usize,
+            packets: per_run * 10,
+            shards: 4,
+            epoch: run % 4,
+            id_base,
+            injection: None,
+        };
+        writeln!(out, "{}", meta.header_line()).expect("write header");
+        for i in 0..per_run {
+            let flow_id = rng.gen_range(0..FLOWS_PER_RUN);
+            let cycle = &pool[(flow_id as usize) % pool.len()];
+            // Rotate so dedup work (canonicalization) is on the hot path.
+            let rot = rng.gen_range(0..cycle.len());
+            let mut members = cycle[rot..].to_vec();
+            members.extend_from_slice(&cycle[..rot]);
+            let src = (flow_id as u32) % nodes;
+            let dst = (src + 1 + (flow_id as u32 / nodes) % (nodes - 1)) % nodes;
+            let ev = LoopEvent {
+                flow: FlowKey::synthetic(src, dst, (flow_id % 16) as u32),
+                seq: i,
+                shard: (i % 4) as usize,
+                trigger: members[0],
+                hop: 8 + (i % 23) as u32,
+                members,
+                complete: true,
+            };
+            writeln!(out, "{}", event_line(&ev, run % 4)).expect("write event");
+        }
+    }
+    out.flush().expect("flush log");
+}
+
+/// Streams one log through a fresh pipeline; returns (elapsed seconds,
+/// events ingested, loops deduped).
+fn stream(path: &str) -> (f64, u64, usize) {
+    let mut pipeline = Pipeline::new();
+    let start = Instant::now();
+    pipeline
+        .ingest_event_log(path)
+        .expect("stream the synthetic log");
+    let secs = start.elapsed().as_secs_f64();
+    (secs, pipeline.stats.events, pipeline.store.len())
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_analytics.json"
+    )
+    .to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("analytics: --out requires an argument");
+                    std::process::exit(2);
+                })
+            }
+            "--bench" | "--test" => {}
+            other => {
+                eprintln!("analytics: unknown argument `{other}` (--quick, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Small log for the RSS baseline, large log (10×) for the headline
+    // rate — the full large log is ≥ 2M events per the roadmap target.
+    let (small_events, large_events) = if quick {
+        (30_000u64, 300_000u64)
+    } else {
+        (200_000u64, 2_000_000u64)
+    };
+    let cycles = 64;
+    let dir = std::env::temp_dir().join("unroller-analytics-bench");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let small_path = dir.join("small.jsonl");
+    let large_path = dir.join("large.jsonl");
+    let small_path = small_path.to_str().expect("utf-8 temp path");
+    let large_path = large_path.to_str().expect("utf-8 temp path");
+
+    eprintln!("analytics: generating {small_events} + {large_events} event logs...");
+    // Same run/cycle/flow structure in both logs — only the event count
+    // differs, so any RSS growth would be input-size dependence.
+    generate_log(small_path, small_events, 8, cycles, 17);
+    generate_log(large_path, large_events, 8, cycles, 17);
+    let large_bytes = std::fs::metadata(large_path).expect("stat large log").len();
+
+    eprintln!("analytics: streaming small log ({small_events} events)...");
+    let (small_secs, small_seen, small_loops) = stream(small_path);
+    assert_eq!(small_seen, small_events, "every generated event ingested");
+    let hwm_small = vmhwm_kb();
+
+    eprintln!("analytics: streaming large log ({large_events} events)...");
+    let (large_secs, large_seen, large_loops) = stream(large_path);
+    assert_eq!(large_seen, large_events, "every generated event ingested");
+    let hwm_large = vmhwm_kb();
+
+    assert_eq!(
+        small_loops, cycles,
+        "rotated observations must dedupe to the cycle pool"
+    );
+    assert_eq!(large_loops, cycles);
+
+    let events_per_sec = large_events as f64 / large_secs;
+    let rss_ratio = if hwm_small > 0 {
+        hwm_large as f64 / hwm_small as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "analytics: {events_per_sec:.0} events/s over {large_events} events \
+         ({:.1} MB log in {large_secs:.2}s); VmHWM {hwm_small} kB -> {hwm_large} kB \
+         (x{rss_ratio:.2} for 10x the input)",
+        large_bytes as f64 / 1e6,
+    );
+    if hwm_small > 0 {
+        assert!(
+            rss_ratio < 1.5,
+            "peak RSS must be independent of input size (got x{rss_ratio:.2})"
+        );
+    }
+
+    let mut workload = Json::object();
+    workload.set("small_events", Json::UInt(small_events));
+    workload.set("large_events", Json::UInt(large_events));
+    workload.set("large_log_bytes", Json::UInt(large_bytes));
+    workload.set("distinct_cycles", Json::UInt(cycles as u64));
+    workload.set("runs_in_large_log", Json::UInt(8));
+
+    let mut timing = Json::object();
+    timing.set("small_secs", Json::Float(small_secs));
+    timing.set("large_secs", Json::Float(large_secs));
+    timing.set("events_per_sec", Json::Float(events_per_sec));
+    timing.set(
+        "mb_per_sec",
+        Json::Float(large_bytes as f64 / 1e6 / large_secs),
+    );
+
+    let mut memory = Json::object();
+    memory.set("vmhwm_small_kb", Json::UInt(hwm_small));
+    memory.set("vmhwm_large_kb", Json::UInt(hwm_large));
+    memory.set("rss_ratio_10x_input", Json::Float(rss_ratio));
+
+    let mut root = Json::object();
+    root.set("bench", Json::Str("analytics".to_string()));
+    root.set("quick", Json::Bool(quick));
+    root.set("workload", workload);
+    root.set("timing", timing);
+    root.set("memory", memory);
+    root.set("loops_deduped", Json::UInt(large_loops as u64));
+    let rendered = root.render_pretty();
+
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, &rendered).expect("write benchmark output");
+    eprintln!("wrote {out}");
+
+    let _ = std::fs::remove_file(small_path);
+    let _ = std::fs::remove_file(large_path);
+}

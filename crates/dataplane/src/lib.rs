@@ -46,6 +46,6 @@ pub mod resources;
 
 pub use header::{HeaderLayout, WireHeader};
 pub use parser::{EthernetHeader, FrameError, ETHERTYPE_UNROLLER, ETH_HEADER_LEN};
-pub use pcap::{PcapError, PcapReader, PcapRecord, PcapWriter};
+pub use pcap::{PcapError, PcapItem, PcapReader, PcapRecord, PcapStream, PcapWriter};
 pub use pipeline::UnrollerPipeline;
 pub use resources::ResourceReport;

@@ -241,6 +241,181 @@ impl Iterator for PcapReader {
     }
 }
 
+/// An item yielded by [`PcapStream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapItem {
+    /// A fully read record.
+    Record(PcapRecord),
+    /// The capture ended mid-record (a crashed or still-writing
+    /// capturer): everything before this point was read intact, the
+    /// partial record's bytes are accounted here, and iteration ends.
+    Truncated {
+        /// Zero-based index of the partial record.
+        index: usize,
+        /// Bytes of the partial record consumed (header + payload).
+        bytes_dropped: usize,
+    },
+}
+
+/// A chunked, bounded-memory pcap reader over any [`std::io::Read`]:
+/// holds one record in memory at a time, so multi-GB captures stream in
+/// `O(snaplen)` space (what `unroller-analytics` requires).
+///
+/// Unlike [`PcapReader`], a capture cut off mid-record — the common
+/// fate of the *final* record when the capturing process dies — is not
+/// an error: the stream yields every intact record, then one
+/// [`PcapItem::Truncated`] marker, then ends.
+#[derive(Debug)]
+pub struct PcapStream<R: std::io::Read> {
+    inner: R,
+    snaplen: u32,
+    swapped: bool,
+    index: usize,
+    done: bool,
+}
+
+/// Reads from `r` until `buf` is full or EOF; returns the bytes read.
+fn read_full(r: &mut impl std::io::Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
+}
+
+impl PcapStream<std::io::BufReader<std::fs::File>> {
+    /// Opens a capture file for streaming (buffered).
+    pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<Result<Self, PcapError>> {
+        let file = std::fs::File::open(path)?;
+        Self::new(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: std::io::Read> PcapStream<R> {
+    /// Validates the global header and positions the stream at the
+    /// first record. The outer `Result` is I/O, the inner one format.
+    pub fn new(mut inner: R) -> std::io::Result<Result<Self, PcapError>> {
+        let mut hdr = [0u8; GLOBAL_HEADER_LEN];
+        let got = read_full(&mut inner, &mut hdr)?;
+        if got < GLOBAL_HEADER_LEN {
+            return Ok(Err(PcapError::TruncatedGlobalHeader { len: got }));
+        }
+        let raw_magic = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes"));
+        let swapped = match raw_magic {
+            PCAP_MAGIC => false,
+            m if m == PCAP_MAGIC.swap_bytes() => true,
+            m => return Ok(Err(PcapError::BadMagic(m))),
+        };
+        let field = |bytes: [u8; 4]| {
+            if swapped {
+                u32::from_be_bytes(bytes)
+            } else {
+                u32::from_le_bytes(bytes)
+            }
+        };
+        let snaplen = field(hdr[16..20].try_into().expect("4 bytes"));
+        let linktype = field(hdr[20..24].try_into().expect("4 bytes"));
+        if linktype != LINKTYPE_ETHERNET {
+            return Ok(Err(PcapError::WrongLinkType(linktype)));
+        }
+        Ok(Ok(PcapStream {
+            inner,
+            snaplen,
+            swapped,
+            index: 0,
+            done: false,
+        }))
+    }
+
+    /// The capture's declared snapshot length.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    fn field(&self, bytes: [u8; 4]) -> u32 {
+        if self.swapped {
+            u32::from_be_bytes(bytes)
+        } else {
+            u32::from_le_bytes(bytes)
+        }
+    }
+}
+
+impl<R: std::io::Read> Iterator for PcapStream<R> {
+    type Item = std::io::Result<PcapItem>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut hdr = [0u8; RECORD_HEADER_LEN];
+        let got = match read_full(&mut self.inner, &mut hdr) {
+            Ok(n) => n,
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e));
+            }
+        };
+        if got == 0 {
+            self.done = true;
+            return None; // clean end of capture
+        }
+        if got < RECORD_HEADER_LEN {
+            self.done = true;
+            return Some(Ok(PcapItem::Truncated {
+                index: self.index,
+                bytes_dropped: got,
+            }));
+        }
+        let secs = self.field(hdr[0..4].try_into().expect("4 bytes")) as u64;
+        let usecs = self.field(hdr[4..8].try_into().expect("4 bytes")) as u64;
+        let incl = self.field(hdr[8..12].try_into().expect("4 bytes")) as usize;
+        let orig_len = self.field(hdr[12..16].try_into().expect("4 bytes"));
+        // A captured length beyond the declared snaplen can only come
+        // from a corrupt or torn header — treat it like truncation
+        // rather than attempting an unbounded allocation. (Snaplen 0 in
+        // the header gets the same conventional clamp as the writer.)
+        let limit = if self.snaplen == 0 {
+            65_535
+        } else {
+            self.snaplen
+        };
+        if incl > limit as usize {
+            self.done = true;
+            return Some(Ok(PcapItem::Truncated {
+                index: self.index,
+                bytes_dropped: RECORD_HEADER_LEN,
+            }));
+        }
+        let mut data = vec![0u8; incl];
+        let body = match read_full(&mut self.inner, &mut data) {
+            Ok(n) => n,
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e));
+            }
+        };
+        if body < incl {
+            self.done = true;
+            return Some(Ok(PcapItem::Truncated {
+                index: self.index,
+                bytes_dropped: RECORD_HEADER_LEN + body,
+            }));
+        }
+        self.index += 1;
+        Some(Ok(PcapItem::Record(PcapRecord {
+            time_ns: secs * 1_000_000_000 + usecs * 1_000,
+            orig_len,
+            data,
+        })))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +565,124 @@ mod tests {
         wrong_link[20..24].copy_from_slice(&101u32.to_le_bytes()); // RAW
         assert_eq!(
             PcapReader::new(wrong_link).unwrap_err(),
+            PcapError::WrongLinkType(101)
+        );
+    }
+
+    #[test]
+    fn stream_roundtrips_and_matches_reader() {
+        let mut w = PcapWriter::default();
+        w.push(3_000_123_000, &[0xaa; 60]);
+        w.push(3_000_124_000, &[0x55; 9]);
+        w.push(4_000_000_000, &[0x11; 1]);
+        let bytes = w.finish();
+        let via_reader: Vec<PcapRecord> = PcapReader::new(bytes.clone())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let mut s = PcapStream::new(&bytes[..]).unwrap().unwrap();
+        assert_eq!(s.snaplen(), 65_535);
+        let via_stream: Vec<PcapRecord> = (&mut s)
+            .map(|item| match item.unwrap() {
+                PcapItem::Record(r) => r,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(via_stream, via_reader);
+        assert_eq!(via_stream.len(), 3);
+        assert!(s.next().is_none(), "fused at end of capture");
+    }
+
+    #[test]
+    fn stream_recovers_from_truncated_final_payload() {
+        let mut w = PcapWriter::default();
+        w.push(0, &[1, 2, 3]);
+        w.push(0, &[4, 5, 6]);
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - 2); // chop the last record's tail
+        let mut s = PcapStream::new(&bytes[..]).unwrap().unwrap();
+        match s.next().unwrap().unwrap() {
+            PcapItem::Record(r) => assert_eq!(r.data, vec![1, 2, 3]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            s.next().unwrap().unwrap(),
+            PcapItem::Truncated {
+                index: 1,
+                bytes_dropped: RECORD_HEADER_LEN + 1,
+            }
+        );
+        assert!(s.next().is_none(), "stream ends after the marker");
+    }
+
+    #[test]
+    fn stream_recovers_from_truncated_final_header() {
+        let mut w = PcapWriter::default();
+        w.push(0, &[1, 2, 3]);
+        let mut bytes = w.finish();
+        bytes.extend_from_slice(&[0u8; 5]); // 5 bytes of a torn header
+        let mut s = PcapStream::new(&bytes[..]).unwrap().unwrap();
+        assert!(matches!(s.next().unwrap().unwrap(), PcapItem::Record(_)));
+        assert_eq!(
+            s.next().unwrap().unwrap(),
+            PcapItem::Truncated {
+                index: 1,
+                bytes_dropped: 5,
+            }
+        );
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn stream_treats_absurd_lengths_as_truncation() {
+        let mut bytes = PcapWriter::new(1500).finish();
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // secs
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // usecs
+        bytes.extend_from_slice(&0x7fff_ffffu32.to_le_bytes()); // incl >> snaplen
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // orig
+        let mut s = PcapStream::new(&bytes[..]).unwrap().unwrap();
+        assert_eq!(
+            s.next().unwrap().unwrap(),
+            PcapItem::Truncated {
+                index: 0,
+                bytes_dropped: RECORD_HEADER_LEN,
+            }
+        );
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn stream_accepts_big_endian_and_rejects_bad_headers() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&PCAP_MAGIC.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0i32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&1500u32.to_be_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+        buf.extend_from_slice(&3u32.to_be_bytes()); // secs
+        buf.extend_from_slice(&123u32.to_be_bytes()); // usecs
+        buf.extend_from_slice(&2u32.to_be_bytes()); // incl
+        buf.extend_from_slice(&2u32.to_be_bytes()); // orig
+        buf.extend_from_slice(&[0xab, 0xcd]);
+        let mut s = PcapStream::new(&buf[..]).unwrap().unwrap();
+        assert_eq!(s.snaplen(), 1500);
+        match s.next().unwrap().unwrap() {
+            PcapItem::Record(r) => {
+                assert_eq!(r.time_ns, 3_000_123_000);
+                assert_eq!(r.data, vec![0xab, 0xcd]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            PcapStream::new(&[0u8; 10][..]).unwrap().unwrap_err(),
+            PcapError::TruncatedGlobalHeader { len: 10 }
+        );
+        let mut wrong_link = PcapWriter::default().finish();
+        wrong_link[20..24].copy_from_slice(&101u32.to_le_bytes());
+        assert_eq!(
+            PcapStream::new(&wrong_link[..]).unwrap().unwrap_err(),
             PcapError::WrongLinkType(101)
         );
     }

@@ -49,6 +49,9 @@ struct Options {
     capture: Option<String>,
     pin: bool,
     oracle: bool,
+    events_out: Option<String>,
+    epoch: u64,
+    run_id: Option<String>,
 }
 
 impl Default for Options {
@@ -76,6 +79,9 @@ impl Default for Options {
             capture: None,
             pin: false,
             oracle: false,
+            events_out: None,
+            epoch: 0,
+            run_id: None,
         }
     }
 }
@@ -135,6 +141,16 @@ fn usage() -> ! {
                              the recorded per-flow routes; cross-checks\n\
                              both and exits 1 on any disagreement\n\
                              (single-run synthetic traffic only)\n\
+           --events-out PATH write the deduplicated loop events as a\n\
+                             JSONL log (header line with run metadata,\n\
+                             one event per line) for offline analysis\n\
+                             with unroller-analytics (single-run only)\n\
+           --epoch N         epoch stamped into the event log and the\n\
+                             run_meta report section (default 0);\n\
+                             analytics marks loops seen in >= 2 epochs\n\
+                             as persistent\n\
+           --run-id STR      override the derived run identifier that\n\
+                             joins this run's artifacts\n\
            --fault-sweep L   comma-separated rate multipliers (e.g.\n\
                              0,0.5,1,2,4) applied to the --faults plan;\n\
                              replays the stream per level and writes\n\
@@ -221,6 +237,9 @@ fn parse_args() -> Options {
             }
             "--replay" => opts.replay = Some(value("--replay")),
             "--capture" => opts.capture = Some(value("--capture")),
+            "--events-out" => opts.events_out = Some(value("--events-out")),
+            "--epoch" => opts.epoch = num("--epoch", value("--epoch")),
+            "--run-id" => opts.run_id = Some(value("--run-id")),
             "--oracle" => opts.oracle = true,
             "--shed" => opts.shed = true,
             "--pin" => opts.pin = true,
@@ -290,10 +309,7 @@ fn oracle_ground_truth(
     source: &ReplaySource,
 ) -> (Json, Vec<FlowKey>, bool) {
     let t0 = std::time::Instant::now();
-    let mut checker = FwdChecker::new(graph.clone());
-    for dst in graph.nodes() {
-        checker.install_column(dst, sim.forwarding(dst));
-    }
+    let mut checker = FwdChecker::from_columns(graph.clone(), |dst| sim.forwarding(dst).to_vec());
     let keys = source.flow_keys();
     let endpoints: Vec<(NodeId, NodeId)> = keys
         .iter()
@@ -321,6 +337,26 @@ fn oracle_ground_truth(
     j.set(
         "imperiled_flows",
         Json::UInt(checker.imperiled_flows().len() as u64),
+    );
+    // Distinct endpoint-pair counts: downstream tooling that observes
+    // traffic (unroller-analytics) sees pairs, not flow instances, so
+    // the oracle exposes both granularities.
+    let distinct: HashSet<(NodeId, NodeId)> = endpoints.iter().copied().collect();
+    let imperiled_pairs: HashSet<(NodeId, NodeId)> =
+        checker.imperiled_flows().into_iter().collect();
+    let trapped_pairs: HashSet<(NodeId, NodeId)> = distinct
+        .iter()
+        .copied()
+        .filter(|&(s, d)| checker.flow_trapped(s, d))
+        .collect();
+    j.set("distinct_pairs", Json::UInt(distinct.len() as u64));
+    j.set(
+        "imperiled_pairs_distinct",
+        Json::UInt(imperiled_pairs.len() as u64),
+    );
+    j.set(
+        "looping_pairs_distinct",
+        Json::UInt(trapped_pairs.len() as u64),
     );
     j.set(
         "looping_routers",
@@ -381,10 +417,10 @@ fn localize_and_heal(
 
 fn main() {
     let opts = parse_args();
-    if (opts.replay.is_some() || opts.capture.is_some())
+    if (opts.replay.is_some() || opts.capture.is_some() || opts.events_out.is_some())
         && (opts.scaling.is_some() || opts.fault_sweep.is_some())
     {
-        eprintln!("unroller-engine: --replay/--capture are single-run options");
+        eprintln!("unroller-engine: --replay/--capture/--events-out are single-run options");
         std::process::exit(2);
     }
     if opts.oracle
@@ -407,6 +443,20 @@ fn main() {
     // avoids it by construction.
     let dst = n / 2;
     let injection = opts.loop_at.map(|at| pick_injection(&graph, dst, at));
+    let run_meta = unroller_engine::RunMeta {
+        run_id: opts.run_id.clone().unwrap_or_else(|| {
+            unroller_engine::RunMeta::derived_run_id(&opts.topology, opts.seed, opts.epoch)
+        }),
+        seed: opts.seed,
+        topology: opts.topology.clone(),
+        nodes: n,
+        flows: opts.flows,
+        packets: opts.packets,
+        shards: opts.shards,
+        epoch: opts.epoch,
+        id_base: 100,
+        injection: injection.clone(),
+    };
 
     let cfg = EngineConfig {
         shards: opts.shards,
@@ -630,9 +680,28 @@ fn main() {
             });
             eprintln!("wrote {path} ({} bytes)", pcap.len());
         }
+        if let Some(path) = &opts.events_out {
+            let mut w =
+                unroller_engine::EventLogWriter::create(path, &run_meta).unwrap_or_else(|e| {
+                    eprintln!("unroller-engine: cannot create {path}: {e}");
+                    std::process::exit(1);
+                });
+            for event in &report.aggregator.events {
+                w.write_event(event).unwrap_or_else(|e| {
+                    eprintln!("unroller-engine: cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+            }
+            let written = w.finish().unwrap_or_else(|e| {
+                eprintln!("unroller-engine: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path} ({written} loop events)");
+        }
         let (recall, _) = detection_recall(&report, &looping);
         let (sink, heal) = localize_and_heal(&report, &ids, &mut sim, &opts.faults);
         let mut rendered = report.to_json();
+        rendered.set("run_meta", run_meta.to_json());
         rendered.set("recall", Json::Float(recall));
         if let Some((section, _, _)) = &oracle {
             rendered.set("oracle", section.clone());

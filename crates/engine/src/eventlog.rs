@@ -1,0 +1,240 @@
+//! The engine's loop-event log: a line-oriented JSON (JSONL) export of
+//! every deduplicated loop detection, stamped with enough run metadata
+//! to join artifacts from different runs offline.
+//!
+//! Layout: the first line is a header object carrying the run's
+//! identity ([`RunMeta`] — seed, topology spec, epoch, shard count, and
+//! the injected loop, if any); every following line is one
+//! [`LoopEvent`] record. Logs from several runs concatenate cleanly —
+//! a reader treats each header line as switching run context — which is
+//! exactly how `unroller-analytics` consumes multi-run archives.
+
+use crate::aggregate::LoopEvent;
+use crate::json::Json;
+use crate::source::LoopInjection;
+use std::io::{BufWriter, Write};
+
+/// The format version stamped into every log header.
+pub const EVENT_LOG_VERSION: u64 = 1;
+
+/// Identity and provenance of one engine run, stamped into both the
+/// metrics JSON (`run_meta` section) and the event log header so the
+/// two artifacts can be joined after the fact.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Stable identifier joining this run's artifacts (derived from
+    /// topology, seed, and epoch unless overridden).
+    pub run_id: String,
+    /// Traffic seed.
+    pub seed: u64,
+    /// Topology spec string (`ring:32`, `fat-tree:4`, ...).
+    pub topology: String,
+    /// Node count of the generated topology.
+    pub nodes: usize,
+    /// Concurrent flows offered.
+    pub flows: usize,
+    /// Total packets offered.
+    pub packets: u64,
+    /// Worker shard count.
+    pub shards: usize,
+    /// Operator-assigned epoch of this run (analytics classifies loops
+    /// seen across ≥ 2 epochs as persistent).
+    pub epoch: u64,
+    /// Base of the sequential switch-ID assignment (`ids[node] =
+    /// id_base + node`), so analytics can map switch IDs back to nodes.
+    pub id_base: u32,
+    /// The loop injected into the routing state, if any.
+    pub injection: Option<LoopInjection>,
+}
+
+impl RunMeta {
+    /// The default run identifier: deterministic in (topology, seed,
+    /// epoch) so re-runs of the same configuration merge as one run.
+    pub fn derived_run_id(topology: &str, seed: u64, epoch: u64) -> String {
+        format!("{topology}-seed{seed}-epoch{epoch}")
+    }
+
+    /// The metadata as a JSON object (the metrics report's `run_meta`
+    /// section and the payload of the log header).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("run_id", Json::Str(self.run_id.clone()));
+        obj.set("seed", Json::UInt(self.seed));
+        obj.set("topology", Json::Str(self.topology.clone()));
+        obj.set("nodes", Json::UInt(self.nodes as u64));
+        obj.set("flows", Json::UInt(self.flows as u64));
+        obj.set("packets", Json::UInt(self.packets));
+        obj.set("shards", Json::UInt(self.shards as u64));
+        obj.set("epoch", Json::UInt(self.epoch));
+        obj.set("id_base", Json::UInt(self.id_base as u64));
+        match &self.injection {
+            Some(inj) => {
+                let mut j = Json::object();
+                j.set(
+                    "cycle",
+                    Json::Array(inj.cycle.iter().map(|&n| Json::UInt(n as u64)).collect()),
+                );
+                j.set("dst", Json::UInt(inj.dst as u64));
+                j.set("at_packet", Json::UInt(inj.at_packet));
+                obj.set("injection", j);
+            }
+            None => {
+                obj.set("injection", Json::Null);
+            }
+        }
+        obj
+    }
+
+    /// The log's header line (no trailing newline).
+    pub fn header_line(&self) -> String {
+        let mut obj = Json::object();
+        obj.set("unroller_event_log", Json::UInt(EVENT_LOG_VERSION));
+        obj.set("run", self.to_json());
+        obj.render()
+    }
+}
+
+/// One [`LoopEvent`] as a single-line JSON record, stamped with the
+/// run's epoch.
+pub fn event_line(event: &LoopEvent, epoch: u64) -> String {
+    let mut flow = Json::object();
+    flow.set("src_ip", Json::UInt(event.flow.src_ip as u64));
+    flow.set("dst_ip", Json::UInt(event.flow.dst_ip as u64));
+    flow.set("src_port", Json::UInt(event.flow.src_port as u64));
+    flow.set("dst_port", Json::UInt(event.flow.dst_port as u64));
+    flow.set("proto", Json::UInt(event.flow.proto as u64));
+    let mut obj = Json::object();
+    obj.set("flow", flow);
+    obj.set("seq", Json::UInt(event.seq));
+    obj.set("shard", Json::UInt(event.shard as u64));
+    obj.set("trigger", Json::UInt(event.trigger as u64));
+    obj.set("hop", Json::UInt(event.hop as u64));
+    obj.set(
+        "members",
+        Json::Array(
+            event
+                .members
+                .iter()
+                .map(|&m| Json::UInt(m as u64))
+                .collect(),
+        ),
+    );
+    obj.set("complete", Json::Bool(event.complete));
+    obj.set("epoch", Json::UInt(epoch));
+    obj.render()
+}
+
+/// Writes an event log: one header line, then one line per event.
+#[derive(Debug)]
+pub struct EventLogWriter<W: Write> {
+    out: BufWriter<W>,
+    epoch: u64,
+    events: u64,
+}
+
+impl EventLogWriter<std::fs::File> {
+    /// Creates (truncating) the log file at `path` and writes the
+    /// header, creating parent directories as needed.
+    pub fn create(path: &str, meta: &RunMeta) -> std::io::Result<Self> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Self::new(std::fs::File::create(path)?, meta)
+    }
+}
+
+impl<W: Write> EventLogWriter<W> {
+    /// Wraps `out` and writes the header line.
+    pub fn new(out: W, meta: &RunMeta) -> std::io::Result<Self> {
+        let mut w = EventLogWriter {
+            out: BufWriter::new(out),
+            epoch: meta.epoch,
+            events: 0,
+        };
+        writeln!(w.out, "{}", meta.header_line())?;
+        Ok(w)
+    }
+
+    /// Appends one event record.
+    pub fn write_event(&mut self, event: &LoopEvent) -> std::io::Result<()> {
+        writeln!(self.out, "{}", event_line(event, self.epoch))?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the number of event records written.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.out.flush()?;
+        Ok(self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKey;
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            run_id: RunMeta::derived_run_id("ring:8", 7, 2),
+            seed: 7,
+            topology: "ring:8".to_string(),
+            nodes: 8,
+            flows: 4,
+            packets: 1000,
+            shards: 2,
+            epoch: 2,
+            id_base: 100,
+            injection: Some(LoopInjection {
+                cycle: vec![1, 2],
+                dst: 4,
+                at_packet: 250,
+            }),
+        }
+    }
+
+    #[test]
+    fn header_line_carries_run_identity() {
+        let line = meta().header_line();
+        assert!(line.starts_with("{\"unroller_event_log\":1,"));
+        assert!(line.contains("\"run_id\":\"ring:8-seed7-epoch2\""));
+        assert!(line.contains("\"topology\":\"ring:8\""));
+        assert!(line.contains("\"cycle\":[1,2]"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn no_injection_renders_null() {
+        let mut m = meta();
+        m.injection = None;
+        assert!(m.header_line().contains("\"injection\":null"));
+    }
+
+    #[test]
+    fn writer_emits_header_then_one_line_per_event() {
+        let mut buf = Vec::new();
+        {
+            let mut w = EventLogWriter::new(&mut buf, &meta()).unwrap();
+            let event = LoopEvent {
+                flow: FlowKey::synthetic(1, 4, 0),
+                seq: 42,
+                shard: 1,
+                trigger: 101,
+                hop: 9,
+                members: vec![101, 102],
+                complete: true,
+            };
+            w.write_event(&event).unwrap();
+            assert_eq!(w.finish().unwrap(), 1);
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("unroller_event_log"));
+        assert!(lines[1].contains("\"seq\":42"));
+        assert!(lines[1].contains("\"members\":[101,102]"));
+        assert!(lines[1].contains("\"epoch\":2"));
+    }
+}

@@ -11,7 +11,7 @@
 //! scaling experiments must be replayable from a seed alone.
 
 /// A transport 5-tuple identifying a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowKey {
     /// IPv4 source address.
     pub src_ip: u32,

@@ -50,6 +50,7 @@
 pub mod affinity;
 pub mod aggregate;
 pub mod engine;
+pub mod eventlog;
 pub mod faults;
 pub mod flow;
 pub mod json;
@@ -64,6 +65,7 @@ pub mod worker;
 
 pub use aggregate::{AggregatorReport, ControllerSink, EventSink, LoopEvent};
 pub use engine::{Engine, EngineConfig, EngineError, EngineReport};
+pub use eventlog::{EventLogWriter, RunMeta, EVENT_LOG_VERSION};
 pub use faults::{FaultPlan, FaultSpecError};
 pub use flow::FlowKey;
 pub use json::Json;

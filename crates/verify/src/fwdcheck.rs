@@ -214,6 +214,22 @@ impl FwdChecker {
         checker
     }
 
+    /// Snapshots an arbitrary forwarding state: one checker over
+    /// `graph` with `column(dst)` installed for every destination. The
+    /// cross-check hook `unroller-analytics` and the engine's `--oracle`
+    /// mode use to classify flows against recorded routing state.
+    pub fn from_columns(
+        graph: Graph,
+        mut column: impl FnMut(NodeId) -> Vec<Option<NodeId>>,
+    ) -> Self {
+        let mut checker = FwdChecker::new(graph);
+        for dst in checker.graph.nodes().collect::<Vec<_>>() {
+            let col = column(dst);
+            checker.install_column(dst, &col);
+        }
+        checker
+    }
+
     /// The topology the checker verifies against.
     pub fn graph(&self) -> &Graph {
         &self.graph
