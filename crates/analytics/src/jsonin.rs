@@ -86,6 +86,50 @@ impl Value {
     }
 }
 
+/// A tolerant JSONL line stream: yields each line's parsed document,
+/// *skipping* corrupt or truncated lines instead of aborting — the
+/// JSONL counterpart of `PcapStream`'s `Truncated` recovery. Partial
+/// artifacts are a fact of life (a run killed mid-write, a disk that
+/// filled, a log shipped over a lossy pipe), and one garbage line must
+/// not cost the rest of the file.
+///
+/// Skips are counted, never silent: [`LenientLines::malformed_lines`]
+/// reports how many lines failed to parse, and callers surface the
+/// counter in their stats (`LoopStore::malformed_lines`, the event
+/// reader's `InputStats`). Blank lines are ignored without counting.
+#[derive(Debug)]
+pub struct LenientLines<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    /// Lines skipped because they did not parse as JSON.
+    pub malformed_lines: u64,
+}
+
+impl<'a> LenientLines<'a> {
+    /// Streams over `text`, one JSON document per line.
+    pub fn new(text: &'a str) -> Self {
+        LenientLines {
+            lines: text.lines().enumerate(),
+            malformed_lines: 0,
+        }
+    }
+
+    /// The next parseable line as `(1-based line number, value)`;
+    /// `None` at end of input. Malformed lines are counted and skipped.
+    #[allow(clippy::should_implement_trait)] // borrows self across yields
+    pub fn next(&mut self) -> Option<(usize, Value)> {
+        for (i, line) in self.lines.by_ref() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse(line) {
+                Ok(v) => return Some((i + 1, v)),
+                Err(_) => self.malformed_lines += 1,
+            }
+        }
+        None
+    }
+}
+
 /// A parse failure: what went wrong and the byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -397,6 +441,18 @@ mod tests {
         assert_eq!(v.get("xs").unwrap().as_array().unwrap().len(), 2);
         let pretty = parse(&obj.render_pretty()).unwrap();
         assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn lenient_lines_skip_garbage_and_count_it() {
+        let text = "{\"a\":1}\n\n<<<garbage>>>\n{\"b\":2}\n{\"truncated\":";
+        let mut lines = LenientLines::new(text);
+        let (n1, v1) = lines.next().unwrap();
+        assert_eq!((n1, v1.get("a").unwrap().as_u64()), (1, Some(1)));
+        let (n2, v2) = lines.next().unwrap();
+        assert_eq!((n2, v2.get("b").unwrap().as_u64()), (4, Some(2)));
+        assert!(lines.next().is_none());
+        assert_eq!(lines.malformed_lines, 2, "garbage + truncated tail");
     }
 
     #[test]

@@ -13,61 +13,21 @@
 //! `(cycle, run)` and flow sets union, so re-merging an
 //! already-absorbed run changes nothing.
 
-use crate::jsonin::{parse, Value};
+use crate::jsonin::{parse, LenientLines, Value};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use unroller_engine::{FlowKey, Json};
 
+/// The canonical cycle key — the shared `unroller_core`
+/// implementation, re-exported so existing `analytics::store::CycleKey`
+/// paths keep working. The federated control plane's loop digests use
+/// the same type, so digests and store entries agree on loop identity
+/// by construction.
+pub use unroller_core::CycleKey;
+
 /// Per-run flow lists are capped so the store stays bounded no matter
 /// how many flows a run traps; the count keeps counting.
 pub const FLOWS_PER_RUN_CAP: usize = 1024;
-
-/// A forwarding cycle in canonical rotation.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct CycleKey(Vec<u32>);
-
-impl CycleKey {
-    /// Canonicalizes `members`: among all rotations, the
-    /// lexicographically smallest (so the minimal switch ID comes
-    /// first; ties between equal minimal IDs resolve by comparing whole
-    /// rotations). Every rotation of the same cycle maps to the same
-    /// key; reversals do not, deliberately — the reverse cycle is a
-    /// different forwarding state.
-    pub fn canonicalize(members: &[u32]) -> CycleKey {
-        if members.is_empty() {
-            return CycleKey(Vec::new());
-        }
-        let min = *members.iter().min().expect("non-empty");
-        let mut best: Option<Vec<u32>> = None;
-        for (i, &m) in members.iter().enumerate() {
-            if m != min {
-                continue;
-            }
-            let mut rotation = Vec::with_capacity(members.len());
-            rotation.extend_from_slice(&members[i..]);
-            rotation.extend_from_slice(&members[..i]);
-            if best.as_ref().is_none_or(|b| rotation < *b) {
-                best = Some(rotation);
-            }
-        }
-        CycleKey(best.expect("at least one rotation starts at the minimum"))
-    }
-
-    /// The canonical member sequence.
-    pub fn members(&self) -> &[u32] {
-        &self.0
-    }
-
-    /// Cycle length.
-    pub fn len(&self) -> usize {
-        self.0.len()
-    }
-
-    /// Whether the cycle is empty (an event with no membership).
-    pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
-    }
-}
 
 /// What one run saw of one loop.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -168,10 +128,23 @@ impl From<std::io::Error> for StoreError {
 }
 
 /// The on-disk loop store (JSONL: one header line, one line per loop).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct LoopStore {
     loops: BTreeMap<CycleKey, LoopRecord>,
+    /// Record lines skipped while parsing because they were corrupt or
+    /// truncated (the header stays strict: a bad header means the file
+    /// is not a store at all). A parsing stat, not store content —
+    /// excluded from equality and untouched by [`LoopStore::merge`].
+    pub malformed_lines: u64,
 }
+
+impl PartialEq for LoopStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.loops == other.loops
+    }
+}
+
+impl Eq for LoopStore {}
 
 /// The store file format version.
 pub const STORE_VERSION: u64 = 1;
@@ -334,10 +307,17 @@ impl LoopStore {
     }
 
     /// Parses a store from its JSONL serialization.
+    ///
+    /// The header line stays strict — a file whose first line is not a
+    /// store header is *not a store*, and silently treating it as an
+    /// empty one would discard someone's data. Record lines, though,
+    /// are parsed leniently: a corrupt or truncated line (a run killed
+    /// mid-append, a bad disk sector) is skipped and counted in
+    /// [`LoopStore::malformed_lines`] instead of aborting the stream,
+    /// mirroring the event reader's and `PcapStream`'s recovery.
     pub fn from_jsonl(text: &str) -> Result<Self, StoreError> {
         let mut store = LoopStore::new();
-        let mut lines = text.lines().enumerate();
-        let Some((_, header)) = lines.next() else {
+        let Some(header) = text.lines().next() else {
             return Ok(store);
         };
         let parsed = parse(header).map_err(|e| StoreError::Malformed {
@@ -350,32 +330,29 @@ impl LoopStore {
                 reason: "not a loop-store file".to_string(),
             });
         }
-        for (i, line) in lines {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let lineno = i + 1;
-            let bad = |reason: &str| StoreError::Malformed {
-                line: lineno,
-                reason: reason.to_string(),
-            };
-            let v = parse(line).map_err(|e| StoreError::Malformed {
-                line: lineno,
-                reason: e.to_string(),
-            })?;
-            let cycle = v
+        let mut lines = LenientLines::new(&text[header.len()..]);
+        while let Some((_, v)) = lines.next() {
+            // A line that parsed but has the wrong shape is just as
+            // malformed as one that didn't parse.
+            let Some(cycle) = v
                 .get("cycle")
                 .and_then(|c| c.as_array())
-                .ok_or_else(|| bad("missing cycle"))?
-                .iter()
-                .map(|m| m.as_u64().map(|u| u as u32))
-                .collect::<Option<Vec<u32>>>()
-                .ok_or_else(|| bad("bad cycle member"))?;
+                .and_then(|members| {
+                    members
+                        .iter()
+                        .map(|m| m.as_u64().map(|u| u as u32))
+                        .collect::<Option<Vec<u32>>>()
+                })
+            else {
+                store.malformed_lines += 1;
+                continue;
+            };
+            let Some(Value::Object(runs)) = v.get("runs") else {
+                store.malformed_lines += 1;
+                continue;
+            };
             let key = CycleKey::canonicalize(&cycle);
             let record = store.loops.entry(key).or_default();
-            let Some(Value::Object(runs)) = v.get("runs") else {
-                return Err(bad("missing runs"));
-            };
             for (run_id, r) in runs {
                 let stats = RunStats {
                     epoch: r.get("epoch").and_then(|x| x.as_u64()).unwrap_or(0),
@@ -398,6 +375,7 @@ impl LoopStore {
                 }
             }
         }
+        store.malformed_lines += lines.malformed_lines;
         Ok(store)
     }
 
@@ -427,23 +405,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn rotations_share_one_key() {
+    fn shared_cycle_key_is_rotation_invariant() {
+        // The implementation (and its property tests) live in
+        // `unroller_core::cycle`; this pins the re-export.
         let base = CycleKey::canonicalize(&[104, 101, 103]);
-        assert_eq!(base.members(), &[101, 103, 104]);
-        assert_eq!(CycleKey::canonicalize(&[101, 103, 104]), base);
         assert_eq!(CycleKey::canonicalize(&[103, 104, 101]), base);
-        // The reversal is a *different* forwarding cycle.
         assert_ne!(CycleKey::canonicalize(&[104, 103, 101]), base);
-    }
-
-    #[test]
-    fn duplicate_minimum_ties_break_lexicographically() {
-        // Rotations of [1, 9, 1, 2]: starting at either 1 gives
-        // [1, 9, 1, 2] and [1, 2, 1, 9]; the latter is smaller.
-        let k = CycleKey::canonicalize(&[1, 9, 1, 2]);
-        assert_eq!(k.members(), &[1, 2, 1, 9]);
-        assert_eq!(CycleKey::canonicalize(&[9, 1, 2, 1]), k);
-        assert_eq!(CycleKey::canonicalize(&[2, 1, 9, 1]), k);
     }
 
     #[test]
@@ -499,10 +466,36 @@ mod tests {
     }
 
     #[test]
-    fn malformed_store_is_rejected() {
+    fn bad_header_is_rejected_not_skipped() {
         assert!(LoopStore::from_jsonl("{\"wrong\":1}\n").is_err());
-        assert!(
-            LoopStore::from_jsonl("{\"unroller_loop_store\":1}\n{\"cycle\":\"oops\"}\n").is_err()
+        assert!(LoopStore::from_jsonl("not json at all\n").is_err());
+    }
+
+    #[test]
+    fn corrupt_record_lines_are_skipped_and_counted() {
+        // A garbage line *between* two good records (the regression
+        // case: one bad sector must not cost the rest of the file),
+        // plus a wrong-shape line and a truncated tail.
+        let mut good = LoopStore::new();
+        good.observe(&[101, 102], "r1", 0, None, 3);
+        good.observe(&[105, 103, 104], "r2", 1, None, 2);
+        let mut lines: Vec<String> = good.to_jsonl().lines().map(String::from).collect();
+        assert_eq!(lines.len(), 3, "header + two records");
+        lines.insert(2, "<<< mid-file garbage >>>".to_string());
+        lines.push("{\"cycle\":\"oops\",\"runs\":{}}".to_string());
+        lines.push("{\"cycle\":[1,2],\"runs\"".to_string()); // truncated write
+        let text = lines.join("\n");
+
+        let loaded = LoopStore::from_jsonl(&text).unwrap();
+        assert_eq!(loaded, good, "both records survive the garbage");
+        assert_eq!(loaded.malformed_lines, 3);
+
+        // A clean round trip reports zero.
+        assert_eq!(
+            LoopStore::from_jsonl(&good.to_jsonl())
+                .unwrap()
+                .malformed_lines,
+            0
         );
     }
 }

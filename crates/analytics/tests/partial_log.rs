@@ -1,0 +1,136 @@
+//! End-to-end regression for the engine's *streaming* event log: a run
+//! that takes injected worker panics mid-flight must still leave a
+//! JSONL log that the analytics reader parses cleanly, and a writer
+//! that dies between records must leave a whole-line-prefix log (the
+//! reader tolerates at most a truncated tail).
+
+use unroller_analytics::{EventLogReader, LogItem};
+use unroller_engine::{
+    Engine, EngineConfig, EventsLogConfig, FaultPlan, FullPolicy, RunMeta, SyntheticSource,
+};
+
+fn meta(path_tag: &str) -> RunMeta {
+    RunMeta {
+        run_id: format!("partial-{path_tag}"),
+        seed: 10,
+        topology: "synthetic:64".to_string(),
+        nodes: 64,
+        flows: 16,
+        packets: 4_000,
+        shards: 2,
+        epoch: 3,
+        id_base: 1000,
+        injection: None,
+    }
+}
+
+fn tmp_path(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "unroller_partial_{tag}_{}.jsonl",
+            std::process::id()
+        ))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn panic_injected_run_leaves_a_parseable_log() {
+    let path = tmp_path("panic");
+    let ids: Vec<u32> = (0..64).map(|i| 1000 + i).collect();
+    let engine = Engine::new(
+        EngineConfig {
+            shards: 2,
+            full_policy: FullPolicy::Block,
+            faults: FaultPlan::parse("seed=5,panic=0.002,restarts=8").unwrap(),
+            events_log: Some(EventsLogConfig {
+                path: path.clone(),
+                meta: meta("panic"),
+            }),
+            ..EngineConfig::default()
+        },
+        &ids,
+    )
+    .unwrap();
+    // Every 4th of 16 flows loops from packet 500.
+    let mut source = SyntheticSource::new(64, 16, 4_000, 4, 500, 10);
+    let report = engine.run(&mut source).expect("supervised run completes");
+    assert!(report.restarts() > 0, "panic faults should have fired");
+    assert!(report.loop_detected());
+    let logged = report.events_logged.expect("log configured");
+
+    let mut reader = EventLogReader::open(&path).unwrap();
+    let mut headers = 0u64;
+    let mut events = 0u64;
+    for item in &mut reader {
+        match item {
+            LogItem::Header(h) => {
+                headers += 1;
+                assert_eq!(h.epoch, 3);
+                assert_eq!(h.topology, "synthetic:64");
+            }
+            LogItem::Event(e) => {
+                events += 1;
+                assert!(e.complete || !e.members.is_empty());
+            }
+        }
+    }
+    let stats = reader.stats;
+    assert_eq!(headers, 1);
+    assert_eq!(events, logged, "every streamed record parses back");
+    assert_eq!(stats.malformed_lines, 0, "no interior garbage");
+    assert_eq!(stats.truncated_tail, 0, "flush-per-record leaves no tail");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn log_cut_mid_record_still_parses_as_a_prefix() {
+    // Simulate the on-disk state of a writer killed mid-write: a valid
+    // header, two whole records, then a record cut in half.
+    let path = tmp_path("cut");
+    let ids: Vec<u32> = (0..64).map(|i| 1000 + i).collect();
+    let engine = Engine::new(
+        EngineConfig {
+            shards: 2,
+            full_policy: FullPolicy::Block,
+            events_log: Some(EventsLogConfig {
+                path: path.clone(),
+                meta: meta("cut"),
+            }),
+            ..EngineConfig::default()
+        },
+        &ids,
+    )
+    .unwrap();
+    let mut source = SyntheticSource::new(64, 16, 4_000, 2, 200, 10);
+    let report = engine.run(&mut source).expect("clean run");
+    let logged = report.events_logged.unwrap();
+    assert!(logged >= 3, "need a few records to cut ({logged})");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let keep_lines = 3; // header + 2 records
+    let prefix: String = text
+        .lines()
+        .take(keep_lines)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let half_line = &text.lines().nth(keep_lines).unwrap();
+    let cut = format!("{prefix}{}", &half_line[..half_line.len() / 2]);
+    std::fs::write(&path, cut).unwrap();
+
+    let mut reader = EventLogReader::open(&path).unwrap();
+    let mut headers = 0u64;
+    let mut events = 0u64;
+    for item in &mut reader {
+        match item {
+            LogItem::Header(_) => headers += 1,
+            LogItem::Event(_) => events += 1,
+        }
+    }
+    let stats = reader.stats;
+    assert_eq!(headers, 1);
+    assert_eq!(events, 2, "the whole-line prefix survives");
+    assert_eq!(stats.truncated_tail, 1, "the cut line is a tail, not data");
+    assert_eq!(stats.malformed_lines, 0);
+    std::fs::remove_file(&path).ok();
+}

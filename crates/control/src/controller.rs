@@ -56,6 +56,28 @@ impl Controller {
         }
     }
 
+    /// Creates a controller knowing only an explicit subset of the ID
+    /// assignment — the federated deployment, where each domain's
+    /// controller is provisioned with *its own region's* switches and
+    /// nothing else. Reports naming foreign switches then land in
+    /// [`Controller::unresolved_reports`] locally and must be completed
+    /// by digest exchange with the owning domains.
+    pub fn with_mapping(mapping: &[(SwitchId, NodeId)]) -> Self {
+        Controller {
+            id_to_node: mapping.iter().copied().collect(),
+            loops: HashMap::new(),
+            healed: HashSet::new(),
+            quarantined: HashSet::new(),
+            unresolved_reports: 0,
+        }
+    }
+
+    /// Resolves a switch ID against this controller's provisioned
+    /// mapping (`None` for switches it does not manage).
+    pub fn resolve(&self, id: SwitchId) -> Option<NodeId> {
+        self.id_to_node.get(&id).copied()
+    }
+
     /// Ingests one membership report (switch IDs collected by a
     /// [`LocalizingDetector`](crate::localize::LocalizingDetector)).
     /// Returns the localized loop if every ID resolved to a node.
@@ -207,6 +229,21 @@ mod tests {
         ctl.ingest(&[50, 51]);
         ctl.ingest(&[52, 53, 54]);
         assert_eq!(ctl.localized_loops().len(), 2);
+    }
+
+    #[test]
+    fn partial_mapping_resolves_only_its_region() {
+        // A domain controller owning nodes 4..8 of a larger topology.
+        let mapping: Vec<(u32, usize)> = (4..8).map(|n| (100 + n as u32, n)).collect();
+        let mut ctl = Controller::with_mapping(&mapping);
+        assert_eq!(ctl.resolve(105), Some(5));
+        assert_eq!(ctl.resolve(101), None, "foreign switch");
+        // A cross-domain loop report cannot be fully resolved locally.
+        assert!(ctl.ingest(&[105, 101]).is_none());
+        assert_eq!(ctl.unresolved_reports, 1);
+        // A purely local loop still localizes.
+        assert!(ctl.ingest(&[105, 106]).is_some());
+        assert_eq!(ctl.localized_loops().len(), 1);
     }
 
     #[test]

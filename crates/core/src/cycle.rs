@@ -1,0 +1,124 @@
+//! Canonical forwarding-cycle keys, shared by every layer that names
+//! loops.
+//!
+//! A loop's membership arrives as the cycle's switch IDs *in traversal
+//! order from whichever switch happened to trigger detection* — two
+//! observations of the same loop are rotations of one another.
+//! [`CycleKey`] canonicalizes rotation away (and only rotation: a cycle
+//! and its reversal are different forwarding states), so every starting
+//! point maps to one key. The analytics loop store keys its persistent
+//! records by it, and the federated control plane's loop-membership
+//! digests use the same keys so digests from different domains merge
+//! into one entry; both consume this single implementation (no
+//! copy-paste), which is property-tested below.
+
+/// A forwarding cycle in canonical rotation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CycleKey(Vec<u32>);
+
+impl CycleKey {
+    /// Canonicalizes `members`: among all rotations, the
+    /// lexicographically smallest (so the minimal switch ID comes
+    /// first; ties between equal minimal IDs resolve by comparing whole
+    /// rotations). Every rotation of the same cycle maps to the same
+    /// key; reversals do not, deliberately — the reverse cycle is a
+    /// different forwarding state.
+    pub fn canonicalize(members: &[u32]) -> CycleKey {
+        if members.is_empty() {
+            return CycleKey(Vec::new());
+        }
+        let min = *members.iter().min().expect("non-empty");
+        let mut best: Option<Vec<u32>> = None;
+        for (i, &m) in members.iter().enumerate() {
+            if m != min {
+                continue;
+            }
+            let mut rotation = Vec::with_capacity(members.len());
+            rotation.extend_from_slice(&members[i..]);
+            rotation.extend_from_slice(&members[..i]);
+            if best.as_ref().is_none_or(|b| rotation < *b) {
+                best = Some(rotation);
+            }
+        }
+        CycleKey(best.expect("at least one rotation starts at the minimum"))
+    }
+
+    /// The canonical member sequence.
+    pub fn members(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Cycle length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the cycle is empty (an event with no membership).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rotations_share_one_key() {
+        let base = CycleKey::canonicalize(&[104, 101, 103]);
+        assert_eq!(base.members(), &[101, 103, 104]);
+        assert_eq!(CycleKey::canonicalize(&[101, 103, 104]), base);
+        assert_eq!(CycleKey::canonicalize(&[103, 104, 101]), base);
+        // The reversal is a *different* forwarding cycle.
+        assert_ne!(CycleKey::canonicalize(&[104, 103, 101]), base);
+    }
+
+    #[test]
+    fn duplicate_minimum_ties_break_lexicographically() {
+        // Rotations of [1, 9, 1, 2]: starting at either 1 gives
+        // [1, 9, 1, 2] and [1, 2, 1, 9]; the latter is smaller.
+        let k = CycleKey::canonicalize(&[1, 9, 1, 2]);
+        assert_eq!(k.members(), &[1, 2, 1, 9]);
+        assert_eq!(CycleKey::canonicalize(&[9, 1, 2, 1]), k);
+        assert_eq!(CycleKey::canonicalize(&[2, 1, 9, 1]), k);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(CycleKey::canonicalize(&[]).is_empty());
+        assert_eq!(CycleKey::canonicalize(&[7]).members(), &[7]);
+        assert_eq!(CycleKey::canonicalize(&[7]).len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn every_rotation_maps_to_the_same_key(
+            members in prop::collection::vec(0u32..64, 1..10),
+            rot in 0usize..10,
+        ) {
+            let base = CycleKey::canonicalize(&members);
+            let r = rot % members.len();
+            let mut rotated = members[r..].to_vec();
+            rotated.extend_from_slice(&members[..r]);
+            prop_assert_eq!(CycleKey::canonicalize(&rotated), base);
+        }
+
+        #[test]
+        fn canonicalization_is_idempotent_and_preserves_multiset(
+            members in prop::collection::vec(0u32..64, 1..10),
+        ) {
+            let key = CycleKey::canonicalize(&members);
+            prop_assert_eq!(
+                CycleKey::canonicalize(key.members()),
+                key.clone()
+            );
+            let mut a = members.clone();
+            let mut b = key.members().to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "canonicalization only rotates");
+            prop_assert_eq!(key.members()[0], *members.iter().min().unwrap());
+        }
+    }
+}

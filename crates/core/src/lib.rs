@@ -56,6 +56,9 @@
 //!   generator) and a detector runner.
 //! * [`bounds`] — closed-form bounds from Theorems 1 and 5 and Appendix B,
 //!   plus adversarial instance builders used by the property tests.
+//! * [`cycle`] — rotation-invariant canonical cycle keys, the one
+//!   implementation shared by the analytics loop store and the
+//!   federated control plane's loop digests.
 //! * [`profile`] — the qualitative design-space classification of Table 1.
 //!
 //! ## Quick example
@@ -81,6 +84,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod cycle;
 pub mod detector;
 pub mod hashing;
 pub mod params;
@@ -95,6 +99,7 @@ pub mod walk;
 /// operator), Unroller hashes them first (see [`hashing`]).
 pub type SwitchId = u32;
 
+pub use cycle::CycleKey;
 pub use detector::{InPacketDetector, Unroller, UnrollerState, Verdict};
 pub use params::{ParamError, UnrollerParams};
 pub use phase::PhaseSchedule;

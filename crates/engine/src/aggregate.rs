@@ -71,6 +71,57 @@ impl EventSink for ControllerSink {
     }
 }
 
+/// An [`EventSink`] that routes complete loop events to per-domain
+/// buckets for a federated control plane: each event goes to the domain
+/// owning its *trigger* switch (the switch that reported the loop),
+/// mirroring how a real deployment's report packets land at the local
+/// domain controller. Events whose trigger maps to no domain are
+/// counted, not dropped silently.
+pub struct DomainRouter {
+    domain_of: Box<dyn Fn(SwitchId) -> Option<u32>>,
+    /// Per-domain event buckets, indexed by domain ID.
+    pub buckets: Vec<Vec<LoopEvent>>,
+    /// Events whose trigger switch belongs to no known domain.
+    pub unroutable: u64,
+}
+
+impl std::fmt::Debug for DomainRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainRouter")
+            .field("domains", &self.buckets.len())
+            .field("unroutable", &self.unroutable)
+            .finish()
+    }
+}
+
+impl DomainRouter {
+    /// A router over `domains` buckets; `domain_of` maps a switch ID to
+    /// its owning domain (or `None` for foreign switches).
+    pub fn new(domains: usize, domain_of: impl Fn(SwitchId) -> Option<u32> + 'static) -> Self {
+        DomainRouter {
+            domain_of: Box::new(domain_of),
+            buckets: vec![Vec::new(); domains],
+            unroutable: 0,
+        }
+    }
+
+    /// Total routed events across all buckets.
+    pub fn routed(&self) -> u64 {
+        self.buckets.iter().map(|b| b.len() as u64).sum()
+    }
+}
+
+impl EventSink for DomainRouter {
+    fn on_loop(&mut self, event: &LoopEvent) {
+        match (self.domain_of)(event.trigger) {
+            Some(d) if (d as usize) < self.buckets.len() => {
+                self.buckets[d as usize].push(event.clone());
+            }
+            _ => self.unroutable += 1,
+        }
+    }
+}
+
 /// The aggregator's summary of one engine run.
 #[derive(Debug, Clone, Default)]
 pub struct AggregatorReport {
@@ -124,6 +175,17 @@ impl AggregatorReport {
 /// Drains the event channel until every sender hangs up, deduplicating
 /// per flow. Runs on the aggregator thread.
 pub fn aggregate(rx: Receiver<LoopEvent>) -> AggregatorReport {
+    aggregate_with(rx, |_| {})
+}
+
+/// [`aggregate`] with a streaming hook: `on_event` fires for each
+/// first-per-flow event *as it arrives*, before the run finishes. The
+/// engine uses this to persist the event log incrementally so a
+/// crashed or fault-aborted run still leaves a parseable log on disk.
+pub fn aggregate_with(
+    rx: Receiver<LoopEvent>,
+    mut on_event: impl FnMut(&LoopEvent),
+) -> AggregatorReport {
     let mut report = AggregatorReport::default();
     let mut seen: HashMap<FlowKey, u64> = HashMap::new();
     while let Ok(event) = rx.recv() {
@@ -135,6 +197,7 @@ pub fn aggregate(rx: Receiver<LoopEvent>) -> AggregatorReport {
             }
             None => {
                 seen.insert(event.flow, 1);
+                on_event(&event);
                 report.events.push(event);
             }
         }
@@ -204,6 +267,46 @@ mod tests {
         assert_eq!(loops[0].report_count, 2);
         assert_eq!(sink.incomplete, 1);
         assert_eq!(sink.controller.total_reports(), 2);
+    }
+
+    #[test]
+    fn domain_router_buckets_by_trigger_owner() {
+        // Switches 10-11 belong to domain 0, 12-13 to domain 1.
+        let mut router = DomainRouter::new(2, |id| match id {
+            10 | 11 => Some(0),
+            12 | 13 => Some(1),
+            _ => None,
+        });
+        deliver(
+            &[
+                event(0, 0, vec![10, 12]),
+                event(1, 0, vec![12, 10]),
+                event(2, 0, vec![99, 10]),
+            ],
+            &mut router,
+        );
+        assert_eq!(router.buckets[0].len(), 1);
+        assert_eq!(router.buckets[1].len(), 1);
+        assert_eq!(router.unroutable, 1);
+        assert_eq!(router.routed(), 2);
+    }
+
+    #[test]
+    fn aggregate_with_streams_first_per_flow_events() {
+        let (tx, rx) = channel();
+        for seq in 0..4 {
+            tx.send(event(0, seq, vec![10, 11])).unwrap();
+        }
+        tx.send(event(1, 0, vec![12, 13])).unwrap();
+        drop(tx);
+        let mut streamed = Vec::new();
+        let report = aggregate_with(rx, |e| streamed.push(e.flow));
+        assert_eq!(streamed.len(), 2, "hook fires once per unique flow");
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(
+            streamed,
+            report.events.iter().map(|e| e.flow).collect::<Vec<_>>()
+        );
     }
 
     #[test]

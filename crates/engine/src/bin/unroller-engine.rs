@@ -588,6 +588,16 @@ fn main() {
         write_report(&out, &sweep.render_pretty());
     } else {
         let layout = HeaderLayout::from_params(&cfg.params);
+        // Stream the event log during the run (flushed per record) so
+        // an aborted run still leaves a parseable log behind.
+        let mut cfg = cfg;
+        cfg.events_log = opts
+            .events_out
+            .clone()
+            .map(|path| unroller_engine::EventsLogConfig {
+                path,
+                meta: run_meta.clone(),
+            });
         let engine = Engine::new(cfg, &ids).unwrap_or_else(|e| {
             eprintln!("unroller-engine: {e}");
             std::process::exit(2);
@@ -681,22 +691,12 @@ fn main() {
             eprintln!("wrote {path} ({} bytes)", pcap.len());
         }
         if let Some(path) = &opts.events_out {
-            let mut w =
-                unroller_engine::EventLogWriter::create(path, &run_meta).unwrap_or_else(|e| {
-                    eprintln!("unroller-engine: cannot create {path}: {e}");
-                    std::process::exit(1);
-                });
-            for event in &report.aggregator.events {
-                w.write_event(event).unwrap_or_else(|e| {
-                    eprintln!("unroller-engine: cannot write {path}: {e}");
-                    std::process::exit(1);
-                });
-            }
-            let written = w.finish().unwrap_or_else(|e| {
-                eprintln!("unroller-engine: cannot write {path}: {e}");
+            if let Some(err) = &report.event_log_error {
+                eprintln!("unroller-engine: event log {path} truncated: {err}");
                 std::process::exit(1);
-            });
-            eprintln!("wrote {path} ({written} loop events)");
+            }
+            let written = report.events_logged.unwrap_or(0);
+            eprintln!("wrote {path} ({written} loop events, streamed)");
         }
         let (recall, _) = detection_recall(&report, &looping);
         let (sink, heal) = localize_and_heal(&report, &ids, &mut sim, &opts.faults);

@@ -25,7 +25,8 @@
 //!   checks the full identity and holds with an active
 //!   [`FaultPlan`](crate::faults::FaultPlan).
 
-use crate::aggregate::{aggregate, AggregatorReport, LoopEvent};
+use crate::aggregate::{aggregate_with, AggregatorReport, LoopEvent};
+use crate::eventlog::{EventLogWriter, RunMeta};
 use crate::faults::{EventFaults, FaultPlan};
 use crate::flow::FlowKey;
 use crate::json::Json;
@@ -81,6 +82,22 @@ pub struct EngineConfig {
     /// oversubscribed ones. Which core each shard landed on is
     /// recorded per shard in the metrics JSON (`pinned_core`).
     pub pin_cores: bool,
+    /// When set, the aggregator streams every deduplicated loop event
+    /// to a JSONL log *during* the run (one flush per record), so runs
+    /// that die mid-flight — supervised worker restarts, injected
+    /// panics, even a killed process — still leave a parseable log
+    /// behind instead of losing everything to a post-run export that
+    /// never happens.
+    pub events_log: Option<EventsLogConfig>,
+}
+
+/// Where and under what identity [`EngineConfig::events_log`] writes.
+#[derive(Debug, Clone)]
+pub struct EventsLogConfig {
+    /// Log file path (created/truncated; parent dirs made as needed).
+    pub path: String,
+    /// Run identity stamped into the log header.
+    pub meta: RunMeta,
 }
 
 impl Default for EngineConfig {
@@ -98,6 +115,7 @@ impl Default for EngineConfig {
             watchdog: None,
             quarantine: Vec::new(),
             pin_cores: false,
+            events_log: None,
         }
     }
 }
@@ -118,6 +136,9 @@ pub enum EngineError {
     NoSwitches,
     /// The detector parameters failed validation.
     BadParams(ParamError),
+    /// The event log file could not be created (checked before any
+    /// thread spawns; carries the I/O error's message).
+    EventLogIo(String),
     /// The aggregator thread panicked; carries the panic payload's
     /// message. Workers are supervised and restartable, but a dead
     /// aggregator means loop events were lost unobserved — the run's
@@ -135,6 +156,7 @@ impl fmt::Display for EngineError {
             EngineError::ZeroTtl => write!(f, "max hops must be >= 1"),
             EngineError::NoSwitches => write!(f, "at least one switch ID required"),
             EngineError::BadParams(e) => write!(f, "invalid detector parameters: {e}"),
+            EngineError::EventLogIo(e) => write!(f, "cannot open event log: {e}"),
             EngineError::AggregatorPanicked(msg) => {
                 write!(f, "loop-event aggregator panicked: {msg}")
             }
@@ -178,6 +200,13 @@ pub struct EngineReport {
     /// Whether shard-to-core pinning was requested for this run (the
     /// per-shard `pinned_core` metric records where each shard landed).
     pub pin_cores: bool,
+    /// Event records streamed to the JSONL log (`None` when no log was
+    /// configured).
+    pub events_logged: Option<u64>,
+    /// The first I/O error hit while streaming the event log, if any.
+    /// Logging degrades (stops writing, keeps counting the run) rather
+    /// than voiding detection results over a full disk.
+    pub event_log_error: Option<String>,
     /// Wall-clock duration of the run.
     pub wall_ns: u64,
     /// Host cores available — read this before comparing shard counts:
@@ -266,6 +295,12 @@ impl EngineReport {
         );
         obj.set("loop_detected", Json::Bool(self.loop_detected()));
         obj.set("accounted", Json::Bool(self.accounted()));
+        if let Some(n) = self.events_logged {
+            obj.set("events_logged", Json::UInt(n));
+        }
+        if let Some(err) = &self.event_log_error {
+            obj.set("event_log_error", Json::Str(err.clone()));
+        }
         if self.faults.active() {
             obj.set("fault_plan", self.faults.to_json());
         }
@@ -377,6 +412,15 @@ impl Engine {
             .map(|_| Arc::new(AtomicBool::new(false)))
             .collect();
         let (ev_tx, ev_rx) = std::sync::mpsc::channel::<LoopEvent>();
+        // Open the event log before spawning anything: a bad path is a
+        // configuration error, not a mid-run surprise.
+        let log_writer = match &self.cfg.events_log {
+            Some(log) => Some(
+                EventLogWriter::create(&log.path, &log.meta)
+                    .map_err(|e| EngineError::EventLogIo(e.to_string()))?,
+            ),
+            None => None,
+        };
         let plan = &self.cfg.faults;
         let quarantine: HashSet<FlowKey> = self.cfg.quarantine.iter().copied().collect();
         // One Arc fetch for the whole run: the same read-only route set
@@ -419,7 +463,30 @@ impl Engine {
             // Workers hold their own senders now; dropping ours lets the
             // aggregator terminate once every worker has exited.
             drop(ev_tx);
-            let agg_handle = scope.spawn(|| aggregate(ev_rx));
+            // The aggregator owns the log writer: each first-per-flow
+            // event is written and flushed as it arrives, so the log on
+            // disk is always a whole-line prefix of the final log. If
+            // the aggregator thread dies mid-run, `BufWriter`'s drop
+            // still flushes during unwind — partial runs stay parseable.
+            let agg_handle = scope.spawn(move || {
+                let mut writer = log_writer;
+                let mut io_error: Option<String> = None;
+                let report = aggregate_with(ev_rx, |event| {
+                    if io_error.is_some() {
+                        return;
+                    }
+                    if let Some(w) = writer.as_mut() {
+                        if let Err(e) = w.write_event(event).and_then(|()| w.flush()) {
+                            io_error = Some(e.to_string());
+                        }
+                    }
+                });
+                let logged = match (writer, &io_error) {
+                    (Some(w), None) => w.finish().ok(),
+                    _ => None,
+                };
+                (report, logged, io_error)
+            });
 
             let watchdog_handle = self.cfg.watchdog.map(|interval| {
                 let watch: Vec<WatchShard> = (0..shards)
@@ -519,7 +586,7 @@ impl Engine {
         });
         let wall_ns = start.elapsed().as_nanos() as u64;
         let (aggregator, watchdog) = joined;
-        let aggregator = aggregator
+        let (aggregator, events_logged, event_log_error) = aggregator
             .map_err(|payload| EngineError::AggregatorPanicked(panic_message(payload)))?;
 
         Ok(EngineReport {
@@ -532,6 +599,8 @@ impl Engine {
             watchdog,
             faults: self.cfg.faults.clone(),
             pin_cores: self.cfg.pin_cores,
+            events_logged,
+            event_log_error,
             wall_ns,
             cpus,
         })
@@ -692,6 +761,86 @@ mod tests {
                     "shard {shard} pinned round-robin"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn events_log_streams_and_survives_injected_panics() {
+        let path = std::env::temp_dir()
+            .join(format!("unroller_evlog_{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let meta = RunMeta {
+            run_id: RunMeta::derived_run_id("synthetic:64", 10, 1),
+            seed: 10,
+            topology: "synthetic:64".to_string(),
+            nodes: 64,
+            flows: 16,
+            packets: 4_000,
+            shards: 2,
+            epoch: 1,
+            id_base: 1000,
+            injection: None,
+        };
+        let engine = Engine::new(
+            EngineConfig {
+                shards: 2,
+                full_policy: FullPolicy::Block,
+                // Panics mid-run exercise the supervised-restart path
+                // while the log is live.
+                faults: FaultPlan::parse("seed=5,panic=0.002,restarts=8").unwrap(),
+                events_log: Some(EventsLogConfig {
+                    path: path.clone(),
+                    meta,
+                }),
+                ..EngineConfig::default()
+            },
+            &ids(64),
+        )
+        .unwrap();
+        let mut source = SyntheticSource::new(64, 16, 4_000, 4, 500, 10);
+        let report = engine.run(&mut source).expect("supervised run completes");
+        assert!(report.restarts() > 0, "panic faults should have fired");
+        assert!(report.loop_detected());
+        assert_eq!(report.event_log_error, None);
+        let logged = report.events_logged.expect("log was configured");
+        assert_eq!(logged, report.aggregator.events.len() as u64);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len() as u64, logged + 1, "header + one per event");
+        assert!(lines[0].starts_with("{\"unroller_event_log\":1,"));
+        assert!(lines.iter().all(|l| l.ends_with('}')), "whole lines only");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_events_log_path_fails_before_spawning() {
+        let engine = Engine::new(
+            EngineConfig {
+                events_log: Some(EventsLogConfig {
+                    path: "/dev/null/not-a-dir/log.jsonl".to_string(),
+                    meta: RunMeta {
+                        run_id: "x".to_string(),
+                        seed: 0,
+                        topology: "synthetic:4".to_string(),
+                        nodes: 4,
+                        flows: 1,
+                        packets: 1,
+                        shards: 1,
+                        epoch: 0,
+                        id_base: 1000,
+                        injection: None,
+                    },
+                }),
+                ..EngineConfig::default()
+            },
+            &ids(4),
+        )
+        .unwrap();
+        let mut source = SyntheticSource::new(4, 1, 10, 0, 0, 1);
+        match engine.run(&mut source) {
+            Err(EngineError::EventLogIo(_)) => {}
+            other => panic!("expected EventLogIo, got {other:?}"),
         }
     }
 

@@ -164,6 +164,14 @@ impl<W: Write> EventLogWriter<W> {
         Ok(())
     }
 
+    /// Flushes buffered records to the underlying writer. The engine's
+    /// streaming sink calls this after every record so a run that dies
+    /// mid-stream (worker exhaustion, aggregator panic, process kill)
+    /// still leaves every whole line it wrote on disk.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+
     /// Flushes and returns the number of event records written.
     pub fn finish(mut self) -> std::io::Result<u64> {
         self.out.flush()?;

@@ -216,16 +216,20 @@ impl FaultPlan {
 
 /// SplitMix64 — the same mix the engine's RSS hash uses, here as a
 /// sequential stream. Tiny, allocation-free, and deterministic, which
-/// is the whole point: fault decisions must replay exactly.
+/// is the whole point: fault decisions must replay exactly. Public so
+/// other fault injectors (the federation message bus) draw from the
+/// same replayable stream family instead of reimplementing it.
 #[derive(Debug, Clone)]
-struct SplitMix64(u64);
+pub struct SplitMix64(u64);
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    /// A stream starting at `seed`.
+    pub fn new(seed: u64) -> Self {
         SplitMix64(seed)
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -233,8 +237,16 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
+    /// A uniform draw in `[0, bound)` (`0` when `bound` is 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.next_u64() % bound
+    }
+
     /// True with probability `p` (53-bit uniform draw).
-    fn chance(&mut self, p: f64) -> bool {
+    pub fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             return false;
         }

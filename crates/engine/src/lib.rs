@@ -63,10 +63,10 @@ pub mod source;
 pub mod supervise;
 pub mod worker;
 
-pub use aggregate::{AggregatorReport, ControllerSink, EventSink, LoopEvent};
-pub use engine::{Engine, EngineConfig, EngineError, EngineReport};
+pub use aggregate::{AggregatorReport, ControllerSink, DomainRouter, EventSink, LoopEvent};
+pub use engine::{Engine, EngineConfig, EngineError, EngineReport, EventsLogConfig};
 pub use eventlog::{EventLogWriter, RunMeta, EVENT_LOG_VERSION};
-pub use faults::{FaultPlan, FaultSpecError};
+pub use faults::{FaultPlan, FaultSpecError, SplitMix64};
 pub use flow::FlowKey;
 pub use json::Json;
 pub use metrics::{Histogram, HistogramSnapshot, ShardMetrics, ShardSnapshot};

@@ -1,0 +1,519 @@
+//! The inter-domain message bus: bounded queues with seeded fault
+//! injection.
+//!
+//! One bounded queue per ordered controller pair carries
+//! [`Msg`]s with a one-step base latency. A [`BusFaults`] plan —
+//! same spec-string idiom as the engine's `FaultPlan`, drawing from the
+//! same [`SplitMix64`] stream family so schedules replay exactly —
+//! injects message **loss**, **duplication**, **reordering** (extra
+//! per-message delay jitter, which inverts arrival order past later
+//! sends), **delay** bursts, pairwise **partitions** (windows where a
+//! directed pair drops everything), and controller **crash** windows
+//! (drawn here, executed by the federation sim). A full queue drops the
+//! send (counted) instead of blocking the sender: backpressure degrades
+//! the federation to local-only detection, never the detection path
+//! itself.
+
+use crate::digest::{DomainId, LoopDigest};
+use unroller_core::CycleKey;
+use unroller_engine::SplitMix64;
+
+/// What one bus message carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// A loop digest (new, updated, or retransmitted).
+    Digest(LoopDigest),
+    /// Receipt acknowledgment for a digest key.
+    Ack(CycleKey),
+    /// A restarted controller asking peers for a state snapshot.
+    ResyncRequest,
+    /// A full-state snapshot (the resync reply, also used as periodic
+    /// anti-entropy gossip).
+    Summary(Vec<LoopDigest>),
+}
+
+/// One addressed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending domain.
+    pub from: DomainId,
+    /// Receiving domain.
+    pub to: DomainId,
+    /// The content.
+    pub payload: Payload,
+}
+
+/// Seeded bus/controller fault plan. Parsed from a compact spec string:
+///
+/// ```text
+/// seed=7,loss=0.05,dup=0.05,reorder=0.1,delay=0.1:4,partition=0.01:32,crash=0.002:48
+/// ```
+///
+/// Rates are per message (loss/dup/reorder/delay), per directed pair
+/// per send (partition onset), or per controller per step (crash).
+/// The `:N` suffixes are the extra-delay cap, partition window, and
+/// crash outage length in steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusFaults {
+    /// Base seed for every fault stream.
+    pub seed: u64,
+    /// Message loss probability.
+    pub loss: f64,
+    /// Message duplication probability.
+    pub dup: f64,
+    /// Reordering probability (delivery jitter of 1..=3 extra steps).
+    pub reorder: f64,
+    /// Delay-burst probability.
+    pub delay: f64,
+    /// Max extra delay steps per burst.
+    pub delay_max: u64,
+    /// Partition-onset probability per directed pair per send.
+    pub partition: f64,
+    /// Partition window length in steps.
+    pub partition_len: u64,
+    /// Controller crash probability per controller per step.
+    pub crash: f64,
+    /// Crash outage length in steps.
+    pub crash_len: u64,
+}
+
+impl Default for BusFaults {
+    fn default() -> Self {
+        BusFaults {
+            seed: 0,
+            loss: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            delay: 0.0,
+            delay_max: 4,
+            partition: 0.0,
+            partition_len: 32,
+            crash: 0.0,
+            crash_len: 48,
+        }
+    }
+}
+
+/// A malformed [`BusFaults`] spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusSpecError(pub String);
+
+impl std::fmt::Display for BusSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad bus-faults spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for BusSpecError {}
+
+fn rate(v: &str, key: &str) -> Result<f64, BusSpecError> {
+    let r: f64 = v
+        .parse()
+        .map_err(|_| BusSpecError(format!("{key}: not a number: {v}")))?;
+    if !(0.0..=1.0).contains(&r) {
+        return Err(BusSpecError(format!("{key}: rate out of [0,1]: {v}")));
+    }
+    Ok(r)
+}
+
+fn rate_len(v: &str, key: &str) -> Result<(f64, Option<u64>), BusSpecError> {
+    match v.split_once(':') {
+        None => Ok((rate(v, key)?, None)),
+        Some((r, l)) => {
+            let len: u64 = l
+                .parse()
+                .map_err(|_| BusSpecError(format!("{key}: bad length: {l}")))?;
+            if len == 0 {
+                return Err(BusSpecError(format!("{key}: zero length")));
+            }
+            Ok((rate(r, key)?, Some(len)))
+        }
+    }
+}
+
+impl BusFaults {
+    /// Parses the spec grammar above. Unknown keys are errors; omitted
+    /// keys keep their defaults.
+    pub fn parse(spec: &str) -> Result<BusFaults, BusSpecError> {
+        let mut plan = BusFaults::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| BusSpecError(format!("expected key=value, got: {part}")))?;
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| BusSpecError(format!("seed: {value}")))?
+                }
+                "loss" => plan.loss = rate(value, "loss")?,
+                "dup" => plan.dup = rate(value, "dup")?,
+                "reorder" => plan.reorder = rate(value, "reorder")?,
+                "delay" => {
+                    let (r, len) = rate_len(value, "delay")?;
+                    plan.delay = r;
+                    if let Some(len) = len {
+                        plan.delay_max = len;
+                    }
+                }
+                "partition" => {
+                    let (r, len) = rate_len(value, "partition")?;
+                    plan.partition = r;
+                    if let Some(len) = len {
+                        plan.partition_len = len;
+                    }
+                }
+                "crash" => {
+                    let (r, len) = rate_len(value, "crash")?;
+                    plan.crash = r;
+                    if let Some(len) = len {
+                        plan.crash_len = len;
+                    }
+                }
+                other => return Err(BusSpecError(format!("unknown key: {other}"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether any fault can fire.
+    pub fn active(&self) -> bool {
+        self.loss > 0.0
+            || self.dup > 0.0
+            || self.reorder > 0.0
+            || self.delay > 0.0
+            || self.partition > 0.0
+            || self.crash > 0.0
+    }
+
+    /// The plan with every rate multiplied by `mult` (clamped to 1.0);
+    /// window lengths are unchanged. The chaos sweep's knob.
+    pub fn scaled(&self, mult: f64) -> BusFaults {
+        let scale = |r: f64| (r * mult).clamp(0.0, 1.0);
+        BusFaults {
+            seed: self.seed,
+            loss: scale(self.loss),
+            dup: scale(self.dup),
+            reorder: scale(self.reorder),
+            delay: scale(self.delay),
+            delay_max: self.delay_max,
+            partition: scale(self.partition),
+            partition_len: self.partition_len,
+            crash: scale(self.crash),
+            crash_len: self.crash_len,
+        }
+    }
+
+    /// A per-class deterministic stream (the engine's SplitMix64 keyed
+    /// by seed and class, so adding a fault class never perturbs the
+    /// draws of another).
+    pub fn stream(&self, class: u64) -> SplitMix64 {
+        SplitMix64::new(self.seed ^ 0xb05 ^ class.wrapping_mul(0x9e37_79b9))
+    }
+}
+
+/// Bus accounting. Conservation: `offered = admitted + lost +
+/// dropped_partition + dropped_full` and `admitted + duplicated =
+/// delivered + dropped_crashed + in-flight`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusCounters {
+    /// Send attempts.
+    pub offered: u64,
+    /// Original messages that entered a queue.
+    pub admitted: u64,
+    /// Extra duplicate copies that entered a queue.
+    pub duplicated: u64,
+    /// Messages dropped by the loss fault.
+    pub lost: u64,
+    /// Messages dropped inside a partition window.
+    pub dropped_partition: u64,
+    /// Messages dropped at a full queue (backpressure).
+    pub dropped_full: u64,
+    /// Messages delivered to a live controller.
+    pub delivered: u64,
+    /// Messages delivered while the recipient was crashed (discarded;
+    /// incremented by the federation sim).
+    pub dropped_crashed: u64,
+    /// Messages given extra delay (delay or reorder jitter).
+    pub delayed: u64,
+    /// Partition windows opened.
+    pub partitions: u64,
+}
+
+impl BusCounters {
+    /// Checks the conservation identities given the messages still
+    /// queued.
+    pub fn conserved(&self, in_flight: u64) -> bool {
+        self.offered == self.admitted + self.lost + self.dropped_partition + self.dropped_full
+            && self.admitted + self.duplicated == self.delivered + self.dropped_crashed + in_flight
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    deliver_at: u64,
+    seq: u64,
+    msg: Msg,
+}
+
+const CLASS_LOSS: u64 = 1;
+const CLASS_DUP: u64 = 2;
+const CLASS_REORDER: u64 = 3;
+const CLASS_DELAY: u64 = 4;
+const CLASS_PARTITION: u64 = 5;
+
+/// The bus: per-ordered-pair bounded queues with fault injection.
+#[derive(Debug)]
+pub struct Bus {
+    domains: usize,
+    capacity: usize,
+    faults: BusFaults,
+    queues: Vec<Vec<InFlight>>,
+    partition_until: Vec<u64>,
+    streams: [SplitMix64; 5],
+    seq: u64,
+    /// Accounting.
+    pub counters: BusCounters,
+}
+
+impl Bus {
+    /// A bus over `domains` controllers with per-pair queue `capacity`.
+    pub fn new(domains: usize, capacity: usize, faults: BusFaults) -> Self {
+        assert!(domains >= 1 && capacity >= 1);
+        Bus {
+            domains,
+            capacity,
+            streams: [
+                faults.stream(CLASS_LOSS),
+                faults.stream(CLASS_DUP),
+                faults.stream(CLASS_REORDER),
+                faults.stream(CLASS_DELAY),
+                faults.stream(CLASS_PARTITION),
+            ],
+            queues: vec![Vec::new(); domains * domains],
+            partition_until: vec![0; domains * domains],
+            seq: 0,
+            faults,
+            counters: BusCounters::default(),
+        }
+    }
+
+    fn pair(&self, from: DomainId, to: DomainId) -> usize {
+        from as usize * self.domains + to as usize
+    }
+
+    /// Sends a message at `step`, applying the fault plan. Never
+    /// blocks: a full queue counts a drop and returns.
+    pub fn send(&mut self, msg: Msg, step: u64) {
+        assert!((msg.from as usize) < self.domains && (msg.to as usize) < self.domains);
+        self.counters.offered += 1;
+        let pair = self.pair(msg.from, msg.to);
+
+        // Partition windows: onset drawn per send, then everything on
+        // the pair drops until the window closes.
+        if step < self.partition_until[pair] {
+            self.counters.dropped_partition += 1;
+            return;
+        }
+        if self.faults.partition > 0.0 && self.streams[4].chance(self.faults.partition) {
+            self.partition_until[pair] = step + self.faults.partition_len;
+            self.counters.partitions += 1;
+            self.counters.dropped_partition += 1;
+            return;
+        }
+        if self.faults.loss > 0.0 && self.streams[0].chance(self.faults.loss) {
+            self.counters.lost += 1;
+            return;
+        }
+        let mut extra = 0u64;
+        if self.faults.delay > 0.0 && self.streams[3].chance(self.faults.delay) {
+            extra += 1 + self.streams[3].below(self.faults.delay_max.max(1));
+        }
+        if self.faults.reorder > 0.0 && self.streams[2].chance(self.faults.reorder) {
+            extra += 1 + self.streams[2].below(3);
+        }
+        if extra > 0 {
+            self.counters.delayed += 1;
+        }
+        let dup = self.faults.dup > 0.0 && self.streams[1].chance(self.faults.dup);
+
+        if self.queues[pair].len() >= self.capacity {
+            self.counters.dropped_full += 1;
+            return;
+        }
+        self.seq += 1;
+        self.queues[pair].push(InFlight {
+            deliver_at: step + 1 + extra,
+            seq: self.seq,
+            msg: msg.clone(),
+        });
+        self.counters.admitted += 1;
+        if dup && self.queues[pair].len() < self.capacity {
+            self.seq += 1;
+            self.queues[pair].push(InFlight {
+                deliver_at: step + 2 + extra,
+                seq: self.seq,
+                msg,
+            });
+            self.counters.duplicated += 1;
+        }
+    }
+
+    /// Pops every message due at `step`, ordered by (due step, send
+    /// sequence) — jittered messages overtake or fall behind their
+    /// neighbors, which is the reordering model.
+    pub fn deliver(&mut self, step: u64) -> Vec<Msg> {
+        let mut due: Vec<InFlight> = Vec::new();
+        for queue in &mut self.queues {
+            let mut i = 0;
+            while i < queue.len() {
+                if queue[i].deliver_at <= step {
+                    due.push(queue.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        due.sort_by_key(|f| (f.deliver_at, f.seq));
+        self.counters.delivered += due.len() as u64;
+        due.into_iter().map(|f| f.msg).collect()
+    }
+
+    /// Messages still queued.
+    pub fn in_flight(&self) -> u64 {
+        self.queues.iter().map(|q| q.len() as u64).sum()
+    }
+
+    /// Whether nothing is queued.
+    pub fn idle(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(from: u32, to: u32) -> Msg {
+        Msg {
+            from,
+            to,
+            payload: Payload::ResyncRequest,
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_and_rejects_garbage() {
+        let plan = BusFaults::parse(
+            "seed=7,loss=0.05,dup=0.1,reorder=0.2,delay=0.1:6,partition=0.01:16,crash=0.002:24",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.delay_max, 6);
+        assert_eq!(plan.partition_len, 16);
+        assert_eq!(plan.crash_len, 24);
+        assert!(plan.active());
+        assert!(BusFaults::parse("loss=1.5").is_err());
+        assert!(BusFaults::parse("bogus=1").is_err());
+        assert!(BusFaults::parse("delay=0.1:0").is_err());
+        assert!(!BusFaults::parse("").unwrap().active());
+    }
+
+    #[test]
+    fn scaling_multiplies_rates_and_clamps() {
+        let plan = BusFaults::parse("loss=0.3,dup=0.1,partition=0.01:16").unwrap();
+        let scaled = plan.scaled(4.0);
+        assert!((scaled.loss - 1.0).abs() < 1e-12, "clamped at 1");
+        assert!((scaled.dup - 0.4).abs() < 1e-12);
+        assert_eq!(scaled.partition_len, 16, "lengths unscaled");
+    }
+
+    #[test]
+    fn fault_free_bus_delivers_in_order_next_step() {
+        let mut bus = Bus::new(2, 64, BusFaults::default());
+        bus.send(msg(0, 1), 0);
+        bus.send(msg(1, 0), 0);
+        assert!(bus.deliver(0).is_empty(), "one-step base latency");
+        let got = bus.deliver(1);
+        assert_eq!(got.len(), 2);
+        assert!(bus.idle());
+        assert!(bus.counters.conserved(0));
+    }
+
+    #[test]
+    fn full_queue_drops_and_counts_instead_of_blocking() {
+        let mut bus = Bus::new(2, 2, BusFaults::default());
+        for _ in 0..5 {
+            bus.send(msg(0, 1), 0);
+        }
+        assert_eq!(bus.counters.dropped_full, 3);
+        assert_eq!(bus.in_flight(), 2);
+        assert!(bus.counters.conserved(bus.in_flight()));
+    }
+
+    #[test]
+    fn loss_is_seeded_and_conserved() {
+        let run = |seed: u64| {
+            let faults = BusFaults {
+                seed,
+                loss: 0.3,
+                ..BusFaults::default()
+            };
+            let mut bus = Bus::new(2, 1024, faults);
+            for s in 0..200 {
+                bus.send(msg(0, 1), s);
+            }
+            let delivered = bus.deliver(u64::MAX).len() as u64;
+            assert!(bus.counters.conserved(0));
+            (delivered, bus.counters.lost)
+        };
+        let (d1, l1) = run(1);
+        let (d1b, l1b) = run(1);
+        assert_eq!((d1, l1), (d1b, l1b), "same seed, same schedule");
+        assert!(l1 > 20 && l1 < 120, "≈30% loss, got {l1}");
+        assert_eq!(d1 + l1, 200);
+        let (_, l2) = run(2);
+        assert_ne!(l1, l2, "different seed, different schedule");
+    }
+
+    #[test]
+    fn duplication_and_reorder_jitter_are_counted() {
+        let faults = BusFaults {
+            seed: 3,
+            dup: 0.5,
+            reorder: 0.5,
+            ..BusFaults::default()
+        };
+        let mut bus = Bus::new(2, 4096, faults);
+        for s in 0..200 {
+            bus.send(msg(0, 1), s);
+        }
+        let delivered = bus.deliver(u64::MAX).len() as u64;
+        assert!(bus.counters.duplicated > 50, "{:?}", bus.counters);
+        assert!(bus.counters.delayed > 50);
+        assert_eq!(delivered, 200 + bus.counters.duplicated);
+        assert!(bus.counters.conserved(0));
+    }
+
+    #[test]
+    fn partitions_open_windows_that_drop_everything() {
+        let faults = BusFaults {
+            seed: 5,
+            partition: 0.2,
+            partition_len: 10,
+            ..BusFaults::default()
+        };
+        let mut bus = Bus::new(2, 4096, faults);
+        for s in 0..100 {
+            bus.send(msg(0, 1), s);
+        }
+        assert!(bus.counters.partitions >= 1);
+        assert!(bus.counters.dropped_partition > bus.counters.partitions);
+        bus.deliver(u64::MAX);
+        assert!(bus.counters.conserved(0));
+    }
+}

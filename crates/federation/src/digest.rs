@@ -1,0 +1,217 @@
+//! Loop-membership digests: the compact unit of inter-domain exchange.
+//!
+//! A domain controller that ingests a loop report naming switches it
+//! does not manage cannot localize the loop alone. It publishes a
+//! [`LoopDigest`]: the loop's rotation-canonical [`CycleKey`] (the one
+//! implementation shared with the analytics store — see
+//! `unroller_core::cycle`) plus a *claims* map recording, for each
+//! member switch, which domain has resolved it to a node it manages.
+//! Digests travel over a lossy, duplicating, reordering bus, so the
+//! merge operation is a plain claims-map union: **idempotent** (merging
+//! a digest into itself changes nothing) and **commutative** (any
+//! arrival order of any duplication of the same fragments converges to
+//! the same claims map — property-tested below). A digest whose every
+//! member is claimed is *complete*: the loop is localized, each claimed
+//! switch attributed to the controller that owns it.
+
+use std::collections::BTreeMap;
+use unroller_core::{CycleKey, SwitchId};
+
+/// A federation domain identifier (index into the domain partition).
+pub type DomainId = u32;
+
+/// One loop's cross-domain localization state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopDigest {
+    /// The loop, rotation-canonical.
+    pub key: CycleKey,
+    /// Which domain has claimed (resolved) each member switch.
+    pub claims: BTreeMap<SwitchId, DomainId>,
+    /// The domain that first published this digest (merge keeps the
+    /// smallest origin so merged replicas compare equal regardless of
+    /// merge order).
+    pub origin: DomainId,
+}
+
+impl LoopDigest {
+    /// A fresh digest for `key` with no claims yet.
+    pub fn new(key: CycleKey, origin: DomainId) -> Self {
+        LoopDigest {
+            key,
+            claims: BTreeMap::new(),
+            origin,
+        }
+    }
+
+    /// Claims every member that `resolves` (the caller's region
+    /// membership test) for `domain`. Returns whether any new claim was
+    /// added.
+    pub fn claim(&mut self, domain: DomainId, mut resolves: impl FnMut(SwitchId) -> bool) -> bool {
+        let mut changed = false;
+        for &member in self.key.members() {
+            if self.claims.contains_key(&member) {
+                continue;
+            }
+            if resolves(member) {
+                self.claims.insert(member, domain);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Merges another replica of the same digest (claims union; first
+    /// claim per switch wins, which is consistent because a switch
+    /// belongs to exactly one domain). Returns whether anything
+    /// changed. Merging replicas of *different* loops is a programming
+    /// error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` carries a different [`CycleKey`].
+    pub fn merge(&mut self, other: &LoopDigest) -> bool {
+        assert_eq!(self.key, other.key, "merge is per-cycle");
+        let mut changed = false;
+        for (&member, &domain) in &other.claims {
+            if self.claims.insert(member, domain).is_none() {
+                changed = true;
+            }
+        }
+        if other.origin < self.origin {
+            self.origin = other.origin;
+            changed = true;
+        }
+        changed
+    }
+
+    /// Whether every member switch has been claimed by some domain —
+    /// the loop is fully localized.
+    pub fn is_complete(&self) -> bool {
+        self.key
+            .members()
+            .iter()
+            .all(|m| self.claims.contains_key(m))
+    }
+
+    /// The member switches no domain has claimed yet (what an
+    /// unresolvable report names).
+    pub fn missing(&self) -> Vec<SwitchId> {
+        let mut missing: Vec<SwitchId> = self
+            .key
+            .members()
+            .iter()
+            .filter(|m| !self.claims.contains_key(m))
+            .copied()
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        missing
+    }
+
+    /// The distinct domains holding claims, ascending.
+    pub fn claiming_domains(&self) -> Vec<DomainId> {
+        let mut domains: Vec<DomainId> = self.claims.values().copied().collect();
+        domains.sort_unstable();
+        domains.dedup();
+        domains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn digest(members: &[u32], claims: &[(u32, u32)]) -> LoopDigest {
+        let mut d = LoopDigest::new(CycleKey::canonicalize(members), 0);
+        for &(m, dom) in claims {
+            d.claims.insert(m, dom);
+        }
+        d
+    }
+
+    #[test]
+    fn claims_complete_a_digest() {
+        let mut d = LoopDigest::new(CycleKey::canonicalize(&[104, 101, 103]), 1);
+        assert!(!d.is_complete());
+        assert_eq!(d.missing(), vec![101, 103, 104]);
+        assert!(d.claim(1, |id| id < 103));
+        assert!(!d.claim(1, |id| id < 103), "re-claiming adds nothing");
+        assert!(d.claim(2, |id| id >= 103));
+        assert!(d.is_complete());
+        assert!(d.missing().is_empty());
+        assert_eq!(d.claiming_domains(), vec![1, 2]);
+    }
+
+    #[test]
+    fn merge_is_a_claims_union() {
+        let mut a = digest(&[5, 6, 7], &[(5, 0)]);
+        let b = digest(&[5, 6, 7], &[(6, 1), (7, 2)]);
+        assert!(a.merge(&b));
+        assert!(a.is_complete());
+        assert!(!a.merge(&b), "idempotent: re-merge changes nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "merge is per-cycle")]
+    fn merging_different_cycles_panics() {
+        let mut a = digest(&[1, 2], &[]);
+        let b = digest(&[3, 4], &[]);
+        a.merge(&b);
+    }
+
+    proptest! {
+        // Satellite: the bus may lose, duplicate, and reorder digest
+        // messages arbitrarily; the merged result — and therefore the
+        // localized set — must not depend on delivery order or
+        // multiplicity of the surviving fragments.
+        #[test]
+        fn merge_is_idempotent_and_commutative_under_dup_and_reorder(
+            members in prop::collection::vec(0u32..48, 2..8),
+            // Delivery schedules: indices into the fragment list, with
+            // arbitrary repetition (duplication) and order (reordering).
+            schedule_a in prop::collection::vec(0usize..16, 1..24),
+            schedule_b in prop::collection::vec(0usize..16, 1..24),
+        ) {
+            let key = CycleKey::canonicalize(&members);
+            // One single-claim fragment per distinct member, domain
+            // keyed by the member (a switch has one owning domain).
+            let fragments: Vec<LoopDigest> = {
+                let mut unique = members.clone();
+                unique.sort_unstable();
+                unique.dedup();
+                unique
+                    .iter()
+                    .map(|&m| {
+                        let mut d = LoopDigest::new(key.clone(), m % 4);
+                        d.claims.insert(m, m % 4);
+                        d
+                    })
+                    .collect()
+            };
+            let fold = |schedule: &[usize]| {
+                let mut acc = LoopDigest::new(key.clone(), u32::MAX);
+                for &i in schedule {
+                    acc.merge(&fragments[i % fragments.len()]);
+                }
+                acc
+            };
+            // Make both schedules cover every fragment at least once
+            // (losses beyond that are modeled by what the schedules
+            // repeat); completeness must then be delivery-independent.
+            let full: Vec<usize> = (0..fragments.len()).collect();
+            let mut a_sched = schedule_a.clone();
+            a_sched.extend(&full);
+            let mut b_sched: Vec<usize> = schedule_b.iter().rev().copied().collect();
+            b_sched.extend(full.iter().rev());
+            let a = fold(&a_sched);
+            let b = fold(&b_sched);
+            prop_assert_eq!(&a, &b, "merge order/multiplicity must not matter");
+            prop_assert!(a.is_complete());
+            // Idempotence: merging the result into itself is a no-op.
+            let mut again = a.clone();
+            prop_assert!(!again.merge(&b));
+            prop_assert_eq!(again, a);
+        }
+    }
+}

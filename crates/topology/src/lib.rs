@@ -15,6 +15,8 @@
 //! * [`loops`] — sampling of routing loops that intersect a path, and
 //!   the [`loops::LoopScenario`] → packet-walk conversion.
 //! * [`ids`] — per-run random switch identifier assignment.
+//! * [`regions`] — contiguous-band domain partitions for the federated
+//!   control plane.
 //!
 //! ```
 //! use unroller_topology::{loops, zoo, ids};
@@ -39,8 +41,10 @@ pub mod graph;
 pub mod graphml;
 pub mod ids;
 pub mod loops;
+pub mod regions;
 pub mod zoo;
 
 pub use graph::{Graph, NodeId};
 pub use loops::LoopScenario;
+pub use regions::DomainMap;
 pub use zoo::Topology;

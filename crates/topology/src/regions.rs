@@ -1,0 +1,134 @@
+//! Administrative domains: a partition of a topology's nodes into
+//! contiguous index bands, one per domain controller.
+//!
+//! The federated control plane splits a network among `N` controllers,
+//! each owning one region. The partition used here is the same
+//! contiguous-band scheme the analytics layer uses for its per-region
+//! loop attribution (quartile bands at 4 domains), so artifacts from
+//! the two layers line up: domain `d` owns nodes
+//! `[d·⌈n/N⌉, (d+1)·⌈n/N⌉)` clamped to `n`.
+
+use crate::graph::NodeId;
+
+/// A partition of `nodes` topology nodes into `domains` contiguous
+/// bands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainMap {
+    nodes: usize,
+    domains: usize,
+    band: usize,
+}
+
+impl DomainMap {
+    /// Partitions `nodes` into `domains` contiguous index bands. The
+    /// first `domains − 1` bands hold `⌈nodes/domains⌉` nodes each; the
+    /// last takes the remainder. Returns `None` when either count is
+    /// zero or there are fewer nodes than domains (an empty domain has
+    /// no controller to run).
+    pub fn contiguous(nodes: usize, domains: usize) -> Option<DomainMap> {
+        if nodes == 0 || domains == 0 || nodes < domains {
+            return None;
+        }
+        Some(DomainMap {
+            nodes,
+            domains,
+            band: nodes.div_ceil(domains),
+        })
+    }
+
+    /// Number of domains.
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// Number of nodes partitioned.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The domain owning `node` (`None` for out-of-range nodes).
+    pub fn domain_of(&self, node: NodeId) -> Option<u32> {
+        if node >= self.nodes {
+            return None;
+        }
+        Some(((node / self.band).min(self.domains - 1)) as u32)
+    }
+
+    /// The nodes domain `d` owns, in ascending order.
+    pub fn nodes_in(&self, d: u32) -> Vec<NodeId> {
+        let d = d as usize;
+        if d >= self.domains {
+            return Vec::new();
+        }
+        let start = d * self.band;
+        let end = if d == self.domains - 1 {
+            self.nodes
+        } else {
+            ((d + 1) * self.band).min(self.nodes)
+        };
+        (start..end).collect()
+    }
+
+    /// Whether a node set spans more than one domain — the loops that
+    /// *require* inter-controller digest exchange to localize.
+    pub fn is_cross_domain(&self, nodes: &[NodeId]) -> bool {
+        let mut first = None;
+        for &n in nodes {
+            let d = self.domain_of(n);
+            match first {
+                None => first = d,
+                Some(f) if d != Some(f) => return true,
+                Some(_) => {}
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cover_every_node_exactly_once() {
+        for (nodes, domains) in [(16, 4), (17, 4), (5, 5), (100, 7), (3, 2)] {
+            let map = DomainMap::contiguous(nodes, domains).unwrap();
+            let mut seen = vec![false; nodes];
+            for d in 0..domains as u32 {
+                for n in map.nodes_in(d) {
+                    assert_eq!(map.domain_of(n), Some(d));
+                    assert!(!seen[n], "node {n} in two domains");
+                    seen[n] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{nodes}/{domains}: uncovered node");
+        }
+    }
+
+    #[test]
+    fn quartile_bands_match_sixteen_over_four() {
+        let map = DomainMap::contiguous(16, 4).unwrap();
+        assert_eq!(map.nodes_in(0), vec![0, 1, 2, 3]);
+        assert_eq!(map.nodes_in(3), vec![12, 13, 14, 15]);
+        assert_eq!(map.domain_of(7), Some(1));
+        assert_eq!(map.domain_of(16), None);
+    }
+
+    #[test]
+    fn degenerate_partitions_are_rejected() {
+        assert!(DomainMap::contiguous(0, 4).is_none());
+        assert!(DomainMap::contiguous(4, 0).is_none());
+        assert!(DomainMap::contiguous(3, 4).is_none(), "empty domain");
+    }
+
+    #[test]
+    fn cross_domain_detection() {
+        let map = DomainMap::contiguous(16, 4).unwrap();
+        assert!(!map.is_cross_domain(&[0, 1, 2]));
+        assert!(map.is_cross_domain(&[3, 4]));
+        assert!(!map.is_cross_domain(&[]));
+        assert!(!map.is_cross_domain(&[15]));
+        // An out-of-range node differs from any in-range one.
+        assert!(map.is_cross_domain(&[0, 99]));
+    }
+}
