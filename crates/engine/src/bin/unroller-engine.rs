@@ -17,9 +17,9 @@ use std::time::Duration;
 use unroller_control::{Controller, FlakyHealer, HealPolicy, HealReport, SimHealer};
 use unroller_dataplane::{HeaderLayout, PcapWriter};
 use unroller_engine::{
-    aggregate::deliver, run_scaling, CaptureSource, ControllerSink, Engine, EngineConfig,
-    EngineReport, FaultPlan, FlowKey, FullPolicy, Json, LoopInjection, PcapReplaySource,
-    ReplaySource, TrafficSource,
+    aggregate::deliver, run_scaling, CaptureSource, ChurnPlan, ChurnSource, ControllerSink, Engine,
+    EngineConfig, EngineReport, FaultPlan, FlowKey, FullPolicy, HistogramSnapshot, Json,
+    LoopInjection, PcapReplaySource, ReplaySource, TrafficSource,
 };
 use unroller_sim::{NullDetector, SimConfig, Simulator};
 use unroller_topology::ids::assign_sequential_ids;
@@ -52,6 +52,7 @@ struct Options {
     events_out: Option<String>,
     epoch: u64,
     run_id: Option<String>,
+    churn: Option<ChurnPlan>,
 }
 
 impl Default for Options {
@@ -82,6 +83,7 @@ impl Default for Options {
             events_out: None,
             epoch: 0,
             run_id: None,
+            churn: None,
         }
     }
 }
@@ -151,6 +153,14 @@ fn usage() -> ! {
                              as persistent\n\
            --run-id STR      override the derived run identifier that\n\
                              joins this run's artifacts\n\
+           --churn SPEC      live control-plane churn: replay seeded\n\
+                             distance-vector link failures as route\n\
+                             generations swapped mid-run (replaces the\n\
+                             static --loop-at injection) and score\n\
+                             recall against the live forwarding oracle;\n\
+                             comma-separated k=v: rate=N (control\n\
+                             events per million packets) seed=N links=N\n\
+                             (e.g. rate=400,seed=7,links=2)\n\
            --fault-sweep L   comma-separated rate multipliers (e.g.\n\
                              0,0.5,1,2,4) applied to the --faults plan;\n\
                              replays the stream per level and writes\n\
@@ -235,6 +245,13 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
             }
+            "--churn" => {
+                let spec = value("--churn");
+                opts.churn = Some(ChurnPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("unroller-engine: bad --churn spec: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--replay" => opts.replay = Some(value("--replay")),
             "--capture" => opts.capture = Some(value("--capture")),
             "--events-out" => opts.events_out = Some(value("--events-out")),
@@ -253,7 +270,9 @@ fn parse_args() -> Options {
             }
         }
     }
-    opts.loop_at = if no_loop {
+    // Churn mode's loops come from the live control plane, not a
+    // statically injected cycle.
+    opts.loop_at = if no_loop || opts.churn.is_some() {
         None
     } else {
         Some(explicit_loop_at.unwrap_or(opts.packets / 4))
@@ -429,6 +448,18 @@ fn main() {
         eprintln!("unroller-engine: --oracle applies to single-run synthetic traffic only");
         std::process::exit(2);
     }
+    if opts.churn.is_some()
+        && (opts.replay.is_some()
+            || opts.oracle
+            || opts.scaling.is_some()
+            || opts.fault_sweep.is_some())
+    {
+        eprintln!(
+            "unroller-engine: --churn is a single-run mode with its own live oracle \
+             (no --replay/--oracle/--scaling/--fault-sweep)"
+        );
+        std::process::exit(2);
+    }
 
     let graph = generators::from_spec(&opts.topology).unwrap_or_else(|| {
         eprintln!(
@@ -586,6 +617,142 @@ fn main() {
             .clone()
             .unwrap_or_else(|| "results/engine_faults.json".to_string());
         write_report(&out, &sweep.render_pretty());
+    } else if let Some(plan) = opts.churn.clone() {
+        // Live churn: the control plane fails and heals links while the
+        // engine is processing, publishing each recompiled route set as
+        // a new epoch-table generation. Recall is scored against the
+        // ever-trapped flow set the live FwdChecker mirror accumulated.
+        let layout = HeaderLayout::from_params(&cfg.params);
+        let mut cfg = cfg;
+        cfg.events_log = opts
+            .events_out
+            .clone()
+            .map(|path| unroller_engine::EventsLogConfig {
+                path,
+                meta: run_meta.clone(),
+            });
+        let engine = Engine::new(cfg, &ids).unwrap_or_else(|e| {
+            eprintln!("unroller-engine: {e}");
+            std::process::exit(2);
+        });
+        let mut source = ChurnSource::new(graph.clone(), &plan, opts.flows, opts.packets);
+        let table = source.table();
+        let capture_writer = opts
+            .capture
+            .as_ref()
+            .map(|_| Arc::new(Mutex::new(PcapWriter::default())));
+        let mut capture_errors = 0u64;
+        let report = match &capture_writer {
+            Some(writer) => {
+                let mut tee = CaptureSource::new(source, layout, writer.clone());
+                let errors = tee.error_counter();
+                let report = engine.run(&mut tee).unwrap_or_else(|e| {
+                    eprintln!("unroller-engine: {e}");
+                    std::process::exit(1);
+                });
+                capture_errors = errors.load(std::sync::atomic::Ordering::Relaxed);
+                source = tee.into_inner();
+                report
+            }
+            None => engine.run(&mut source).unwrap_or_else(|e| {
+                eprintln!("unroller-engine: {e}");
+                std::process::exit(1);
+            }),
+        };
+        if let (Some(path), Some(writer)) = (&opts.capture, capture_writer) {
+            let pcap = Arc::try_unwrap(writer)
+                .expect("capture writer uniquely owned after the run")
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .finish();
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                        eprintln!("unroller-engine: cannot create {}: {e}", parent.display());
+                        std::process::exit(1);
+                    });
+                }
+            }
+            std::fs::write(path, &pcap).unwrap_or_else(|e| {
+                eprintln!("unroller-engine: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path} ({} bytes)", pcap.len());
+        }
+        if let Some(path) = &opts.events_out {
+            if let Some(err) = &report.event_log_error {
+                eprintln!("unroller-engine: event log {path} truncated: {err}");
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = source.oracle_check() {
+            eprintln!("unroller-engine: live oracle diverged from the control plane: {e}");
+            std::process::exit(1);
+        }
+        let looping = source.looping_flow_keys();
+        let (recall, hits) = detection_recall(&report, &looping);
+        let loops_after_swap: u64 = report
+            .shard_snapshots
+            .iter()
+            .map(|s| s.loops_after_swap)
+            .sum();
+        let swaps_observed: u64 = report
+            .shard_snapshots
+            .iter()
+            .map(|s| s.route_swaps_observed)
+            .sum();
+        let mut latency: Option<HistogramSnapshot> = None;
+        for snap in &report.shard_snapshots {
+            match &mut latency {
+                None => latency = Some(snap.detect_latency_ns.clone()),
+                Some(merged) => merged.merge(&snap.detect_latency_ns),
+            }
+        }
+        eprintln!(
+            "churn: {} generations over {} link failures ({} rule deltas), \
+             {} trapped flows, recall={recall:.3}, {} loops after swap",
+            source.generations_published(),
+            source.links_failed(),
+            source.rules_applied(),
+            looping.len(),
+            loops_after_swap,
+        );
+        let mut churn_section = Json::object();
+        churn_section.set("plan", plan.to_json());
+        churn_section.set(
+            "generations_published",
+            Json::UInt(source.generations_published()),
+        );
+        churn_section.set("rules_applied", Json::UInt(source.rules_applied()));
+        churn_section.set("links_failed", Json::UInt(source.links_failed()));
+        churn_section.set("trapped_flows", Json::UInt(looping.len() as u64));
+        churn_section.set("detected_trapped_flows", Json::UInt(hits as u64));
+        churn_section.set("recall", Json::Float(recall));
+        churn_section.set("loops_after_swap", Json::UInt(loops_after_swap));
+        churn_section.set("route_swaps_observed", Json::UInt(swaps_observed));
+        churn_section.set("generations_retained", Json::UInt(table.retained() as u64));
+        churn_section.set("generations_reclaimed", Json::UInt(table.reclaimed()));
+        churn_section.set("capture_errors", Json::UInt(capture_errors));
+        if let Some(latency) = &latency {
+            churn_section.set("detect_latency_ns", latency.to_json());
+        }
+        let mut rendered = report.to_json();
+        rendered.set("run_meta", run_meta.to_json());
+        rendered.set("recall", Json::Float(recall));
+        rendered.set("churn", churn_section);
+        let rendered = rendered.render_pretty();
+        println!("{rendered}");
+        if let Some(out) = &opts.out {
+            write_report(out, &rendered);
+        }
+        if !report.accounted() {
+            eprintln!("unroller-engine: internal accounting mismatch");
+            std::process::exit(1);
+        }
+        if opts.expect_loop && (!report.loop_detected() || loops_after_swap == 0) {
+            eprintln!("unroller-engine: expected a loop detection on a post-swap generation");
+            std::process::exit(1);
+        }
     } else {
         let layout = HeaderLayout::from_params(&cfg.params);
         // Stream the event log during the run (flushed per record) so

@@ -26,8 +26,11 @@
 //!   [`FaultPlan`](crate::faults::FaultPlan).
 
 use crate::aggregate::{aggregate_with, AggregatorReport, LoopEvent};
+use crate::epoch::EpochRouteTable;
 use crate::eventlog::{EventLogWriter, RunMeta};
-use crate::faults::{EventFaults, FaultPlan};
+use crate::faults::{
+    inject_panic, install_quiet_panic_hook, EventFaults, FaultPlan, InjectedPanic,
+};
 use crate::flow::FlowKey;
 use crate::json::Json;
 use crate::metrics::{ShardMetrics, ShardSnapshot};
@@ -145,6 +148,15 @@ pub enum EngineError {
     /// detection claims are void, so this surfaces as an error instead
     /// of a report.
     AggregatorPanicked(String),
+    /// The watchdog thread panicked; carries the panic payload's
+    /// message. Unlike an aggregator loss this does **not** void the
+    /// run — detection and accounting are untouched — so
+    /// [`Engine::run`] degrades to a default watchdog summary and
+    /// reports the panic in
+    /// [`EngineReport::watchdog_panic`]; this typed error is what
+    /// [`EngineReport::watchdog_error`] hands callers that want to
+    /// treat a dead watchdog as fatal.
+    WatchdogPanicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -159,6 +171,9 @@ impl fmt::Display for EngineError {
             EngineError::EventLogIo(e) => write!(f, "cannot open event log: {e}"),
             EngineError::AggregatorPanicked(msg) => {
                 write!(f, "loop-event aggregator panicked: {msg}")
+            }
+            EngineError::WatchdogPanicked(msg) => {
+                write!(f, "watchdog panicked: {msg}")
             }
         }
     }
@@ -195,6 +210,10 @@ pub struct EngineReport {
     pub quarantined: u64,
     /// What the watchdog observed (all-zero when it was disabled).
     pub watchdog: WatchdogReport,
+    /// Panic message if the watchdog thread died mid-run. The run
+    /// itself — detection, accounting — is unaffected; `watchdog` holds
+    /// the default (all-zero) summary in that case.
+    pub watchdog_panic: Option<String>,
     /// The fault plan the run executed (inactive by default).
     pub faults: FaultPlan,
     /// Whether shard-to-core pinning was requested for this run (the
@@ -263,6 +282,15 @@ impl EngineReport {
         self.aggregator.unique_flows > 0
     }
 
+    /// The typed error for a watchdog panic, when one occurred — for
+    /// callers that treat losing stall supervision as fatal even though
+    /// the run's detection claims still hold.
+    pub fn watchdog_error(&self) -> Option<EngineError> {
+        self.watchdog_panic
+            .as_ref()
+            .map(|msg| EngineError::WatchdogPanicked(msg.clone()))
+    }
+
     /// Every offered packet is accounted for — enqueued, dropped at
     /// the ring, shed under overload, or quarantined at ingress — and
     /// everything enqueued was processed or counted lost to a
@@ -308,6 +336,9 @@ impl EngineReport {
         watchdog.set("polls", Json::UInt(self.watchdog.polls));
         watchdog.set("stalls_detected", Json::UInt(self.watchdog.stalls_detected));
         watchdog.set("kicks", Json::UInt(self.watchdog.kicks));
+        if let Some(msg) = &self.watchdog_panic {
+            watchdog.set("panicked", Json::Str(msg.clone()));
+        }
         obj.set("watchdog", watchdog);
         obj.set(
             "rings",
@@ -423,9 +454,14 @@ impl Engine {
         };
         let plan = &self.cfg.faults;
         let quarantine: HashSet<FlowKey> = self.cfg.quarantine.iter().copied().collect();
-        // One Arc fetch for the whole run: the same read-only route set
-        // backs the source's RouteIds and every worker's walks.
-        let routes = source.routes();
+        // The run's route table. A churn-capable source hands over the
+        // live epoch table it publishes new generations into; every
+        // other source gets its frozen route set wrapped as generation
+        // 1 of a table that never swaps. Either way each worker holds a
+        // lock-free reader onto it.
+        let route_table = source
+            .route_table()
+            .unwrap_or_else(|| Arc::new(EpochRouteTable::new(source.routes())));
         let cpus = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -442,7 +478,7 @@ impl Engine {
                     shard,
                     pipelines: self.pipelines.clone(),
                     ids: self.ids.clone(),
-                    routes: routes.clone(),
+                    routes: route_table.reader(),
                     layout: self.layout,
                     max_hops: self.cfg.max_hops,
                     batch_size: self.cfg.batch_size,
@@ -497,7 +533,14 @@ impl Engine {
                     })
                     .collect();
                 let stop = &watchdog_stop;
-                scope.spawn(move || run_watchdog(&watch, interval, stop))
+                let wdpanic = plan.watchdog_panic;
+                scope.spawn(move || {
+                    if wdpanic {
+                        install_quiet_panic_hook();
+                        inject_panic(usize::MAX);
+                    }
+                    run_watchdog(&watch, interval, stop)
+                })
             });
 
             if let Some(every) = self.cfg.snapshot_every {
@@ -579,13 +622,26 @@ impl Engine {
             let aggregator = agg_handle.join();
             done.store(true, Ordering::Relaxed);
             watchdog_stop.store(true, Ordering::Relaxed);
-            let watchdog = watchdog_handle
-                .map(|h| h.join().expect("watchdog thread cannot panic"))
-                .unwrap_or_default();
-            (aggregator, watchdog)
+            // A watchdog panic must not abort a finished run: every
+            // packet is already accounted, so degrade to the default
+            // (all-zero) summary and surface the panic message instead
+            // of losing the report to an `expect`.
+            let (watchdog, watchdog_panic) = match watchdog_handle.map(|h| h.join()) {
+                None => (WatchdogReport::default(), None),
+                Some(Ok(report)) => (report, None),
+                Some(Err(payload)) => {
+                    let msg = if payload.is::<InjectedPanic>() {
+                        "injected watchdog panic (fault plan)".to_string()
+                    } else {
+                        panic_message(payload)
+                    };
+                    (WatchdogReport::default(), Some(msg))
+                }
+            };
+            (aggregator, watchdog, watchdog_panic)
         });
         let wall_ns = start.elapsed().as_nanos() as u64;
-        let (aggregator, watchdog) = joined;
+        let (aggregator, watchdog, watchdog_panic) = joined;
         let (aggregator, events_logged, event_log_error) = aggregator
             .map_err(|payload| EngineError::AggregatorPanicked(panic_message(payload)))?;
 
@@ -597,6 +653,7 @@ impl Engine {
             offered,
             quarantined,
             watchdog,
+            watchdog_panic,
             faults: self.cfg.faults.clone(),
             pin_cores: self.cfg.pin_cores,
             events_logged,
@@ -842,6 +899,41 @@ mod tests {
             Err(EngineError::EventLogIo(_)) => {}
             other => panic!("expected EventLogIo, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn watchdog_panic_degrades_to_default_summary() {
+        let engine = Engine::new(
+            EngineConfig {
+                shards: 2,
+                full_policy: FullPolicy::Block,
+                watchdog: Some(Duration::from_millis(5)),
+                faults: FaultPlan::parse("wdpanic=1").unwrap(),
+                ..EngineConfig::default()
+            },
+            &ids(64),
+        )
+        .unwrap();
+        let mut source = SyntheticSource::new(64, 8, 2_000, 4, 100, 13);
+        let report = engine
+            .run(&mut source)
+            .expect("a dead watchdog must not abort the run");
+        assert!(report.accounted(), "{report:?}");
+        assert!(report.loop_detected());
+        assert_eq!(
+            report.watchdog,
+            WatchdogReport::default(),
+            "default summary"
+        );
+        let msg = report
+            .watchdog_panic
+            .clone()
+            .expect("the panic is surfaced, not swallowed");
+        match report.watchdog_error() {
+            Some(EngineError::WatchdogPanicked(m)) => assert_eq!(m, msg),
+            other => panic!("expected WatchdogPanicked, got {other:?}"),
+        }
+        assert!(report.to_json().render().contains("panicked"));
     }
 
     #[test]

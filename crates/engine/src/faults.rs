@@ -51,6 +51,10 @@ pub struct FaultPlan {
     /// processing and drains its ring into the loss counters instead
     /// of looping forever on a poisoned input.
     pub max_restarts: u64,
+    /// Panic the watchdog thread as soon as it starts — exercises the
+    /// engine's degraded join path (default watchdog summary, run and
+    /// accounting preserved).
+    pub watchdog_panic: bool,
 }
 
 impl Default for FaultPlan {
@@ -65,6 +69,7 @@ impl Default for FaultPlan {
             event_dup_rate: 0.0,
             heal_fail_rate: 0.0,
             max_restarts: 64,
+            watchdog_panic: false,
         }
     }
 }
@@ -91,12 +96,14 @@ impl FaultPlan {
             || self.event_drop_rate > 0.0
             || self.event_dup_rate > 0.0
             || self.heal_fail_rate > 0.0
+            || self.watchdog_panic
     }
 
     /// Parses a `--faults` spec: comma-separated `key=value` pairs.
     ///
     /// Keys: `seed`, `panic`, `bitflip`, `stall` (rate, optionally
-    /// `rate:ms`), `evdrop`, `evdup`, `healfail`, `restarts`.
+    /// `rate:ms`), `evdrop`, `evdup`, `healfail`, `restarts`,
+    /// `wdpanic` (0/1).
     /// Example: `seed=42,panic=2e-4,bitflip=1e-3,healfail=0.5`.
     pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
         let mut plan = FaultPlan::default();
@@ -142,6 +149,13 @@ impl FaultPlan {
                     plan.max_restarts = value
                         .parse()
                         .map_err(|_| FaultSpecError(format!("`{value}` is not a count")))?;
+                }
+                "wdpanic" => {
+                    plan.watchdog_panic = match value {
+                        "0" => false,
+                        "1" => true,
+                        _ => return Err(FaultSpecError(format!("`{value}` is not 0 or 1"))),
+                    };
                 }
                 other => return Err(FaultSpecError(format!("unknown key `{other}`"))),
             }
@@ -210,6 +224,7 @@ impl FaultPlan {
         obj.set("event_dup_rate", Json::Float(self.event_dup_rate));
         obj.set("heal_fail_rate", Json::Float(self.heal_fail_rate));
         obj.set("max_restarts", Json::UInt(self.max_restarts));
+        obj.set("watchdog_panic", Json::Bool(self.watchdog_panic));
         obj
     }
 }
@@ -489,7 +504,7 @@ mod tests {
     #[test]
     fn parse_round_trips_the_full_spec() {
         let plan =
-            FaultPlan::parse("seed=42,panic=2e-4,bitflip=1e-3,stall=0.01:50,evdrop=0.1,evdup=0.2,healfail=0.5,restarts=9")
+            FaultPlan::parse("seed=42,panic=2e-4,bitflip=1e-3,stall=0.01:50,evdrop=0.1,evdup=0.2,healfail=0.5,restarts=9,wdpanic=1")
                 .unwrap();
         assert_eq!(plan.seed, 42);
         assert_eq!(plan.panic_rate, 2e-4);
@@ -500,7 +515,16 @@ mod tests {
         assert_eq!(plan.event_dup_rate, 0.2);
         assert_eq!(plan.heal_fail_rate, 0.5);
         assert_eq!(plan.max_restarts, 9);
+        assert!(plan.watchdog_panic);
         assert!(plan.active());
+    }
+
+    #[test]
+    fn wdpanic_alone_activates_the_plan() {
+        let plan = FaultPlan::parse("wdpanic=1").unwrap();
+        assert!(plan.watchdog_panic);
+        assert!(plan.active());
+        assert!(!FaultPlan::parse("wdpanic=0").unwrap().active());
     }
 
     #[test]
@@ -512,6 +536,7 @@ mod tests {
             "mystery=1",
             "stall=0.1:abc",
             "seed=x",
+            "wdpanic=yes",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
         }

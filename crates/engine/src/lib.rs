@@ -49,7 +49,9 @@
 
 pub mod affinity;
 pub mod aggregate;
+pub mod churn;
 pub mod engine;
+pub mod epoch;
 pub mod eventlog;
 pub mod faults;
 pub mod flow;
@@ -64,7 +66,9 @@ pub mod supervise;
 pub mod worker;
 
 pub use aggregate::{AggregatorReport, ControllerSink, DomainRouter, EventSink, LoopEvent};
+pub use churn::{ChurnPlan, ChurnSource};
 pub use engine::{Engine, EngineConfig, EngineError, EngineReport, EventsLogConfig};
+pub use epoch::{EpochRouteTable, RouteReader};
 pub use eventlog::{EventLogWriter, RunMeta, EVENT_LOG_VERSION};
 pub use faults::{FaultPlan, FaultSpecError, SplitMix64};
 pub use flow::FlowKey;

@@ -120,6 +120,19 @@ impl HistogramSnapshot {
         obj.set("max", Json::UInt(self.max));
         obj
     }
+
+    /// Folds `other` into this snapshot (identical bucket layouts, so
+    /// the merge is per-bucket addition). Lets a report aggregate one
+    /// histogram across shards — e.g. the run-wide detection-latency
+    /// distribution from the per-shard `detect_latency_ns` snapshots.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Per-shard metrics block, shared between the worker (writer) and the
@@ -181,6 +194,19 @@ pub struct ShardMetrics {
     /// `core + 1` (0 means not pinned — pinning off, unsupported OS, or
     /// `sched_setaffinity` refused).
     pub pinned_core: AtomicU64,
+    /// Route-table generation swaps this shard observed (reader
+    /// refreshes that actually moved generations).
+    pub route_swaps_observed: AtomicU64,
+    /// Loop events raised against a route generation published *after*
+    /// this worker started — live detections, not replay.
+    pub loops_after_swap: AtomicU64,
+    /// Detection latency: generation publish → the first loop event
+    /// this shard raised against that generation (ns, one sample per
+    /// generation per shard).
+    pub detect_latency_ns: Histogram,
+    /// Highest generation a detection latency was recorded for
+    /// (worker-internal dedup state, not exported).
+    pub latency_gen: AtomicU64,
 }
 
 /// A point-in-time copy of one shard's metrics.
@@ -230,6 +256,12 @@ pub struct ShardSnapshot {
     pub events_send_failed: u64,
     /// CPU core the worker pinned itself to; `None` when unpinned.
     pub pinned_core: Option<u64>,
+    /// Route-table generation swaps observed.
+    pub route_swaps_observed: u64,
+    /// Loop events against post-startup route generations.
+    pub loops_after_swap: u64,
+    /// Swap-publish → first-loop-event latency per generation (ns).
+    pub detect_latency_ns: HistogramSnapshot,
 }
 
 impl ShardMetrics {
@@ -258,6 +290,9 @@ impl ShardMetrics {
             events_duplicated_injected: self.events_duplicated_injected.load(Ordering::Relaxed),
             events_send_failed: self.events_send_failed.load(Ordering::Relaxed),
             pinned_core: self.pinned_core.load(Ordering::Relaxed).checked_sub(1),
+            route_swaps_observed: self.route_swaps_observed.load(Ordering::Relaxed),
+            loops_after_swap: self.loops_after_swap.load(Ordering::Relaxed),
+            detect_latency_ns: self.detect_latency_ns.snapshot(),
         }
     }
 
@@ -308,6 +343,12 @@ impl ShardSnapshot {
         obj.set("batch_size", self.batch_sizes.to_json());
         obj.set("wait_ns", self.wait_ns.to_json());
         obj.set("proc_ns", self.proc_ns.to_json());
+        obj.set(
+            "route_swaps_observed",
+            Json::UInt(self.route_swaps_observed),
+        );
+        obj.set("loops_after_swap", Json::UInt(self.loops_after_swap));
+        obj.set("detect_latency_ns", self.detect_latency_ns.to_json());
         let mut faults = Json::object();
         faults.set("restarts", Json::UInt(self.restarts));
         faults.set("panics_injected", Json::UInt(self.panics_injected));

@@ -33,6 +33,15 @@ impl RouteId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// A `RouteId` addressing slot `index` of a *slot-stable* set (one
+    /// built by [`RouteSet::from_specs`], where route `i` belongs to
+    /// flow `i`). Pair with [`RouteSet::get_checked`] when the id may
+    /// outlive the set that defined it.
+    #[inline]
+    pub fn from_index(index: usize) -> RouteId {
+        RouteId(u32::try_from(index).expect("more than u32::MAX routes"))
+    }
 }
 
 /// One distinct forwarding path, compiled once: a finite `pre` hop list
@@ -102,12 +111,37 @@ pub struct RouteSet {
 }
 
 impl RouteSet {
+    /// A *slot-stable* set: one route per spec, in order, with **no**
+    /// deduplication — `RouteId::from_index(i)` resolves to `specs[i]`.
+    /// This is the churn-side contract: every generation published into
+    /// an [`EpochRouteTable`](crate::epoch::EpochRouteTable) keeps flow
+    /// `i`'s route at slot `i`, so in-flight packets minted under an
+    /// older generation still resolve to *their flow's* current route
+    /// after a swap.
+    pub fn from_specs<'a, I>(specs: I) -> Arc<RouteSet>
+    where
+        I: IntoIterator<Item = &'a PathSpec>,
+    {
+        Arc::new(RouteSet {
+            routes: specs.into_iter().map(CompiledRoute::compile).collect(),
+        })
+    }
+
     /// The route behind `id`. Panics on a foreign `id` — route IDs are
     /// only ever minted by this set's builder, so a miss is a logic bug,
     /// not an input error.
     #[inline]
     pub fn get(&self, id: RouteId) -> &CompiledRoute {
         &self.routes[id.index()]
+    }
+
+    /// The route behind `id`, or `None` when the id falls outside this
+    /// set — the defensive lookup workers use once route tables can be
+    /// swapped mid-run and an id minted against one generation may be
+    /// resolved against another.
+    #[inline]
+    pub fn get_checked(&self, id: RouteId) -> Option<&CompiledRoute> {
+        self.routes.get(id.index())
     }
 
     /// Number of distinct routes.
@@ -223,6 +257,23 @@ mod tests {
         assert_eq!(set.get(bad_pre).first_invalid_hop(100), None);
         let table = set.first_invalid_hops(3);
         assert_eq!(table, vec![u32::MAX, 1, 3]);
+    }
+
+    #[test]
+    fn from_specs_is_slot_stable_and_never_dedupes() {
+        let specs = [
+            PathSpec::linear(vec![0, 1, 2]),
+            PathSpec::linear(vec![0, 1, 2]), // duplicate kept: slot == flow
+            PathSpec::looping(vec![0], vec![1, 2]),
+        ];
+        let set = RouteSet::from_specs(&specs);
+        assert_eq!(set.len(), 3);
+        for (i, spec) in specs.iter().enumerate() {
+            let route = set.get_checked(RouteId::from_index(i)).unwrap();
+            assert_eq!(route.loops(), spec.loops());
+            assert_eq!(route.hop(0), spec.hop(0));
+        }
+        assert!(set.get_checked(RouteId::from_index(3)).is_none());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! couple of field writes, no allocation and no `Arc` refcount traffic,
 //! however many packets a flow sends.
 
+use crate::epoch::EpochRouteTable;
 use crate::flow::FlowKey;
 use crate::packet::{EnginePacket, PathSpec};
 use crate::route::{RouteId, RouteSet, RouteSetBuilder};
@@ -23,6 +24,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use unroller_core::InPacketDetector;
 use unroller_dataplane::parser::build_frame;
@@ -43,6 +45,14 @@ pub trait TrafficSource {
     /// [`EnginePacket::route`] resolves against. The engine fetches it
     /// once per run and shares it read-only with every shard.
     fn routes(&self) -> Arc<RouteSet>;
+
+    /// The live epoch table behind [`TrafficSource::routes`], for
+    /// sources that republish route generations mid-run (control-plane
+    /// churn). The default `None` tells the engine to wrap the static
+    /// route set in a single-generation [`EpochRouteTable`] of its own.
+    fn route_table(&self) -> Option<Arc<EpochRouteTable>> {
+        None
+    }
 }
 
 struct FlowStream {
@@ -432,6 +442,10 @@ impl TrafficSource for Box<dyn TrafficSource> {
     fn routes(&self) -> Arc<RouteSet> {
         (**self).routes()
     }
+
+    fn route_table(&self) -> Option<Arc<EpochRouteTable>> {
+        (**self).route_table()
+    }
 }
 
 impl TrafficSource for PcapReplaySource {
@@ -463,6 +477,7 @@ pub struct CaptureSource<S> {
     writer: Arc<Mutex<PcapWriter>>,
     layout: HeaderLayout,
     emitted: u64,
+    capture_errors: Arc<AtomicU64>,
 }
 
 impl<S: TrafficSource> CaptureSource<S> {
@@ -474,7 +489,28 @@ impl<S: TrafficSource> CaptureSource<S> {
             writer,
             layout,
             emitted: 0,
+            capture_errors: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Packets that passed through uncaptured because the writer mutex
+    /// was poisoned. The handle is shared so a caller can keep reading
+    /// the count after the engine has consumed the source.
+    pub fn error_counter(&self) -> Arc<AtomicU64> {
+        self.capture_errors.clone()
+    }
+
+    /// Packets this source served without recording them (see
+    /// [`CaptureSource::error_counter`]).
+    pub fn capture_errors(&self) -> u64 {
+        self.capture_errors.load(Ordering::Relaxed)
+    }
+
+    /// Unwraps the tee, handing the inner source back (its clone of the
+    /// capture writer is dropped) — for post-run access to source state
+    /// the [`TrafficSource`] trait doesn't expose.
+    pub fn into_inner(self) -> S {
+        self.inner
     }
 }
 
@@ -482,7 +518,19 @@ impl<S: TrafficSource> TrafficSource for CaptureSource<S> {
     fn fill(&mut self, max: usize, out: &mut Vec<EnginePacket>) -> usize {
         let start = out.len();
         let produced = self.inner.fill(max, out);
-        let mut writer = self.writer.lock().expect("capture writer poisoned");
+        // A panic while another handle held the writer may have left a
+        // half-written record behind, so a poisoned mutex means the
+        // capture can no longer be trusted. Traffic must keep flowing
+        // regardless: count the unrecorded packets and serve them with
+        // no frame attached instead of taking the engine down.
+        let mut writer = match self.writer.lock() {
+            Ok(writer) => writer,
+            Err(_) => {
+                self.capture_errors
+                    .fetch_add((out.len() - start) as u64, Ordering::Relaxed);
+                return produced;
+            }
+        };
         for p in &mut out[start..] {
             let src = p.flow.src_ip & 0x00ff_ffff;
             let dst = p.flow.dst_ip & 0x00ff_ffff;
@@ -501,6 +549,10 @@ impl<S: TrafficSource> TrafficSource for CaptureSource<S> {
 
     fn routes(&self) -> Arc<RouteSet> {
         self.inner.routes()
+    }
+
+    fn route_table(&self) -> Option<Arc<EpochRouteTable>> {
+        self.inner.route_table()
     }
 }
 
@@ -671,6 +723,45 @@ mod tests {
         for seqs in per_flow.values() {
             assert_eq!(seqs, &(0..seqs.len() as u64).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn poisoned_capture_writer_degrades_instead_of_panicking() {
+        // Poison the shared writer from a panicking thread, then keep
+        // filling: traffic flows on with no frames attached and every
+        // unrecorded packet lands in the capture_errors counter.
+        let params = unroller_core::UnrollerParams::default();
+        let layout = HeaderLayout::from_params(&params);
+        let inner = SyntheticSource::new(16, 4, 40, 0, 0, 9);
+        let writer = Arc::new(Mutex::new(PcapWriter::default()));
+        let mut captured = CaptureSource::new(inner, layout, writer.clone());
+        let errors = captured.error_counter();
+
+        let mut out = Vec::new();
+        assert_eq!(captured.fill(10, &mut out), 10);
+        assert!(out.iter().all(|p| p.frame.is_some()));
+        assert_eq!(captured.capture_errors(), 0);
+
+        let poisoner = writer.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("capture writer dies mid-record");
+        })
+        .join();
+        assert!(writer.lock().is_err(), "mutex must now be poisoned");
+
+        out.clear();
+        assert_eq!(captured.fill(10, &mut out), 10, "traffic keeps flowing");
+        assert!(
+            out.iter().all(|p| p.frame.is_none()),
+            "no frames once the capture is untrusted"
+        );
+        assert_eq!(captured.capture_errors(), 10);
+        assert_eq!(errors.load(Ordering::Relaxed), 10, "shared handle agrees");
+
+        out.clear();
+        while captured.fill(16, &mut out) > 0 {}
+        assert_eq!(captured.capture_errors(), 30, "every later burst counted");
     }
 
     #[test]

@@ -18,13 +18,20 @@
 //! packet); packets replayed from a capture carry their own recorded
 //! bytes and are processed in them, shim state and all.
 //!
-//! **Interned routes.** Packets carry a [`RouteId`] into the source's
-//! shared [`RouteSet`]; the worker resolves it to a [`CompiledRoute`]
-//! whose hops index the pipeline array directly. Route validity is
-//! settled once per run: at startup the worker evaluates
-//! [`RouteSet::first_invalid_hops`] against its own pipeline count, so
-//! the per-hop walk compares one integer instead of bounds-checking a
-//! map lookup — `route_errors` is decided before the first packet.
+//! **Interned routes, swappable mid-run.** Packets carry a [`RouteId`]
+//! into the current route-table *generation*: the worker holds a
+//! [`RouteReader`] onto the engine's
+//! [`EpochRouteTable`](crate::epoch::EpochRouteTable) and polls it once
+//! per batch — one atomic load when nothing changed, a pointer swap
+//! when the control plane published new routes. Route validity is
+//! settled once per *generation*: on every swap the worker re-evaluates
+//! [`RouteSet::first_invalid_hops`](crate::route::RouteSet::first_invalid_hops)
+//! against its own pipeline count, so the per-hop walk compares one
+//! integer instead of bounds-checking a map lookup — `route_errors` is
+//! decided before the first packet of each generation, and the cached
+//! table can never go stale across a swap. Loop events raised against
+//! a generation published after startup also record **detection
+//! latency** (publish → first loop event on this shard).
 //!
 //! **Supervision.** Packet processing runs inside `catch_unwind`: a
 //! panic (injected by a [`FaultPlan`](crate::faults::FaultPlan) or a
@@ -38,6 +45,7 @@
 //! the loss counters instead of looping on poison forever.
 
 use crate::aggregate::LoopEvent;
+use crate::epoch::RouteReader;
 use crate::faults::{
     apply_bitflip_frame, inject_panic, install_quiet_panic_hook, EventFate, EventFaults,
     PacketFault, ShardFaults,
@@ -46,7 +54,7 @@ use crate::flow::FlowKey;
 use crate::metrics::{thread_cpu_ns, ShardMetrics};
 use crate::packet::EnginePacket;
 use crate::ring::RingConsumer;
-use crate::route::{CompiledRoute, RouteSet};
+use crate::route::CompiledRoute;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -84,9 +92,10 @@ pub struct ShardWorker {
     pub pipelines: Arc<Vec<UnrollerPipeline>>,
     /// Switch IDs, indexed the same way.
     pub ids: Arc<[SwitchId]>,
-    /// The interned routes every packet's `RouteId` resolves against;
-    /// shared read-only with the traffic source and all shards.
-    pub routes: Arc<RouteSet>,
+    /// This shard's lock-free handle onto the engine's epoch route
+    /// table: every packet's `RouteId` resolves against the generation
+    /// the reader is pinned to, re-polled once per batch.
+    pub routes: RouteReader,
     /// The shim layout shared by all pipelines.
     pub layout: HeaderLayout,
     /// Hop budget per packet (the TTL).
@@ -127,11 +136,15 @@ impl ShardWorker {
         }
         let cpu_start = thread_cpu_ns();
         let mut working: Vec<UnrollerPipeline> = (*self.pipelines).clone();
-        // Route validity, settled once: err_hops[route] is the first
-        // hop that would leave the pipeline array (ROUTE_VALID when
-        // none does). The hot walk compares against this instead of
-        // re-validating every hop of every packet.
-        let err_hops: Vec<u32> = self.routes.first_invalid_hops(working.len());
+        // Route validity, settled once *per generation*: err_hops[route]
+        // is the first hop that would leave the pipeline array
+        // (ROUTE_VALID when none does). The hot walk compares against
+        // this instead of re-validating every hop of every packet; the
+        // table is rebuilt on every route-table swap, keyed to the
+        // reader's pinned generation — a swapped-in route reusing a
+        // `RouteId` slot with a different hop count must never be
+        // judged by the old generation's validity.
+        let mut err_hops: Vec<u32> = self.routes.routes().first_invalid_hops(working.len());
         // One scratch wire frame reused across every frameless packet:
         // the zero-copy pipeline rewrites shim bits in this buffer
         // directly, so walking a path allocates nothing.
@@ -150,6 +163,15 @@ impl ShardWorker {
             let wait_start = Instant::now();
             if !self.consumer.recv_batch(&mut batch, self.batch_size) {
                 break;
+            }
+            // Batch boundary: adopt any newly published route-table
+            // generation. One atomic load when nothing changed; on a
+            // swap, re-key the validity cache to the new generation.
+            if self.routes.refresh().is_some() {
+                err_hops = self.routes.routes().first_invalid_hops(working.len());
+                self.metrics
+                    .route_swaps_observed
+                    .fetch_add(1, Ordering::Relaxed);
             }
             let proc_start = Instant::now();
             self.metrics
@@ -284,7 +306,15 @@ impl ShardWorker {
                 scratch
             }
         };
-        let route = self.routes.get(packet.route);
+        // Checked lookup: a `RouteId` is minted against some generation
+        // but resolved against the reader's *current* one, which may be
+        // smaller. An out-of-range id is a route error, not a panic.
+        let Some(route) = self.routes.routes().get_checked(packet.route) else {
+            self.metrics.route_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        // In bounds: `err_hops` is rebuilt from the same generation the
+        // checked lookup just succeeded against.
         let err_hop = err_hops[packet.route.index()];
 
         let mut hop = 0u32;
@@ -384,6 +414,23 @@ impl ShardWorker {
             i += 1;
         }
         self.metrics.loop_events.fetch_add(1, Ordering::Relaxed);
+        let gen = self.routes.generation();
+        if gen > self.routes.initial_generation() {
+            // This loop lives in a route generation published while
+            // traffic was already flowing — live detection, not replay.
+            self.metrics
+                .loops_after_swap
+                .fetch_add(1, Ordering::Relaxed);
+            // First loop event this shard raises against `gen` records
+            // the detection latency: swap publish → loop event.
+            if self.metrics.latency_gen.fetch_max(gen, Ordering::Relaxed) < gen {
+                if let Some(published) = self.routes.publish_ns(gen) {
+                    self.metrics
+                        .detect_latency_ns
+                        .record(self.routes.now_ns().saturating_sub(published));
+                }
+            }
+        }
         let event = LoopEvent {
             flow,
             seq,
@@ -429,11 +476,12 @@ const _: () = assert!(ROUTE_VALID == u32::MAX);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::epoch::EpochRouteTable;
     use crate::faults::FaultPlan;
     use crate::flow::FlowKey;
     use crate::packet::PathSpec;
     use crate::ring::{ring, FullPolicy};
-    use crate::route::{RouteId, RouteSetBuilder};
+    use crate::route::{RouteId, RouteSet, RouteSetBuilder};
     use std::time::Duration;
     use unroller_core::UnrollerParams;
 
@@ -462,7 +510,7 @@ mod tests {
             shard: 0,
             pipelines,
             ids,
-            routes: RouteSetBuilder::new().build(),
+            routes: Arc::new(EpochRouteTable::new(RouteSetBuilder::new().build())).reader(),
             layout: HeaderLayout::from_params(&params),
             max_hops,
             batch_size: 8,
@@ -478,11 +526,12 @@ mod tests {
     }
 
     /// Interns one path and installs the resulting single-route set on
-    /// the worker; most tests walk exactly one distinct path.
+    /// the worker (as generation 1 of a fresh epoch table); most tests
+    /// walk exactly one distinct path.
     fn install_route(worker: &mut ShardWorker, path: PathSpec) -> RouteId {
         let mut b = RouteSetBuilder::new();
         let id = b.intern(&path);
-        worker.routes = b.build();
+        worker.routes = Arc::new(EpochRouteTable::new(b.build())).reader();
         id
     }
 
@@ -848,5 +897,89 @@ mod tests {
             snap.loop_events - snap.events_dropped_injected + snap.events_duplicated_injected,
             "channel traffic matches the injected drop/dup accounting"
         );
+    }
+
+    /// Spins until the worker has consumed `n` packets, so a publish
+    /// lands on a batch boundary between two known packets.
+    fn wait_for_packets(metrics: &Arc<ShardMetrics>, n: u64) {
+        let deadline = Instant::now() + RECV_WAIT;
+        while metrics.snapshot().packets < n {
+            assert!(
+                Instant::now() < deadline,
+                "worker never consumed packet {n}"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn route_swap_rekeys_the_validity_cache() {
+        // Gen 1: a 3-hop route whose last hop (99) is invalid — the
+        // cached err_hop is 2. Gen 2 swaps the *same slot* to a 6-hop
+        // fully valid route: a stale validity cache would flag hop 2 of
+        // the new route as a spurious `route_error` (or, worse, let the
+        // walk index past the old route's end).
+        let (mut worker, producer, _ev_rx) = worker_fixture(8, 64);
+        let table = Arc::new(EpochRouteTable::new(RouteSet::from_specs(&[
+            PathSpec::linear(vec![0, 1, 99]),
+        ])));
+        worker.routes = table.reader();
+        let route = RouteId::from_index(0);
+        let metrics = worker.metrics.clone();
+        producer.push(packet(0, route));
+        let handle = std::thread::spawn(move || worker.run());
+        wait_for_packets(&metrics, 1);
+        table.publish(RouteSet::from_specs(&[PathSpec::linear(vec![
+            0, 1, 2, 3, 4, 5,
+        ])]));
+        for seq in 1..=2 {
+            producer.push(packet(seq, route));
+        }
+        drop(producer);
+        handle.join().unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.packets, 3);
+        assert_eq!(snap.route_errors, 1, "only the gen-1 walk errors");
+        assert_eq!(snap.delivered, 2, "gen-2 walks deliver, no spurious errors");
+        // 2 valid hops before the gen-1 error + 6 per delivered walk.
+        assert_eq!(snap.hops, 2 + 12);
+        assert_eq!(snap.route_swaps_observed, 1);
+        assert_eq!(snap.loops_after_swap, 0);
+    }
+
+    #[test]
+    fn loops_after_swap_record_detection_latency() {
+        let (mut worker, producer, ev_rx) = worker_fixture(6, 64);
+        let table = Arc::new(EpochRouteTable::new(RouteSet::from_specs(&[
+            PathSpec::linear(vec![0, 1, 2]),
+        ])));
+        worker.routes = table.reader();
+        let route = RouteId::from_index(0);
+        let metrics = worker.metrics.clone();
+        producer.push(packet(0, route));
+        let handle = std::thread::spawn(move || worker.run());
+        wait_for_packets(&metrics, 1);
+        // Swap the flow's slot to a micro-loop, published mid-traffic.
+        table.publish(RouteSet::from_specs(&[PathSpec::looping(
+            vec![0],
+            vec![1, 2],
+        )]));
+        producer.push(packet(1, route));
+        producer.push(packet(2, route));
+        drop(producer);
+        handle.join().unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.delivered, 1, "the gen-1 packet delivered");
+        assert_eq!(snap.loop_events, 2);
+        assert_eq!(
+            snap.loops_after_swap, 2,
+            "both loops live in a post-startup generation"
+        );
+        assert_eq!(
+            snap.detect_latency_ns.count, 1,
+            "latency recorded once per generation per shard"
+        );
+        assert!(snap.detect_latency_ns.max < 10_000_000_000, "sane latency");
+        assert_eq!(ev_rx.try_iter().count(), 2);
     }
 }
