@@ -1,7 +1,8 @@
-//! The engine hot-path amortization benchmark: what route interning
-//! and batched ring dispatch buy over the naive per-packet design.
+//! The engine hot-path amortization benchmark: what route interning,
+//! batched ring dispatch, and per-route verdict memoization buy over
+//! the naive per-packet design.
 //!
-//! Three measurements, one JSON report:
+//! Five measurements, one JSON report:
 //!
 //! * `legacy_per_packet_vec` — a faithful in-bench reproduction of the
 //!   engine's pre-interning shape: every packet carries its own
@@ -14,6 +15,12 @@
 //!   [`ReplaySource::from_paths`]: routes interned once into a shared
 //!   [`RouteSet`], packets carrying a `u32` [`RouteId`], validity
 //!   precomputed, bursts published with one index store per shard.
+//! * `memoized` — the same engine with `--memo` semantics: the first
+//!   packet per route walks and caches `(verdict, final shim)`; every
+//!   later packet on that route settles from the cache, with 1-in-64
+//!   hits re-walked and bit-compared (divergence asserted zero).
+//! * `memoized_stepped` — memoization plus the hop-stepped lane pool
+//!   for the residual (unmemoized) walks.
 //! * `ring` — the SPSC ring in isolation: single `push` per item
 //!   versus `push_batch` bursts of 64, ns/item.
 //!
@@ -38,7 +45,9 @@ use unroller_dataplane::{
     EthernetHeader, HeaderLayout, UnrollerPipeline, WireHeader, ETH_HEADER_LEN,
 };
 use unroller_engine::ring::ring;
-use unroller_engine::{Engine, EngineConfig, FlowKey, FullPolicy, Json, PathSpec, ReplaySource};
+use unroller_engine::{
+    Engine, EngineConfig, FlowKey, FullPolicy, Json, MemoConfig, PathSpec, ReplaySource,
+};
 
 const NODES: usize = 64;
 const FLOWS: usize = 32;
@@ -177,16 +186,26 @@ fn walk_legacy(
     *hops_total += hops as u64;
 }
 
-/// One timed engine run over the same walks at `shards` shards.
-/// Returns (wall_ns, capacity_pps).
-fn interned_run(walks: &[(FlowKey, Vec<usize>)], shards: usize, packets: u64) -> (u64, f64) {
+/// One timed engine run over the same walks at `shards` shards, with
+/// the memo/stepped fast paths as configured. Returns (wall_ns,
+/// capacity_pps).
+fn interned_run(
+    walks: &[(FlowKey, Vec<usize>)],
+    shards: usize,
+    packets: u64,
+    memo: Option<MemoConfig>,
+    stepped: bool,
+) -> (u64, f64) {
     let ids: Vec<u32> = (0..NODES as u32).map(|i| 100 + i).collect();
+    let memoized = memo.is_some();
     let engine = Engine::new(
         EngineConfig {
             shards,
             batch_size: BATCH,
             max_hops: MAX_HOPS,
             full_policy: FullPolicy::Block,
+            memo,
+            stepped,
             ..EngineConfig::default()
         },
         &ids,
@@ -201,7 +220,56 @@ fn interned_run(walks: &[(FlowKey, Vec<usize>)], shards: usize, packets: u64) ->
     let report = engine.run(&mut source).expect("fault-free run");
     assert!(report.accounted(), "accounting must balance");
     assert_eq!(report.processed(), packets, "nothing dropped under Block");
+    if memoized {
+        assert_eq!(report.memo_divergence(), 0, "sampled cross-checks agree");
+        assert!(report.memo_hits() > 0, "the cache was exercised");
+    }
     (report.wall_ns, report.aggregate_capacity_pps())
+}
+
+/// Best-of-3 `interned_run`s per shard count; returns the per-shard
+/// JSON rows and the 1-shard wall pps (the headline number).
+fn sweep_shards(
+    label: &str,
+    walks: &[(FlowKey, Vec<usize>)],
+    shard_counts: &[usize],
+    packets: u64,
+    memo: Option<MemoConfig>,
+    stepped: bool,
+) -> (Vec<Json>, f64) {
+    let mut runs = Vec::new();
+    let mut one_shard_pps = 0.0f64;
+    for &shards in shard_counts {
+        eprintln!("engine_hotpath: {label} at {shards} shard(s) (best of 3)...");
+        let mut best_ns = u64::MAX;
+        let mut best_cap = 0.0f64;
+        for _ in 0..3 {
+            let (ns, cap) = interned_run(walks, shards, packets, memo, stepped);
+            if ns < best_ns {
+                best_ns = ns;
+                best_cap = cap;
+            }
+        }
+        let pps = packets as f64 * 1.0e9 / best_ns as f64;
+        if shards == 1 {
+            one_shard_pps = pps;
+        }
+        eprintln!(
+            "  shards={shards:<2}             {:>8.1} ns/pkt  {:>12.0} pps",
+            best_ns as f64 / packets as f64,
+            pps
+        );
+        let mut obj = Json::object();
+        obj.set("shards", Json::UInt(shards as u64));
+        obj.set("wall_pps", Json::Float(pps));
+        obj.set(
+            "ns_per_packet",
+            Json::Float(best_ns as f64 / packets as f64),
+        );
+        obj.set("capacity_pps", Json::Float(best_cap));
+        runs.push(obj);
+    }
+    (runs, one_shard_pps)
 }
 
 /// Ring in isolation: ns/item for single-push vs batched-push bursts,
@@ -292,38 +360,31 @@ fn main() {
         legacy_pps
     );
 
-    let mut interned_runs = Vec::new();
-    let mut interned_1shard_pps = 0.0f64;
-    for &shards in shard_counts {
-        eprintln!("engine_hotpath: interned+batched engine at {shards} shard(s) (best of 3)...");
-        let mut best_ns = u64::MAX;
-        let mut best_cap = 0.0f64;
-        for _ in 0..3 {
-            let (ns, cap) = interned_run(&walks, shards, packets);
-            if ns < best_ns {
-                best_ns = ns;
-                best_cap = cap;
-            }
-        }
-        let pps = packets as f64 * 1.0e9 / best_ns as f64;
-        if shards == 1 {
-            interned_1shard_pps = pps;
-        }
-        eprintln!(
-            "  shards={shards:<2}             {:>8.1} ns/pkt  {:>12.0} pps",
-            best_ns as f64 / packets as f64,
-            pps
-        );
-        let mut obj = Json::object();
-        obj.set("shards", Json::UInt(shards as u64));
-        obj.set("wall_pps", Json::Float(pps));
-        obj.set(
-            "ns_per_packet",
-            Json::Float(best_ns as f64 / packets as f64),
-        );
-        obj.set("capacity_pps", Json::Float(best_cap));
-        interned_runs.push(obj);
-    }
+    let (interned_runs, interned_1shard_pps) = sweep_shards(
+        "interned+batched engine",
+        &walks,
+        shard_counts,
+        packets,
+        None,
+        false,
+    );
+    let memo = Some(MemoConfig::default());
+    let (memo_runs, memo_1shard_pps) = sweep_shards(
+        "memoized engine",
+        &walks,
+        shard_counts,
+        packets,
+        memo,
+        false,
+    );
+    let (memo_stepped_runs, memo_stepped_1shard_pps) = sweep_shards(
+        "memoized+stepped engine",
+        &walks,
+        shard_counts,
+        packets,
+        memo,
+        true,
+    );
 
     eprintln!("engine_hotpath: ring push vs push_batch ({ring_iters} items each)...");
     let push_ns = ring_ns_per_item(ring_iters, false);
@@ -332,6 +393,7 @@ fn main() {
     eprintln!("  push_batch(64)        {push_batch_ns:>8.2} ns/item");
 
     let speedup = interned_1shard_pps / legacy_pps;
+    let speedup_memo = memo_1shard_pps / interned_1shard_pps;
 
     let mut legacy_obj = Json::object();
     legacy_obj.set("wall_pps", Json::Float(legacy_pps));
@@ -342,6 +404,20 @@ fn main() {
 
     let mut interned_obj = Json::object();
     interned_obj.set("runs", Json::Array(interned_runs));
+
+    let mut memo_obj = Json::object();
+    memo_obj.set(
+        "sample_every",
+        Json::UInt(unroller_engine::DEFAULT_SAMPLE_EVERY),
+    );
+    memo_obj.set("runs", Json::Array(memo_runs));
+
+    let mut memo_stepped_obj = Json::object();
+    memo_stepped_obj.set(
+        "sample_every",
+        Json::UInt(unroller_engine::DEFAULT_SAMPLE_EVERY),
+    );
+    memo_stepped_obj.set("runs", Json::Array(memo_stepped_runs));
 
     let mut ring_obj = Json::object();
     ring_obj.set("items", Json::UInt(ring_iters));
@@ -358,8 +434,15 @@ fn main() {
     root.set("nodes", Json::UInt(NODES as u64));
     root.set("legacy_per_packet_vec", legacy_obj);
     root.set("interned", interned_obj);
+    root.set("memoized", memo_obj);
+    root.set("memoized_stepped", memo_stepped_obj);
     root.set("ring", ring_obj);
     root.set("speedup_interned_vs_legacy", Json::Float(speedup));
+    root.set("speedup_memoized_vs_walked", Json::Float(speedup_memo));
+    root.set(
+        "speedup_memoized_stepped_vs_walked",
+        Json::Float(memo_stepped_1shard_pps / interned_1shard_pps),
+    );
     let rendered = root.render_pretty();
 
     if let Some(parent) = std::path::Path::new(&out).parent() {
@@ -370,4 +453,5 @@ fn main() {
     std::fs::write(&out, &rendered).expect("write benchmark output");
     eprintln!("wrote {out}");
     eprintln!("engine_hotpath: interned+batched is {speedup:.2}x the per-packet-Vec path");
+    eprintln!("engine_hotpath: memoization is {speedup_memo:.2}x the interned walk at 1 shard");
 }

@@ -119,6 +119,20 @@ pub fn read_bits_at(buf: &[u8], pos: usize, width: u32) -> u64 {
         "bit read past end of buffer: pos {pos} width {width}, {} bits available",
         buf.len() * 8
     );
+    if width == 0 {
+        return 0;
+    }
+    // Fast path: when the field fits inside one 8-byte window of the
+    // buffer, a single big-endian load + shift + mask replaces the
+    // per-byte loop. Shim fields are ≤ 32 bits wide and frames are far
+    // longer than 8 bytes, so the hot in-place pipeline takes this path
+    // for every field access.
+    let byte = pos / 8;
+    let offset = (pos % 8) as u32;
+    if offset + width <= 64 && byte + 8 <= buf.len() {
+        let window = u64::from_be_bytes(buf[byte..byte + 8].try_into().expect("8-byte window"));
+        return (window << offset) >> (64 - width);
+    }
     let mut value = 0u64;
     let mut pos = pos;
     let mut remaining = width;
@@ -160,6 +174,26 @@ pub fn write_bits_at(buf: &mut [u8], pos: usize, width: u32, value: u64) {
         "bit write past end of buffer: pos {pos} width {width}, {} bits available",
         buf.len() * 8
     );
+    if width == 0 {
+        return;
+    }
+    // Fast path mirroring `read_bits_at`: load the 8-byte window, mask
+    // in the new field, store it back — one read-modify-write instead of
+    // up to nine per-byte masked writes.
+    let byte = pos / 8;
+    let offset = (pos % 8) as u32;
+    if offset + width <= 64 && byte + 8 <= buf.len() {
+        let mut window = u64::from_be_bytes(buf[byte..byte + 8].try_into().expect("8-byte window"));
+        let shift = 64 - offset - width;
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1) << shift
+        };
+        window = (window & !mask) | (value << shift);
+        buf[byte..byte + 8].copy_from_slice(&window.to_be_bytes());
+        return;
+    }
     let mut pos = pos;
     let mut remaining = width;
     while remaining > 0 {

@@ -19,7 +19,7 @@ use unroller_dataplane::{HeaderLayout, PcapWriter};
 use unroller_engine::{
     aggregate::deliver, run_scaling, CaptureSource, ChurnPlan, ChurnSource, ControllerSink, Engine,
     EngineConfig, EngineReport, FaultPlan, FlowKey, FullPolicy, HistogramSnapshot, Json,
-    LoopInjection, PcapReplaySource, ReplaySource, TrafficSource,
+    LoopInjection, MemoConfig, PcapReplaySource, ReplaySource, TrafficSource, DEFAULT_SAMPLE_EVERY,
 };
 use unroller_sim::{NullDetector, SimConfig, Simulator};
 use unroller_topology::ids::assign_sequential_ids;
@@ -53,6 +53,9 @@ struct Options {
     epoch: u64,
     run_id: Option<String>,
     churn: Option<ChurnPlan>,
+    memo: bool,
+    memo_sample: u64,
+    stepped: bool,
 }
 
 impl Default for Options {
@@ -84,6 +87,9 @@ impl Default for Options {
             epoch: 0,
             run_id: None,
             churn: None,
+            memo: false,
+            memo_sample: DEFAULT_SAMPLE_EVERY,
+            stepped: false,
         }
     }
 }
@@ -165,6 +171,17 @@ fn usage() -> ! {
                              0,0.5,1,2,4) applied to the --faults plan;\n\
                              replays the stream per level and writes\n\
                              recall + heal latency per fault rate\n\
+           --memo            memoize per-route walk verdicts for\n\
+                             generated traffic (invalidated on every\n\
+                             route-generation swap); a seeded sample of\n\
+                             cache hits is still walked and cross-checked\n\
+                             bit-exactly — any divergence exits 1\n\
+           --memo-sample N   cross-check one in N cache hits with a full\n\
+                             walk (default 64; 0 = never, 1 = every hit;\n\
+                             implies --memo)\n\
+           --stepped         walk batches of unmemoized packets in\n\
+                             lock-step, one hop per pass across 16\n\
+                             in-flight frames (best with --memo)\n\
            --help            this text"
     );
     std::process::exit(0);
@@ -258,6 +275,12 @@ fn parse_args() -> Options {
             "--epoch" => opts.epoch = num("--epoch", value("--epoch")),
             "--run-id" => opts.run_id = Some(value("--run-id")),
             "--oracle" => opts.oracle = true,
+            "--memo" => opts.memo = true,
+            "--memo-sample" => {
+                opts.memo_sample = num("--memo-sample", value("--memo-sample"));
+                opts.memo = true;
+            }
+            "--stepped" => opts.stepped = true,
             "--shed" => opts.shed = true,
             "--pin" => opts.pin = true,
             "--watchdog-ms" => {
@@ -401,6 +424,27 @@ fn detection_recall(report: &EngineReport, looping: &[FlowKey]) -> (f64, usize) 
     (hits as f64 / looping.len() as f64, hits)
 }
 
+/// Prints the memo layer's counters and exits 1 on any sampled
+/// divergence — a cross-check mismatch means the cache served a verdict
+/// the full walk disagrees with, which is always a bug, never a data
+/// condition.
+fn memo_gate(report: &EngineReport) {
+    if !report.memo_enabled {
+        return;
+    }
+    eprintln!(
+        "memo: hits={} misses={} sampled_walks={} divergence={}",
+        report.memo_hits(),
+        report.memo_misses(),
+        report.memo_sampled_walks(),
+        report.memo_divergence(),
+    );
+    if report.memo_divergence() > 0 {
+        eprintln!("unroller-engine: memoized verdicts diverged from sampled walks");
+        std::process::exit(1);
+    }
+}
+
 fn heal_json(heal: &HealReport) -> Json {
     let mut obj = Json::object();
     obj.set("healed", Json::UInt(heal.healed.len() as u64));
@@ -500,6 +544,10 @@ fn main() {
         shed: opts.shed,
         watchdog: opts.watchdog_ms.map(Duration::from_millis),
         pin_cores: opts.pin,
+        memo: opts.memo.then_some(MemoConfig {
+            sample_every: opts.memo_sample,
+        }),
+        stepped: opts.stepped,
         ..EngineConfig::default()
     };
 
@@ -749,6 +797,7 @@ fn main() {
             eprintln!("unroller-engine: internal accounting mismatch");
             std::process::exit(1);
         }
+        memo_gate(&report);
         if opts.expect_loop && (!report.loop_detected() || loops_after_swap == 0) {
             eprintln!("unroller-engine: expected a loop detection on a post-swap generation");
             std::process::exit(1);
@@ -891,6 +940,7 @@ fn main() {
             eprintln!("unroller-engine: internal accounting mismatch");
             std::process::exit(1);
         }
+        memo_gate(&report);
         if let Some((_, _, agrees)) = &oracle {
             if !agrees {
                 eprintln!("unroller-engine: oracle ground truth disagrees with recorded routes");

@@ -33,6 +33,7 @@ use crate::faults::{
 };
 use crate::flow::FlowKey;
 use crate::json::Json;
+use crate::memo::MemoConfig;
 use crate::metrics::{ShardMetrics, ShardSnapshot};
 use crate::packet::EnginePacket;
 use crate::ring::{ring, FullPolicy, RingCounters, RingCountersSnapshot};
@@ -92,6 +93,14 @@ pub struct EngineConfig {
     /// behind instead of losing everything to a post-run export that
     /// never happens.
     pub events_log: Option<EventsLogConfig>,
+    /// Per-route verdict memoization for generated traffic
+    /// ([`MemoConfig::sample_every`] sets the 1-in-N cross-check rate);
+    /// `None` walks every packet.
+    pub memo: Option<MemoConfig>,
+    /// Advance unmemoized generated walks through the hop-stepped lane
+    /// pool (`dataplane::pipeline::process_frame_batch_stepped`)
+    /// instead of one packet at a time.
+    pub stepped: bool,
 }
 
 /// Where and under what identity [`EngineConfig::events_log`] writes.
@@ -119,6 +128,8 @@ impl Default for EngineConfig {
             quarantine: Vec::new(),
             pin_cores: false,
             events_log: None,
+            memo: None,
+            stepped: false,
         }
     }
 }
@@ -226,6 +237,8 @@ pub struct EngineReport {
     /// Logging degrades (stops writing, keeps counting the run) rather
     /// than voiding detection results over a full disk.
     pub event_log_error: Option<String>,
+    /// Whether per-route verdict memoization was enabled for this run.
+    pub memo_enabled: bool,
     /// Wall-clock duration of the run.
     pub wall_ns: u64,
     /// Host cores available — read this before comparing shard counts:
@@ -282,6 +295,30 @@ impl EngineReport {
         self.aggregator.unique_flows > 0
     }
 
+    /// Memo-table hits across all shards.
+    pub fn memo_hits(&self) -> u64 {
+        self.shard_snapshots.iter().map(|s| s.memo_hits).sum()
+    }
+
+    /// Memo-table misses (warming walks) across all shards.
+    pub fn memo_misses(&self) -> u64 {
+        self.shard_snapshots.iter().map(|s| s.memo_misses).sum()
+    }
+
+    /// Sampled cross-check walks across all shards.
+    pub fn memo_sampled_walks(&self) -> u64 {
+        self.shard_snapshots
+            .iter()
+            .map(|s| s.memo_sampled_walks)
+            .sum()
+    }
+
+    /// Cache/walk divergences across all shards — must be 0; any other
+    /// value means the memoized fast path disagreed with a full walk.
+    pub fn memo_divergence(&self) -> u64 {
+        self.shard_snapshots.iter().map(|s| s.memo_divergence).sum()
+    }
+
     /// The typed error for a watchdog panic, when one occurred — for
     /// callers that treat losing stall supervision as fatal even though
     /// the run's detection claims still hold.
@@ -323,6 +360,13 @@ impl EngineReport {
         );
         obj.set("loop_detected", Json::Bool(self.loop_detected()));
         obj.set("accounted", Json::Bool(self.accounted()));
+        let mut memo = Json::object();
+        memo.set("enabled", Json::Bool(self.memo_enabled));
+        memo.set("hits", Json::UInt(self.memo_hits()));
+        memo.set("misses", Json::UInt(self.memo_misses()));
+        memo.set("sampled_walks", Json::UInt(self.memo_sampled_walks()));
+        memo.set("divergence", Json::UInt(self.memo_divergence()));
+        obj.set("memo", memo);
         if let Some(n) = self.events_logged {
             obj.set("events_logged", Json::UInt(n));
         }
@@ -493,6 +537,8 @@ impl Engine {
                     },
                     kick: kicks[shard].clone(),
                     pin_core: self.cfg.pin_cores.then_some(shard % cpus),
+                    memo: self.cfg.memo,
+                    stepped: self.cfg.stepped,
                 };
                 scope.spawn(move || worker.run());
             }
@@ -658,6 +704,7 @@ impl Engine {
             pin_cores: self.cfg.pin_cores,
             events_logged,
             event_log_error,
+            memo_enabled: self.cfg.memo.is_some(),
             wall_ns,
             cpus,
         })
@@ -788,6 +835,8 @@ mod tests {
             "watchdog",
             "pin_cores",
             "pinned_core",
+            "memo",
+            "sampled_walks",
         ] {
             assert!(rendered.contains(key), "missing {key}");
         }

@@ -56,6 +56,7 @@ pub mod eventlog;
 pub mod faults;
 pub mod flow;
 pub mod json;
+pub mod memo;
 pub mod metrics;
 pub mod packet;
 pub mod ring;
@@ -73,6 +74,7 @@ pub use eventlog::{EventLogWriter, RunMeta, EVENT_LOG_VERSION};
 pub use faults::{FaultPlan, FaultSpecError, SplitMix64};
 pub use flow::FlowKey;
 pub use json::Json;
+pub use memo::{MemoConfig, MemoTable, MemoVerdict, DEFAULT_SAMPLE_EVERY};
 pub use metrics::{Histogram, HistogramSnapshot, ShardMetrics, ShardSnapshot};
 pub use packet::{EnginePacket, PathSpec};
 pub use ring::{BatchPush, FullPolicy, PushOutcome, RingCounters, RingCountersSnapshot};

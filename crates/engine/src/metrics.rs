@@ -204,6 +204,18 @@ pub struct ShardMetrics {
     /// this shard raised against that generation (ns, one sample per
     /// generation per shard).
     pub detect_latency_ns: Histogram,
+    /// Generated packets settled straight from the per-route memo table
+    /// (no pipeline walk).
+    pub memo_hits: AtomicU64,
+    /// Memo-eligible packets that had to walk because their route slot
+    /// held no entry yet (each miss warms the slot).
+    pub memo_misses: AtomicU64,
+    /// Cache hits that additionally performed the full walk for the
+    /// 1-in-N sampling cross-check.
+    pub memo_sampled_walks: AtomicU64,
+    /// Sampled walks whose verdict or final shim differed from the
+    /// cached entry. Must stay 0; CI treats any divergence as fatal.
+    pub memo_divergence: AtomicU64,
     /// Highest generation a detection latency was recorded for
     /// (worker-internal dedup state, not exported).
     pub latency_gen: AtomicU64,
@@ -262,6 +274,14 @@ pub struct ShardSnapshot {
     pub loops_after_swap: u64,
     /// Swap-publish → first-loop-event latency per generation (ns).
     pub detect_latency_ns: HistogramSnapshot,
+    /// Packets settled from the memo table without walking.
+    pub memo_hits: u64,
+    /// Memo-eligible packets that walked to warm their slot.
+    pub memo_misses: u64,
+    /// Hits cross-checked with a full walk by the sampler.
+    pub memo_sampled_walks: u64,
+    /// Cross-checks that disagreed with the cache (must be 0).
+    pub memo_divergence: u64,
 }
 
 impl ShardMetrics {
@@ -293,6 +313,10 @@ impl ShardMetrics {
             route_swaps_observed: self.route_swaps_observed.load(Ordering::Relaxed),
             loops_after_swap: self.loops_after_swap.load(Ordering::Relaxed),
             detect_latency_ns: self.detect_latency_ns.snapshot(),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            memo_sampled_walks: self.memo_sampled_walks.load(Ordering::Relaxed),
+            memo_divergence: self.memo_divergence.load(Ordering::Relaxed),
         }
     }
 
@@ -349,6 +373,12 @@ impl ShardSnapshot {
         );
         obj.set("loops_after_swap", Json::UInt(self.loops_after_swap));
         obj.set("detect_latency_ns", self.detect_latency_ns.to_json());
+        let mut memo = Json::object();
+        memo.set("hits", Json::UInt(self.memo_hits));
+        memo.set("misses", Json::UInt(self.memo_misses));
+        memo.set("sampled_walks", Json::UInt(self.memo_sampled_walks));
+        memo.set("divergence", Json::UInt(self.memo_divergence));
+        obj.set("memo", memo);
         let mut faults = Json::object();
         faults.set("restarts", Json::UInt(self.restarts));
         faults.set("panics_injected", Json::UInt(self.panics_injected));

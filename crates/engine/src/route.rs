@@ -164,10 +164,22 @@ impl RouteSet {
     /// route. Workers evaluate this once at startup so the packet walk
     /// never re-checks node bounds.
     pub fn first_invalid_hops(&self, node_count: usize) -> Vec<u32> {
-        self.routes
-            .iter()
-            .map(|r| r.first_invalid_hop(node_count).unwrap_or(u32::MAX))
-            .collect()
+        let mut out = Vec::new();
+        self.first_invalid_hops_into(node_count, &mut out);
+        out
+    }
+
+    /// [`RouteSet::first_invalid_hops`] into a caller-owned buffer,
+    /// reusing its allocation. Workers rebuild the table on every
+    /// observed generation swap; under a `--churn` storm this keeps the
+    /// rebuild allocation-free.
+    pub fn first_invalid_hops_into(&self, node_count: usize, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(
+            self.routes
+                .iter()
+                .map(|r| r.first_invalid_hop(node_count).unwrap_or(u32::MAX)),
+        );
     }
 }
 
